@@ -1,0 +1,202 @@
+// Command skyquery discovers the skyline (or K-skyband) of a hidden
+// database — either a local CSV dataset served through the in-process
+// top-k simulator, or a remote endpoint served by cmd/skyserve — and
+// reports the number of interface queries the discovery needed, the
+// paper's central cost metric.
+//
+// Usage:
+//
+//	skyquery -in data.csv [-k 10] [-rank sum|attr0|lex|random] \
+//	         [-algo auto|sq|rq|pq|mq] [-band K] [-budget N] [-baseline]
+//	skyquery -url http://127.0.0.1:8080 [-algo auto] [-band K] [-budget N]
+//
+// The CSV format is the one cmd/datagen emits: a name header row, a
+// capability row (SQ/RQ/PQ per ranking attribute, "-" for #filter
+// columns), then data rows.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hiddensky/internal/core"
+	"hiddensky/internal/crawl"
+	"hiddensky/internal/datagen"
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+	"hiddensky/internal/web"
+)
+
+func main() {
+	in := flag.String("in", "", "input CSV (local mode)")
+	url := flag.String("url", "", "remote hidden-database endpoint (remote mode; see cmd/skyserve)")
+	k := flag.Int("k", 10, "top-k limit of the simulated interface (local mode)")
+	rankName := flag.String("rank", "sum", "ranking function: sum | attrN (e.g. attr0) | lex | random (local mode)")
+	algo := flag.String("algo", "auto", "algorithm: auto|sq|rq|pq|mq")
+	band := flag.Int("band", 1, "discover the K-skyband instead of the skyline (K>1, uniform SQ/RQ/PQ interfaces)")
+	budget := flag.Int("budget", 0, "query budget (0 = unlimited); discovery returns a partial anytime result when hit")
+	baseline := flag.Bool("baseline", false, "also run the crawling BASELINE for comparison (needs an all-RQ interface)")
+	where := flag.String("where", "", "conjunctive filter, e.g. \"A0<500,A2>=3\": discover the skyline of the matching subset only")
+	showTuples := flag.Bool("tuples", true, "print the discovered tuples")
+	flag.Parse()
+
+	var db core.Interface
+	var names []string
+	switch {
+	case *in != "" && *url != "":
+		fatal(fmt.Errorf("-in and -url are mutually exclusive"))
+	case *url != "":
+		client, err := web.Dial(*url, nil)
+		if err != nil {
+			fatal(err)
+		}
+		for i := 0; i < client.NumAttrs(); i++ {
+			names = append(names, client.AttrName(i))
+		}
+		db = client
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := datagen.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		rank, err := parseRank(*rankName)
+		if err != nil {
+			fatal(err)
+		}
+		hdb, err := hidden.New(d.Config(*k, rank))
+		if err != nil {
+			fatal(err)
+		}
+		for _, a := range d.Attrs {
+			names = append(names, a.Name)
+		}
+		db = hdb
+	default:
+		fmt.Fprintln(os.Stderr, "skyquery: one of -in or -url is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := core.Options{MaxQueries: *budget}
+	if *band > 1 {
+		runBand(db, *band, opt, names, *showTuples)
+		return
+	}
+
+	filter, err := query.Parse(*where)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res core.Result
+	switch strings.ToLower(*algo) {
+	case "auto", "mq":
+		res, err = core.DiscoverWhere(db, filter, opt)
+	case "sq":
+		res, err = core.SQDBSky(db, opt)
+	case "rq":
+		res, err = core.RQDBSky(db, opt)
+	case "pq":
+		res, err = core.PQDBSky(db, opt)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil && !errors.Is(err, core.ErrBudget) {
+		fatal(err)
+	}
+	if *showTuples {
+		printTuples(names, res.Skyline)
+	}
+	fmt.Printf("skyline tuples: %d\nqueries issued: %d\ncomplete: %v\n",
+		len(res.Skyline), res.Queries, res.Complete)
+
+	if *baseline {
+		runBaseline(db, *budget)
+	}
+}
+
+func runBaseline(db core.Interface, budget int) {
+	// Reset cost accounting where possible so the comparison is fair.
+	if hdb, ok := db.(*hidden.DB); ok {
+		hdb.ResetCounter()
+	}
+	cres, sky, err := crawl.CrawlSkyline(db, crawl.Options{MaxQueries: budget})
+	if err != nil && !errors.Is(err, crawl.ErrBudget) {
+		fatal(err)
+	}
+	fmt.Printf("BASELINE: crawled %d tuples in %d queries (complete: %v, skyline %d)\n",
+		len(cres.Tuples), cres.Queries, cres.Complete, len(sky))
+}
+
+func runBand(db core.Interface, band int, opt core.Options, names []string, show bool) {
+	allOf := func(c hidden.Capability) bool {
+		for i := 0; i < db.NumAttrs(); i++ {
+			if db.Cap(i) != c {
+				return false
+			}
+		}
+		return true
+	}
+	var res core.BandResult
+	var err error
+	switch {
+	case allOf(hidden.RQ):
+		res, err = core.RQBandSky(db, band, opt)
+	case allOf(hidden.PQ):
+		res, err = core.PQBandSky(db, band, opt)
+	case allOf(hidden.SQ):
+		res, err = core.SQBandSky(db, band, opt)
+	default:
+		fatal(fmt.Errorf("K-skyband discovery needs a uniform SQ, RQ or PQ interface"))
+	}
+	if err != nil && !errors.Is(err, core.ErrBudget) {
+		fatal(err)
+	}
+	if show {
+		printTuples(names, res.Tuples)
+	}
+	fmt.Printf("%d-skyband tuples: %d\nqueries issued: %d\ncomplete: %v\n",
+		band, len(res.Tuples), res.Queries, res.Complete)
+}
+
+func parseRank(name string) (hidden.Ranking, error) {
+	switch {
+	case name == "sum":
+		return hidden.SumRank{}, nil
+	case name == "lex":
+		return hidden.LexRank{}, nil
+	case name == "random":
+		return hidden.RandomWeightRank{Seed: 42}, nil
+	case strings.HasPrefix(name, "attr"):
+		var a int
+		if _, err := fmt.Sscanf(name, "attr%d", &a); err != nil {
+			return nil, fmt.Errorf("bad rank %q", name)
+		}
+		return hidden.AttrRank{Attr: a}, nil
+	}
+	return nil, fmt.Errorf("unknown ranking %q", name)
+}
+
+func printTuples(names []string, tuples [][]int) {
+	fmt.Println(strings.Join(names, "\t"))
+	for _, t := range tuples {
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = fmt.Sprint(v)
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "skyquery: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command skyserve exposes a CSV dataset as a live hidden web database: a
+// JSON search API with top-k truncation, per-attribute predicate
+// capabilities, a proprietary ranking and an optional per-client query
+// budget — everything a third-party skyline discoverer has to contend
+// with. Pair it with "skyquery -url" (or any HTTP client) to run the
+// paper's algorithms across a real network boundary.
+//
+// Usage:
+//
+//	skyserve -in diamonds.csv -k 50 -rank attr0 -limit 10000 -addr :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"hiddensky/internal/datagen"
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/web"
+)
+
+func main() {
+	in := flag.String("in", "", "input CSV (required; see cmd/datagen)")
+	k := flag.Int("k", 10, "top-k limit of the interface")
+	rankName := flag.String("rank", "sum", "ranking function: sum | attrN | lex | random")
+	limit := flag.Int("limit", 0, "per-client query budget (0 = unlimited)")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "skyserve: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := datagen.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	rank, err := parseRank(*rankName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := d.Config(*k, rank)
+	cfg.QueryLimit = *limit
+	db, err := hidden.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	names := make([]string, len(d.Attrs))
+	for i, a := range d.Attrs {
+		names[i] = a.Name
+	}
+	srv := web.NewServer(db, names)
+	fmt.Fprintf(os.Stderr, "skyserve: serving %d tuples x %d attributes on http://%s (k=%d, limit=%d)\n",
+		db.Size(), db.NumAttrs(), *addr, *k, *limit)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func parseRank(name string) (hidden.Ranking, error) {
+	switch {
+	case name == "sum":
+		return hidden.SumRank{}, nil
+	case name == "lex":
+		return hidden.LexRank{}, nil
+	case name == "random":
+		return hidden.RandomWeightRank{Seed: 42}, nil
+	case strings.HasPrefix(name, "attr"):
+		var a int
+		if _, err := fmt.Sscanf(name, "attr%d", &a); err != nil {
+			return nil, fmt.Errorf("bad rank %q", name)
+		}
+		return hidden.AttrRank{Attr: a}, nil
+	}
+	return nil, fmt.Errorf("unknown ranking %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
+	os.Exit(1)
+}

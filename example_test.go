@@ -1,0 +1,152 @@
+package hiddensky_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"hiddensky"
+)
+
+// The catalog used by the examples: price, delivery days, weight — lower
+// is better everywhere.
+func exampleDB(k int) *hiddensky.DB {
+	return hiddensky.MustNew(hiddensky.Config{
+		Data: [][]int{
+			{899, 2, 1200},
+			{749, 5, 1100},
+			{999, 1, 1250},
+			{649, 7, 1500},
+			{849, 3, 1000},
+		},
+		Caps: []hiddensky.Capability{hiddensky.RQ, hiddensky.RQ, hiddensky.RQ},
+		K:    k,
+		Rank: hiddensky.AttrRank{Attr: 0},
+	})
+}
+
+// Discover retrieves the complete skyline through the top-k interface.
+func ExampleDiscover() {
+	db := exampleDB(2)
+	res, err := hiddensky.Discover(db, hiddensky.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("skyline size:", len(res.Skyline))
+	fmt.Println("complete:", res.Complete)
+	// Output:
+	// skyline size: 5
+	// complete: true
+}
+
+// DiscoverWhere restricts discovery to a filtered subset (§2.1): here,
+// only products delivered within three days.
+func ExampleDiscoverWhere() {
+	db := exampleDB(2)
+	res, err := hiddensky.DiscoverWhere(db, hiddensky.Q{
+		{Attr: 1, Op: hiddensky.LE, Value: 3},
+	}, hiddensky.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range res.Skyline {
+		fmt.Println(t[0], t[1])
+	}
+	// Output:
+	// 849 3
+	// 899 2
+	// 999 1
+}
+
+// A query budget turns any run into an anytime run: the partial result
+// contains only genuine skyline tuples.
+func ExampleOptions_maxQueries() {
+	db := exampleDB(1)
+	res, err := hiddensky.Discover(db, hiddensky.Options{MaxQueries: 2})
+	fmt.Println("budget hit:", errors.Is(err, hiddensky.ErrBudget))
+	fmt.Println("complete:", res.Complete)
+	fmt.Println("queries:", res.Queries)
+	// Output:
+	// budget hit: true
+	// complete: false
+	// queries: 2
+}
+
+// RQBandSky discovers the K-skyband, which answers top-K queries for any
+// monotonic ranking function.
+func ExampleRQBandSky() {
+	db := exampleDB(3)
+	band, err := hiddensky.RQBandSky(db, 2, hiddensky.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("2-skyband size:", len(band.Tuples))
+	fmt.Println("complete:", band.Complete)
+	// Output:
+	// 2-skyband size: 5
+	// complete: true
+}
+
+// A Session checkpoints discovery across daily query quotas: serialize it
+// after today's budget, restore and resume tomorrow.
+func ExampleSession() {
+	s := hiddensky.NewSession(exampleDB(1))
+
+	// Day one: five queries, then persist.
+	_, err := s.Resume(exampleDB(1), hiddensky.Options{MaxQueries: 5})
+	fmt.Println("day one budget hit:", errors.Is(err, hiddensky.ErrBudget))
+	var checkpoint bytes.Buffer
+	if err := s.Save(&checkpoint); err != nil {
+		panic(err)
+	}
+
+	// Day two: restore and finish.
+	restored, err := hiddensky.ReadSession(&checkpoint)
+	if err != nil {
+		panic(err)
+	}
+	res, err := restored.Resume(exampleDB(1), hiddensky.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("complete:", res.Complete)
+	fmt.Println("skyline size:", len(res.Skyline))
+	// Output:
+	// day one budget hit: true
+	// complete: true
+	// skyline size: 5
+}
+
+// Record captures the query stream of a discovery run; the transcript
+// replays it offline with no database behind it.
+func ExampleRecord() {
+	tr := hiddensky.Record(exampleDB(2))
+	live, err := hiddensky.Discover(tr, hiddensky.Options{})
+	if err != nil {
+		panic(err)
+	}
+
+	// Replay the identical run against the recorded answers only.
+	replayed, err := hiddensky.Discover(tr.Replay(), hiddensky.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("exchanges recorded:", len(tr.Entries))
+	fmt.Println("same skyline:", len(live.Skyline) == len(replayed.Skyline))
+	fmt.Println("same cost:", live.Queries == replayed.Queries)
+	// Output:
+	// exchanges recorded: 13
+	// same skyline: true
+	// same cost: true
+}
+
+// ComputeSkylineTuples is the local (non-hidden) skyline, used as ground
+// truth throughout the library's tests.
+func ExampleComputeSkylineTuples() {
+	sky := hiddensky.ComputeSkylineTuples([][]int{
+		{1, 9}, {5, 5}, {9, 1}, {6, 6},
+	})
+	fmt.Println(len(sky))
+	// Output:
+	// 3
+}

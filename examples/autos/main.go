@@ -1,0 +1,56 @@
+// Autos: K-skyband discovery for top-k answering. A used-car meta-search
+// wants to answer "show me the 3 best cars" for any monotonic user-defined
+// scoring of price, mileage and year. The top-3 of every such scoring lies
+// inside the 3-skyband (tuples dominated by at most 2 others), so the
+// service discovers the 3-skyband once through the site's top-k interface
+// and answers all future queries locally.
+//
+// Run with: go run ./examples/autos
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"hiddensky"
+)
+
+func main() {
+	d := hiddensky.YahooAutos(7, 4000)
+	db := d.DB(25, hiddensky.AttrRank{Attr: 0}) // site ranks by price
+
+	const K = 3
+	band, err := hiddensky.RQBandSky(db, K, hiddensky.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inventory: %d cars; %d-skyband: %d cars in %d queries\n\n",
+		db.Size(), K, len(band.Tuples), band.Queries)
+
+	// Answer three different "top 3" requests locally.
+	score := func(w []float64) func(t []int) float64 {
+		return func(t []int) float64 {
+			return w[0]*float64(t[0]) + w[1]*float64(t[1]) + w[2]*float64(t[2])
+		}
+	}
+	asks := []struct {
+		name string
+		fn   func(t []int) float64
+	}{
+		{"cheapest overall", score([]float64{1, 0.001, 1})},
+		{"low mileage", score([]float64{0.01, 1, 10})},
+		{"newest", score([]float64{0.001, 0.0001, 1000})},
+	}
+	for _, ask := range asks {
+		cars := append([][]int(nil), band.Tuples...)
+		sort.SliceStable(cars, func(a, b int) bool { return ask.fn(cars[a]) < ask.fn(cars[b]) })
+		fmt.Printf("top 3 by %q:\n", ask.name)
+		for i := 0; i < 3 && i < len(cars); i++ {
+			t := cars[i]
+			fmt.Printf("    $%-6d %6d miles, %d years old (dominated by %d)\n",
+				t[0], t[1], t[2], band.Counts[i])
+		}
+	}
+	fmt.Println("\n(all answered from the one-time skyband, zero extra web queries)")
+}

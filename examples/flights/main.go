@@ -1,0 +1,66 @@
+// Flights: skyline discovery under a hard query budget. Google Flights'
+// QPX API allowed 50 free queries per day; the paper shows its algorithms
+// find every skyline itinerary within that limit. This example runs the
+// mixed-interface algorithm (SQ on Stops/Price/ConnectionDuration, RQ on
+// DepartureTime) against simulated route databases with a 50-query rate
+// limit and demonstrates the anytime property: even when the budget stops
+// a run, every tuple already returned is a genuine skyline flight.
+//
+// Run with: go run ./examples/flights
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"hiddensky"
+)
+
+func main() {
+	const dailyBudget = 50
+
+	routes := []struct {
+		name string
+		seed int64
+	}{
+		{"JFK -> SFO  2026-06-19", 100},
+		{"ORD -> LAX  2026-06-20", 117},
+		{"BOS -> SEA  2026-06-21", 303},
+		{"LGA -> MIA  2026-06-22", 104},
+	}
+	for _, route := range routes {
+		d := hiddensky.GoogleFlightsRoute(route.seed)
+		db, err := hiddensky.New(hiddensky.Config{
+			Data:       d.Data,
+			Caps:       d.Caps(),
+			K:          20,                          // one QPX page of itineraries
+			Rank:       hiddensky.AttrRank{Attr: 1}, // price low-to-high
+			QueryLimit: dailyBudget,                 // per-API-key daily limit
+			Filters:    d.Filters,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// QPX responses carry result counts, so the client can trust the
+		// overflow indicator instead of re-confirming full pages.
+		res, err := hiddensky.Discover(db, hiddensky.Options{Trace: true, UseOverflowFlag: true})
+		switch {
+		case err == nil:
+			fmt.Printf("%s: all %d skyline flights in %d queries (budget %d)\n",
+				route.name, len(res.Skyline), res.Queries, dailyBudget)
+		case errors.Is(err, hiddensky.ErrBudget):
+			fmt.Printf("%s: budget hit after %d queries — %d skyline flights so far (anytime result)\n",
+				route.name, res.Queries, len(res.Skyline))
+		default:
+			log.Fatal(err)
+		}
+
+		for _, t := range res.Skyline {
+			dep := (23*60 + 59) - t[3]
+			fmt.Printf("    $%-4d stops=%d connection=%dmin departs=%02d:%02d\n",
+				t[1], t[0], t[2], dep/60, dep%60)
+		}
+	}
+}

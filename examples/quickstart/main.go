@@ -1,0 +1,66 @@
+// Quickstart: discover the complete skyline of a hidden web database you
+// can only reach through a top-k search interface.
+//
+// We build a small product catalog (price, delivery days, weight — lower is
+// better on all three), put it behind a simulated top-5 interface with
+// two-ended range predicates and a proprietary price-first ranking, and let
+// RQ-DB-SKY retrieve every Pareto-optimal product while counting the
+// queries it needed — the metric that matters when a website rate-limits
+// you.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hiddensky"
+)
+
+func main() {
+	// A third-party's view of some shop's inventory: we do NOT get this
+	// table; it lives behind the search form. It's declared here only to
+	// build the simulator.
+	catalog := [][]int{
+		// price, deliveryDays, weightGrams
+		{899, 2, 1200},
+		{749, 5, 1100},
+		{999, 1, 1250},
+		{649, 7, 1500},
+		{1099, 1, 900},
+		{699, 4, 1400},
+		{849, 3, 1000},
+		{799, 6, 950},
+		{1199, 2, 800},
+		{599, 9, 1600},
+	}
+
+	db, err := hiddensky.New(hiddensky.Config{
+		Data: catalog,
+		Caps: []hiddensky.Capability{hiddensky.RQ, hiddensky.RQ, hiddensky.RQ},
+		K:    5,                           // the site shows at most 5 results
+		Rank: hiddensky.AttrRank{Attr: 0}, // and sorts them by price
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := hiddensky.Discover(db, hiddensky.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("discovered %d skyline products with %d search queries:\n\n",
+		len(res.Skyline), res.Queries)
+	fmt.Println("price  delivery  weight")
+	for _, t := range res.Skyline {
+		fmt.Printf("%5d  %8d  %6d\n", t[0], t[1], t[2])
+	}
+
+	// Every returned tuple is Pareto-optimal: no product is cheaper AND
+	// faster AND lighter. Verify against the local ground truth.
+	want := hiddensky.ComputeSkylineTuples(catalog)
+	fmt.Printf("\nground truth agrees: %v (%d tuples)\n",
+		len(want) == len(res.Skyline), len(want))
+}

@@ -1,0 +1,66 @@
+// Stores: the paper's full motivating scenario (§1) end to end. Three
+// diamond retailers each hide their catalog behind a top-k search form
+// with its own proprietary ranking — one ranks by price, one by a secret
+// weighting, one lexicographically by quality grades. A meta-search
+// service discovers each store's skyline through its public interface,
+// merges them into one global Pareto frontier, and then serves shoppers
+// with arbitrary personal ranking functions without issuing another web
+// query.
+//
+// Run with: go run ./examples/stores
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hiddensky"
+)
+
+func main() {
+	// Three independent retailers (different inventories, k limits and
+	// ranking functions — all unknown to the meta-search service).
+	mk := func(name string, seed int64, n, k int, rank hiddensky.Ranking) hiddensky.FederatedStore {
+		d := hiddensky.BlueNile(seed, n)
+		return hiddensky.FederatedStore{Name: name, DB: d.DB(k, rank)}
+	}
+	stores := []hiddensky.FederatedStore{
+		mk("sparkle.example", 11, 30000, 50, hiddensky.AttrRank{Attr: 0}),
+		mk("gemhut.example", 22, 18000, 25, hiddensky.RandomWeightRank{Seed: 99}),
+		mk("stonesroyale.example", 33, 24000, 40, hiddensky.LexRank{Priority: []int{2, 3, 4, 0, 1}}),
+	}
+
+	res, err := hiddensky.FederatedDiscover(stores, hiddensky.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-store discovery:")
+	for _, st := range res.PerStore {
+		fmt.Printf("  %-22s %5d skyline diamonds in %5d queries\n", st.Store, st.Skyline, st.Queries)
+	}
+	fmt.Printf("global frontier: %d offers across %d stores (%d web queries total)\n\n",
+		len(res.Frontier), len(stores), res.Queries)
+
+	// Serve shoppers with their own ranking functions — locally.
+	shoppers := []struct {
+		name    string
+		weights []float64
+	}{
+		{"price-first", []float64{1, 0.01, 1, 1, 1}},
+		{"carat-first", []float64{0.001, 1, 0.2, 0.2, 0.2}},
+		{"balanced", []float64{0.002, 0.6, 40, 30, 30}},
+	}
+	for _, sh := range shoppers {
+		score, err := hiddensky.WeightedScorer(sh.weights)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("best offers for %q:\n", sh.name)
+		for _, o := range res.Rank(score, 3) {
+			t := o.Tuple
+			fmt.Printf("  %-22s $%-8d %.2fct cut=%d color=%d clarity=%d\n",
+				o.Store, t[0], float64(509-t[1])/100, t[2], t[3], t[4])
+		}
+	}
+	fmt.Println("\n(every shopper served from the one-time frontier — zero extra queries)")
+}

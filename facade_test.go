@@ -1,0 +1,104 @@
+package hiddensky
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestFacadeQuickstart walks the README flow end to end through the public
+// facade only.
+func TestFacadeQuickstart(t *testing.T) {
+	catalog := [][]int{
+		{899, 2}, {749, 5}, {999, 1}, {649, 7}, {1099, 1},
+	}
+	db, err := New(Config{
+		Data: catalog,
+		Caps: []Capability{RQ, RQ},
+		K:    2,
+		Rank: AttrRank{Attr: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discover(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ComputeSkylineTuples(catalog)
+	if len(res.Skyline) != len(want) {
+		t.Fatalf("facade skyline %d tuples, ground truth %d", len(res.Skyline), len(want))
+	}
+	if res.Queries != db.QueriesIssued() {
+		t.Fatal("query accounting mismatch through facade")
+	}
+}
+
+func TestFacadeInterfaceTaxonomy(t *testing.T) {
+	d := GoogleFlightsRoute(3)
+	db := d.DB(1, AttrRank{Attr: 1})
+	// Stops is SQ: > must be rejected; DepartureTime is RQ: > accepted.
+	if _, err := db.Query(Q{{Attr: 0, Op: GT, Value: 0}}); !errors.Is(err, ErrUnsupportedPredicate) {
+		t.Fatalf("SQ attribute accepted >: %v", err)
+	}
+	if _, err := db.Query(Q{{Attr: 3, Op: GT, Value: 100}}); err != nil {
+		t.Fatalf("RQ attribute rejected >: %v", err)
+	}
+}
+
+func TestFacadeBaselineComparison(t *testing.T) {
+	d := YahooAutos(9, 1200)
+	db := d.DB(10, AttrRank{Attr: 0})
+	res, err := Discover(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := d.DB(10, AttrRank{Attr: 0})
+	cres, sky, err := CrawlSkyline(db2, CrawlOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sky) != len(res.Skyline) {
+		t.Fatalf("BASELINE skyline %d, discovery %d", len(sky), len(res.Skyline))
+	}
+	if cres.Queries <= res.Queries {
+		t.Fatalf("BASELINE (%d queries) should cost more than discovery (%d)", cres.Queries, res.Queries)
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	if AvgCostRecurrence(2, 3) != 7 {
+		t.Error("recurrence m=2 should be 2s+1")
+	}
+	if WorstCaseCost(2, 3) != 2*27 { // m·s^(m+1) = 2·3³
+		t.Error("worst case m*s^(m+1)")
+	}
+	if AvgCostExpBound(4, 10) <= 0 {
+		t.Error("exp bound must be positive")
+	}
+	cost, err := PQ2DCost([][]int{{1, 3}, {3, 1}}, 0, 5, 0, 5)
+	if err != nil || cost <= 0 {
+		t.Errorf("PQ2DCost: %d, %v", cost, err)
+	}
+}
+
+func TestFacadeSkyband(t *testing.T) {
+	d := YahooAutos(4, 600)
+	db := d.DB(10, AttrRank{Attr: 0})
+	band, err := RQBandSky(db, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdx := ComputeSkyband(d.Data, 2)
+	want := map[string]bool{}
+	for _, i := range wantIdx {
+		want[fmt.Sprint(d.Data[i])] = true
+	}
+	got := map[string]bool{}
+	for _, tup := range band.Tuples {
+		got[fmt.Sprint(tup)] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("2-skyband %d distinct values, want %d", len(got), len(want))
+	}
+}

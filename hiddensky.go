@@ -1,0 +1,301 @@
+// Package hiddensky is a Go implementation of "Discovering the Skyline of
+// Web Databases" (Asudeh, Thirumuruganathan, Zhang, Das — VLDB 2016): a
+// library for retrieving all skyline tuples from a hidden web database
+// that is only reachable through a top-k conjunctive search interface with
+// an unknown (but domination-consistent) ranking function.
+//
+// The package is a facade re-exporting the library surface:
+//
+//   - the query model (Predicate, Q, operators),
+//   - the hidden-database simulator (DB, Config, rankings, the SQ/RQ/PQ
+//     interface taxonomy),
+//   - the discovery algorithms (SQDBSky, RQDBSky, PQ2DSky, PQDBSky,
+//     MQDBSky / Discover, and the K-skyband variants),
+//   - the crawling baseline (Crawl, CrawlSkyline),
+//   - local skyline computation, data generators, the closed-form cost
+//     analysis, and the benchmark harness regenerating every figure of the
+//     paper's evaluation.
+//
+// Quickstart:
+//
+//	d := hiddensky.BlueNile(1, 50000)
+//	db := d.DB(50, hiddensky.AttrRank{Attr: 0}) // ranked by price
+//	res, err := hiddensky.Discover(db, hiddensky.Options{})
+//	// res.Skyline now holds every Pareto-optimal diamond;
+//	// res.Queries is what it cost through the top-50 interface.
+package hiddensky
+
+import (
+	"hiddensky/internal/analysis"
+	"hiddensky/internal/bench"
+	"hiddensky/internal/core"
+	"hiddensky/internal/crawl"
+	"hiddensky/internal/datagen"
+	"hiddensky/internal/federate"
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+	"hiddensky/internal/skyline"
+	"hiddensky/internal/web"
+)
+
+// Query model.
+type (
+	// Op is a predicate comparison operator.
+	Op = query.Op
+	// Predicate is one comparison on one ranking attribute.
+	Predicate = query.Predicate
+	// Q is a conjunctive query (nil = SELECT *).
+	Q = query.Q
+	// Interval is a closed integer interval.
+	Interval = query.Interval
+)
+
+// Predicate operators.
+const (
+	LT = query.LT
+	LE = query.LE
+	EQ = query.EQ
+	GE = query.GE
+	GT = query.GT
+)
+
+// Hidden-database simulator.
+type (
+	// Capability is the per-attribute interface taxonomy (SQ/RQ/PQ).
+	Capability = hidden.Capability
+	// DB is a simulated hidden web database behind a top-k interface.
+	DB = hidden.DB
+	// Config describes a hidden database to construct.
+	Config = hidden.Config
+	// Result is a top-k query answer.
+	QueryResult = hidden.Result
+	// Ranking is a domination-consistent ranking function.
+	Ranking = hidden.Ranking
+	// SumRank ranks by ascending attribute sum.
+	SumRank = hidden.SumRank
+	// WeightedRank ranks by an ascending positive-weighted sum.
+	WeightedRank = hidden.WeightedRank
+	// AttrRank ranks by one attribute (e.g. price low-to-high).
+	AttrRank = hidden.AttrRank
+	// LexRank ranks lexicographically.
+	LexRank = hidden.LexRank
+	// RandomWeightRank ranks by a seeded random positive weighting.
+	RandomWeightRank = hidden.RandomWeightRank
+	// RandomExtensionRank is the paper's average-case random ranking.
+	RandomExtensionRank = hidden.RandomExtensionRank
+	// AdversarialRank is a worst-case-leaning ranking.
+	AdversarialRank = hidden.AdversarialRank
+)
+
+// Interface capabilities.
+const (
+	// SQ supports one-ended ranges (<, <=, =).
+	SQ = hidden.SQ
+	// RQ supports two-ended ranges (adds >=, >).
+	RQ = hidden.RQ
+	// PQ supports point predicates only (=).
+	PQ = hidden.PQ
+)
+
+// Errors surfaced by the simulator and algorithms.
+var (
+	// ErrUnsupportedPredicate: the interface rejects the operator.
+	ErrUnsupportedPredicate = hidden.ErrUnsupportedPredicate
+	// ErrRateLimited: the per-client query budget is exhausted.
+	ErrRateLimited = hidden.ErrRateLimited
+	// ErrBudget: discovery stopped early with a partial (anytime) result.
+	ErrBudget = core.ErrBudget
+)
+
+// New constructs a hidden database; MustNew panics on config errors.
+var (
+	New     = hidden.New
+	MustNew = hidden.MustNew
+	// ParseQuery parses a textual filter like "A0<500,A2>=3".
+	ParseQuery = query.Parse
+)
+
+// Discovery algorithms.
+type (
+	// Options tunes a discovery run.
+	Options = core.Options
+	// DiscoveryResult is the outcome of a discovery run.
+	DiscoveryResult = core.Result
+	// TraceEvent is one anytime-discovery event.
+	TraceEvent = core.TraceEvent
+	// BandResult is the outcome of a K-skyband run.
+	BandResult = core.BandResult
+	// HiddenDB is the minimal interface the algorithms require.
+	HiddenDB = core.Interface
+)
+
+// Algorithm entry points (see the paper sections in parentheses).
+var (
+	// SQDBSky discovers the skyline via one-ended ranges (Algorithm 1, §3).
+	SQDBSky = core.SQDBSky
+	// RQDBSky discovers the skyline via two-ended ranges (Algorithm 2, §4).
+	RQDBSky = core.RQDBSky
+	// PQ2DSky is the instance-optimal 2D point-predicate algorithm (§5.1).
+	PQ2DSky = core.PQ2DSky
+	// PQDBSky handles higher-dimensional point predicates (§5.3).
+	PQDBSky = core.PQDBSky
+	// MQDBSky handles arbitrary SQ/RQ/PQ mixtures (Algorithm 6, §6).
+	MQDBSky = core.MQDBSky
+	// Discover dispatches to the right algorithm for the interface.
+	Discover = core.Discover
+	// DiscoverWhere discovers the skyline of a filtered subset (§2.1).
+	DiscoverWhere = core.DiscoverWhere
+	// RQBandSky, PQBandSky, SQBandSky discover the K-skyband (§7.2).
+	RQBandSky = core.RQBandSky
+	PQBandSky = core.PQBandSky
+	SQBandSky = core.SQBandSky
+)
+
+// Multi-session discovery under daily quotas, and query transcripts.
+type (
+	// Session is a serializable checkpoint of an SQ-DB-SKY run.
+	Session = core.Session
+	// Transcript records query/answer exchanges through any backend.
+	Transcript = hidden.Transcript
+	// TranscriptEntry is one recorded exchange.
+	TranscriptEntry = hidden.TranscriptEntry
+	// Replayer serves recorded answers with no database behind it.
+	Replayer = hidden.Replayer
+	// Backend is the querying surface transcripts wrap.
+	Backend = hidden.Backend
+)
+
+var (
+	// NewSession starts a checkpointable discovery run.
+	NewSession = core.NewSession
+	// ReadSession loads a serialized checkpoint.
+	ReadSession = core.ReadSession
+	// Record wraps a backend to capture its query stream.
+	Record = hidden.Record
+	// ReadReplayer loads a persisted transcript for offline replay.
+	ReadReplayer = hidden.ReadReplayer
+	// ErrNotRecorded is returned when replaying an unrecorded query.
+	ErrNotRecorded = hidden.ErrNotRecorded
+)
+
+// HTTP layer: serve a hidden database as a JSON search API and discover
+// skylines across a real network boundary.
+type (
+	// WebServer serves a hidden database over HTTP (package web).
+	WebServer = web.Server
+	// WebClient implements the discovery interface against a remote
+	// endpoint.
+	WebClient = web.Client
+)
+
+var (
+	// NewWebServer wraps a database for HTTP serving.
+	NewWebServer = web.NewServer
+	// DialWeb connects to a remote hidden-database endpoint.
+	DialWeb = web.Dial
+)
+
+// Federated multi-store meta-search (the paper's motivating application).
+type (
+	// FederatedStore is one participating hidden database.
+	FederatedStore = federate.Store
+	// FederatedResult is the merged multi-store frontier.
+	FederatedResult = federate.Result
+	// Offer is one frontier tuple with its origin store.
+	Offer = federate.Offer
+	// Scorer is a user-defined monotonic scoring function.
+	Scorer = federate.Scorer
+)
+
+var (
+	// FederatedDiscover discovers and merges the skylines of many stores.
+	FederatedDiscover = federate.Discover
+	// FederatedDiscoverParallel queries the stores concurrently.
+	FederatedDiscoverParallel = federate.DiscoverParallel
+	// WeightedScorer builds a linear monotonic scorer from positive weights.
+	WeightedScorer = federate.WeightedScorer
+)
+
+// Crawling baseline.
+type (
+	// CrawlOptions tunes the BASELINE crawler.
+	CrawlOptions = crawl.Options
+	// CrawlResult is the outcome of a crawl.
+	CrawlResult = crawl.Result
+)
+
+var (
+	// Crawl retrieves the entire database via two-ended ranges.
+	Crawl = crawl.Crawl
+	// CrawlSkyline is the full BASELINE: crawl, then local skyline.
+	CrawlSkyline = crawl.CrawlSkyline
+)
+
+// Local skyline computation.
+var (
+	// Dominates reports whether tuple a dominates tuple b.
+	Dominates = skyline.Dominates
+	// ComputeSkyline returns the skyline indices of an in-memory table.
+	ComputeSkyline = skyline.Compute
+	// ComputeSkylineTuples returns the skyline tuples themselves.
+	ComputeSkylineTuples = skyline.ComputeTuples
+	// ComputeSkyband returns the K-skyband indices.
+	ComputeSkyband = skyline.Skyband
+)
+
+// Data generation.
+type (
+	// Dataset is a generated database plus interface metadata.
+	Dataset = datagen.Dataset
+	// DataAttr describes one generated ranking attribute.
+	DataAttr = datagen.Attr
+)
+
+var (
+	// Independent, Correlated, AntiCorrelated, CorrelationSweep generate
+	// the classic synthetic skyline workloads.
+	Independent      = datagen.Independent
+	Correlated       = datagen.Correlated
+	AntiCorrelated   = datagen.AntiCorrelated
+	CorrelationSweep = datagen.CorrelationSweep
+	// Flights synthesizes the DOT on-time database stand-in.
+	Flights = datagen.Flights
+	// BlueNile, YahooAutos, GoogleFlightsRoute synthesize the online
+	// experiment databases at their published scales.
+	BlueNile           = datagen.BlueNile
+	YahooAutos         = datagen.YahooAutos
+	GoogleFlightsRoute = datagen.GoogleFlightsRoute
+	// ReadDatasetCSV / (Dataset).WriteCSV round-trip datasets as CSV.
+	ReadDatasetCSV = datagen.ReadCSV
+)
+
+// Cost analysis (closed forms from §3-§5).
+var (
+	// AvgCostRecurrence is E(C_s) via equation (4).
+	AvgCostRecurrence = analysis.AvgCostRecurrence
+	// AvgCostClosedForm is equation (5).
+	AvgCostClosedForm = analysis.AvgCostClosedForm
+	// AvgCostExpBound is the (e + e·s/m)^m bound of equation (10).
+	AvgCostExpBound = analysis.AvgCostExpBound
+	// WorstCaseCost is the O(m·s^{m+1}) SQ worst case.
+	WorstCaseCost = analysis.WorstCaseCost
+	// PQ2DCost is the instance-optimal 2D cost of equation (11).
+	PQ2DCost = analysis.PQ2DCost
+)
+
+// Benchmark harness.
+type (
+	// BenchConfig scales the experiment harness.
+	BenchConfig = bench.Config
+	// BenchFigure is a regenerated paper figure.
+	BenchFigure = bench.Figure
+	// BenchRunner regenerates one figure.
+	BenchRunner = bench.Runner
+)
+
+var (
+	// Figures returns a runner per paper figure.
+	Figures = bench.All
+	// FigureByID looks a runner up by id ("fig13").
+	FigureByID = bench.ByID
+)

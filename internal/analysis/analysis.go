@@ -1,0 +1,184 @@
+// Package analysis provides the closed-form query-cost results of
+// "Discovering the Skyline of Web Databases": the average-case recurrence
+// and closed form for SQ-DB-SKY (equations 4 and 5), the worst-case bounds,
+// the (e + e·|S|/m)^m bound of equation 10, the instance-optimal 2D point-
+// query cost of equation 11, the PQ-DB-SKY bound of equation 14 and the
+// Theorem 1 lower bound. These regenerate the paper's Figure 4 and the
+// "Average Cost" series of Figure 15.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AvgCostRecurrence returns E(C_s) for SQ-DB-SKY under the random-ranking
+// average-case model via the paper's equation (4):
+//
+//	E(C_0) = 1,   E(C_s) = 1 + (m/s) · Σ_{i=0}^{s-1} E(C_i).
+//
+// The cost depends only on m and the skyline size s — not on the data
+// distribution — which is the paper's key average-case insight.
+func AvgCostRecurrence(m, s int) float64 {
+	if m < 1 || s < 0 {
+		return math.NaN()
+	}
+	e := make([]float64, s+1)
+	e[0] = 1
+	sum := e[0]
+	for i := 1; i <= s; i++ {
+		e[i] = 1 + float64(m)/float64(i)*sum
+		sum += e[i]
+	}
+	return e[s]
+}
+
+// AvgCostClosedForm evaluates the paper's equation (5):
+//
+//	E(C_s) = m·((m+s-1)! − (m-1)!·s!) / ((m-1)·(m-1)!·s!).
+//
+// As printed it equals AvgCostRecurrence minus the single root query (for
+// m = 2 it yields 2s where the recurrence yields 2s+1); both shapes are
+// identical. Computed with log-gamma to stay finite for large arguments.
+func AvgCostClosedForm(m, s int) float64 {
+	if m < 2 || s < 0 {
+		return math.NaN()
+	}
+	if s == 0 {
+		return 0
+	}
+	// m/(m-1) · ( (m+s-1)! / ((m-1)!·s!) − 1 )
+	lg := func(n int) float64 {
+		v, _ := math.Lgamma(float64(n + 1))
+		return v
+	}
+	ratio := math.Exp(lg(m+s-1) - lg(m-1) - lg(s))
+	return float64(m) / float64(m-1) * (ratio - 1)
+}
+
+// WorstCaseCost returns the paper's worst-case bound for SQ-DB-SKY,
+// O(m·|S|^{m+1}), evaluated without the hidden constant.
+func WorstCaseCost(m, s int) float64 {
+	if m < 1 || s < 0 {
+		return math.NaN()
+	}
+	return float64(m) * math.Pow(float64(s), float64(m+1))
+}
+
+// WorstCaseCostRQ returns the RQ-DB-SKY worst-case bound
+// O(m·min(|S|^{m+1}, n)).
+func WorstCaseCostRQ(m, s, n int) float64 {
+	w := math.Pow(float64(s), float64(m+1))
+	if fn := float64(n); fn < w {
+		w = fn
+	}
+	return float64(m) * w
+}
+
+// AvgCostBinomialBound returns the F_s bound of equation (9):
+// binomial(s+m, m), an upper bound on the average-case cost.
+func AvgCostBinomialBound(m, s int) float64 {
+	lg := func(n int) float64 {
+		v, _ := math.Lgamma(float64(n + 1))
+		return v
+	}
+	return math.Exp(lg(s+m) - lg(s) - lg(m))
+}
+
+// AvgCostExpBound returns the (e + e·s/m)^m bound of equation (10) — the
+// headline result that average-case growth in |S| is orders of magnitude
+// slower than the worst case.
+func AvgCostExpBound(m, s int) float64 {
+	return math.Pow(math.E+math.E*float64(s)/float64(m), float64(m))
+}
+
+// Theorem1LowerBound returns binomial(|S|, m): the number of fully
+// specified queries any SQ skyline-discovery algorithm must issue on the
+// Theorem 1 adversarial construction.
+func Theorem1LowerBound(m, s int) float64 {
+	if s < m {
+		return 0
+	}
+	lg := func(n int) float64 {
+		v, _ := math.Lgamma(float64(n + 1))
+		return v
+	}
+	return math.Exp(lg(s) - lg(m) - lg(s-m))
+}
+
+// PQ2DCost evaluates equation (11): the exact query cost of the
+// instance-optimal PQ-2D-SKY on a two-attribute database whose skyline is
+// sky (any order; deduplicated by value), with attribute domains
+// [0,xmax] × [0,ymax] anchored at loX/loY.
+//
+//	C = Σ_{i=0}^{|S|} min(t_{i+1}[x] − t_i[x], t_i[y] − t_{i+1}[y])
+//
+// where t_0 = (loX, ymax+1-ish sentinel) ... the paper's virtual corners
+// t_0 = (0, max Dom(y)) and t_{|S|+1} = (max Dom(x), 0).
+func PQ2DCost(sky [][]int, loX, hiX, loY, hiY int) (int, error) {
+	for _, t := range sky {
+		if len(t) != 2 {
+			return 0, fmt.Errorf("analysis: PQ2DCost needs 2-attribute tuples, got %d", len(t))
+		}
+	}
+	s := make([][]int, len(sky))
+	copy(s, sky)
+	sort.Slice(s, func(a, b int) bool { return s[a][0] < s[b][0] })
+	// Chain with virtual corners.
+	chain := make([][]int, 0, len(s)+2)
+	chain = append(chain, []int{loX, hiY})
+	chain = append(chain, s...)
+	chain = append(chain, []int{hiX, loY})
+	cost := 0
+	for i := 0; i+1 < len(chain); i++ {
+		dx := chain[i+1][0] - chain[i][0]
+		dy := chain[i][1] - chain[i+1][1]
+		if dx < 0 || dy < 0 {
+			return 0, fmt.Errorf("analysis: tuples %v, %v are not a valid 2D skyline staircase", chain[i], chain[i+1])
+		}
+		if dx < dy {
+			cost += dx
+		} else {
+			cost += dy
+		}
+	}
+	return cost, nil
+}
+
+// PQDBCostBound evaluates the order of equation (14)'s bound for
+// PQ-DB-SKY: (|Dom1| + |Dom2|) · Π |Dom_other| where Dom1 and Dom2 are the
+// two largest attribute domains.
+func PQDBCostBound(domainSizes []int) float64 {
+	if len(domainSizes) < 2 {
+		return math.NaN()
+	}
+	d := append([]int(nil), domainSizes...)
+	sort.Sort(sort.Reverse(sort.IntSlice(d)))
+	out := float64(d[0] + d[1])
+	for _, v := range d[2:] {
+		out *= float64(v)
+	}
+	return out
+}
+
+// Fig4Point is one x/y pair of the paper's Figure 4 series.
+type Fig4Point struct {
+	Skylines int
+	Average  float64
+	Worst    float64
+}
+
+// Fig4Series regenerates Figure 4 for a given m: average (recurrence) vs
+// worst-case cost for |S| = 1..maxS.
+func Fig4Series(m, maxS int) []Fig4Point {
+	out := make([]Fig4Point, 0, maxS)
+	for s := 1; s <= maxS; s++ {
+		out = append(out, Fig4Point{
+			Skylines: s,
+			Average:  AvgCostRecurrence(m, s),
+			Worst:    WorstCaseCost(m, s),
+		})
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAvgCostBaseCases(t *testing.T) {
+	// C_0 = 1 and C_1 = m + 1 for every m (§3.2).
+	for m := 1; m <= 12; m++ {
+		if got := AvgCostRecurrence(m, 0); got != 1 {
+			t.Errorf("m=%d: E(C_0)=%v, want 1", m, got)
+		}
+		if got := AvgCostRecurrence(m, 1); got != float64(m+1) {
+			t.Errorf("m=%d: E(C_1)=%v, want %d", m, got, m+1)
+		}
+	}
+}
+
+func TestAvgCostM2Is2sPlus1(t *testing.T) {
+	// The recurrence gives 2s+1 for m=2; the paper's closed form prints 2s
+	// (it drops the root query).
+	for s := 0; s <= 40; s++ {
+		if got := AvgCostRecurrence(2, s); got != float64(2*s+1) {
+			t.Errorf("s=%d: recurrence %v, want %d", s, got, 2*s+1)
+		}
+	}
+}
+
+func TestClosedFormMatchesRecurrenceMinusOne(t *testing.T) {
+	for m := 2; m <= 8; m++ {
+		for s := 1; s <= 25; s++ {
+			rec := AvgCostRecurrence(m, s)
+			cf := AvgCostClosedForm(m, s)
+			if math.Abs(rec-1-cf) > 1e-6*rec {
+				t.Errorf("m=%d s=%d: recurrence-1=%v, closed form=%v", m, s, rec-1, cf)
+			}
+		}
+	}
+}
+
+func TestBinomialBoundDominatesAverage(t *testing.T) {
+	// Equation (9): E(C_s) <= binomial(s+m, m) (after the paper's -1
+	// normalization the bound still holds for the full recurrence at s>=1).
+	for m := 2; m <= 8; m++ {
+		for s := 1; s <= 30; s++ {
+			if rec, b := AvgCostRecurrence(m, s), AvgCostBinomialBound(m, s); rec > b*(1+1e-9)+1 {
+				t.Errorf("m=%d s=%d: recurrence %v exceeds binomial bound %v", m, s, rec, b)
+			}
+		}
+	}
+}
+
+func TestExpBoundDominatesBinomialBound(t *testing.T) {
+	// Equation (10): binomial(s+m, m) <= ((s+m)e/m)^m.
+	for m := 1; m <= 10; m++ {
+		for s := 0; s <= 50; s++ {
+			if b, e := AvgCostBinomialBound(m, s), AvgCostExpBound(m, s); b > e*(1+1e-9) {
+				t.Errorf("m=%d s=%d: binomial %v exceeds exp bound %v", m, s, b, e)
+			}
+		}
+	}
+}
+
+func TestWorstDominatesAverageEventually(t *testing.T) {
+	// Figure 4's visual: worst-case explodes past the average as s grows.
+	for _, m := range []int{4, 8} {
+		pts := Fig4Series(m, 19)
+		if len(pts) != 19 {
+			t.Fatalf("m=%d: %d points", m, len(pts))
+		}
+		last := pts[len(pts)-1]
+		if last.Worst <= last.Average {
+			t.Errorf("m=%d s=19: worst %v <= average %v", m, last.Worst, last.Average)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Average < pts[i-1].Average {
+				t.Errorf("m=%d: average cost not monotone at s=%d", m, pts[i].Skylines)
+			}
+		}
+	}
+}
+
+func TestTheorem1LowerBound(t *testing.T) {
+	if got := Theorem1LowerBound(2, 4); math.Abs(got-6) > 1e-9 {
+		t.Errorf("C(4,2)=%v, want 6", got)
+	}
+	if got := Theorem1LowerBound(3, 3); math.Abs(got-1) > 1e-9 {
+		t.Errorf("C(3,3)=%v, want 1", got)
+	}
+	if got := Theorem1LowerBound(5, 3); got != 0 {
+		t.Errorf("s<m should be 0, got %v", got)
+	}
+}
+
+func TestPQ2DCostStaircase(t *testing.T) {
+	// Skyline staircase {(1,5), (3,2), (6,1)} in [0,8]x[0,8]:
+	// segments: (0,8)->(1,5): min(1,3)=1; (1,5)->(3,2): min(2,3)=2;
+	// (3,2)->(6,1): min(3,1)=1; (6,1)->(8,0): min(2,1)=1. Total 5.
+	cost, err := PQ2DCost([][]int{{3, 2}, {1, 5}, {6, 1}}, 0, 8, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 5 {
+		t.Errorf("cost %d, want 5", cost)
+	}
+}
+
+func TestPQ2DCostRejectsNonStaircase(t *testing.T) {
+	if _, err := PQ2DCost([][]int{{1, 1}, {2, 2}}, 0, 5, 0, 5); err == nil {
+		t.Error("dominated pair accepted as staircase")
+	}
+	if _, err := PQ2DCost([][]int{{1, 2, 3}}, 0, 5, 0, 5); err == nil {
+		t.Error("3-attribute tuple accepted")
+	}
+}
+
+func TestPQ2DCostBounds(t *testing.T) {
+	// The paper's immediate corollaries of eq (11): C <= t_1[A2],
+	// C <= t_|S|[A1] and C <= min_i (t_i[A1]+t_i[A2]) for 0-anchored domains.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		sky := randomStaircase(rng, 1+rng.Intn(10), 40)
+		cost, err := PQ2DCost(sky, 0, 40, 0, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minSum := math.MaxInt
+		for _, p := range sky {
+			if s := p[0] + p[1]; s < minSum {
+				minSum = s
+			}
+		}
+		if cost > minSum {
+			t.Fatalf("cost %d exceeds min(t[x]+t[y]) = %d for %v", cost, minSum, sky)
+		}
+	}
+}
+
+// randomStaircase generates a strictly decreasing 2D staircase.
+func randomStaircase(rng *rand.Rand, n, domain int) [][]int {
+	xs := rng.Perm(domain)[:n]
+	ys := rng.Perm(domain)[:n]
+	sortInts(xs)
+	sortInts(ys)
+	out := make([][]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = []int{xs[i], ys[n-1-i]}
+	}
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func TestPQDBCostBound(t *testing.T) {
+	if got := PQDBCostBound([]int{10, 20, 3, 2}); got != float64((20+10)*3*2) {
+		t.Errorf("bound %v, want %v", got, (20+10)*3*2)
+	}
+	if !math.IsNaN(PQDBCostBound([]int{5})) {
+		t.Error("single-domain bound should be NaN")
+	}
+}
+
+func TestRecurrencePropertyMonotone(t *testing.T) {
+	// Property: E(C_s) is monotone in both m and s.
+	f := func(mRaw, sRaw uint8) bool {
+		m := int(mRaw%8) + 1
+		s := int(sRaw % 30)
+		return AvgCostRecurrence(m, s+1) >= AvgCostRecurrence(m, s) &&
+			AvgCostRecurrence(m+1, s) >= AvgCostRecurrence(m, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"math/big"
+)
+
+// AvgCostExact evaluates the equation (4) recurrence in exact rational
+// arithmetic. Floating point drifts once m and s push the intermediate
+// sums past 2^53; downstream consumers that compare measured integer costs
+// against the expectation (the Monte-Carlo fidelity tests) use this form.
+//
+//	E(C_0) = 1,   E(C_s) = 1 + (m/s)·Σ_{i=0}^{s-1} E(C_i)
+func AvgCostExact(m, s int) *big.Rat {
+	if m < 1 || s < 0 {
+		return nil
+	}
+	e := make([]*big.Rat, s+1)
+	e[0] = big.NewRat(1, 1)
+	sum := new(big.Rat).Set(e[0])
+	for i := 1; i <= s; i++ {
+		term := new(big.Rat).Mul(big.NewRat(int64(m), int64(i)), sum)
+		e[i] = term.Add(term, big.NewRat(1, 1))
+		sum.Add(sum, e[i])
+	}
+	return e[s]
+}
+
+// BinomialExact returns C(n, k) exactly.
+func BinomialExact(n, k int) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// AvgCostBoundExact is the eq. (9) bound binomial(s+m, m) in exact form.
+func AvgCostBoundExact(m, s int) *big.Int {
+	return BinomialExact(s+m, m)
+}
+
+// WorstCaseExact is m·s^{m+1} in exact form — the counting bound behind
+// the O(m·|S|^{m+1}) worst case of §3.2.
+func WorstCaseExact(m, s int) *big.Int {
+	out := new(big.Int).Exp(big.NewInt(int64(s)), big.NewInt(int64(m+1)), nil)
+	return out.Mul(out, big.NewInt(int64(m)))
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestExactMatchesFloatInSafeRange(t *testing.T) {
+	for m := 1; m <= 6; m++ {
+		for s := 0; s <= 20; s++ {
+			exact, _ := AvgCostExact(m, s).Float64()
+			approx := AvgCostRecurrence(m, s)
+			if math.Abs(exact-approx) > 1e-6*math.Max(1, exact) {
+				t.Errorf("m=%d s=%d: exact %v vs float %v", m, s, exact, approx)
+			}
+		}
+	}
+}
+
+func TestExactKnownValues(t *testing.T) {
+	// m=2: E(C_s) = 2s+1 exactly.
+	for s := 0; s <= 64; s++ {
+		want := big.NewRat(int64(2*s+1), 1)
+		if got := AvgCostExact(2, s); got.Cmp(want) != 0 {
+			t.Fatalf("m=2 s=%d: %v, want %v", s, got, want)
+		}
+	}
+	// E(C_1) = m+1 for every m.
+	for m := 1; m <= 30; m++ {
+		if got := AvgCostExact(m, 1); got.Cmp(big.NewRat(int64(m+1), 1)) != 0 {
+			t.Fatalf("m=%d: E(C_1)=%v", m, got)
+		}
+	}
+	if AvgCostExact(0, 1) != nil || AvgCostExact(2, -1) != nil {
+		t.Fatal("invalid arguments accepted")
+	}
+}
+
+func TestExactBeyondFloatRange(t *testing.T) {
+	// At m=12, s=60 the float recurrence overflows toward +Inf-ish
+	// magnitudes; the rational form stays exact and finite.
+	v := AvgCostExact(12, 60)
+	if !v.IsInt() && v.Sign() <= 0 {
+		t.Fatal("exact value degenerate")
+	}
+	f, _ := v.Float64()
+	if math.IsNaN(f) || f <= 0 {
+		t.Fatalf("exact value unusable: %v", f)
+	}
+	// Bound check: E(C_s) <= binomial(s+m, m) + 1 in exact arithmetic.
+	bound := new(big.Rat).SetInt(AvgCostBoundExact(12, 60))
+	bound.Add(bound, big.NewRat(1, 1))
+	if v.Cmp(bound) > 0 {
+		t.Fatalf("recurrence %v exceeds exact eq.(9) bound %v", v, bound)
+	}
+}
+
+func TestBinomialExact(t *testing.T) {
+	if BinomialExact(5, 2).Int64() != 10 {
+		t.Fatal("C(5,2)")
+	}
+	if BinomialExact(5, 9).Sign() != 0 || BinomialExact(5, -1).Sign() != 0 {
+		t.Fatal("out-of-range binomials must be zero")
+	}
+}
+
+func TestWorstCaseExactMatchesFloat(t *testing.T) {
+	for m := 1; m <= 6; m++ {
+		for s := 1; s <= 12; s++ {
+			exact := new(big.Int).Set(WorstCaseExact(m, s))
+			f, _ := new(big.Rat).SetInt(exact).Float64()
+			if math.Abs(f-WorstCaseCost(m, s)) > 1e-6*f {
+				t.Errorf("m=%d s=%d: exact %v vs float %v", m, s, f, WorstCaseCost(m, s))
+			}
+		}
+	}
+}

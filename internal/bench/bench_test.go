@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hiddensky/internal/core"
+)
+
+func TestFigureRendering(t *testing.T) {
+	fig := Figure{
+		ID:     "figX",
+		Title:  "Test",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{1, 10}, {2, 20}}},
+			{Name: "b", Points: []Point{{2, 5.5}}},
+		},
+		Notes: []string{"hello"},
+	}
+	s := fig.String()
+	for _, want := range []string{"figX", "x", "a", "b", "10", "5.5", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered figure missing %q:\n%s", want, s)
+		}
+	}
+	// The series without a point at x=1 renders a dash.
+	if !strings.Contains(s, "-") {
+		t.Error("missing-point placeholder absent")
+	}
+
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // header + 2 x values
+		t.Fatalf("CSV has %d lines: %q", len(lines), buf.String())
+	}
+	if lines[0] != "x,a,b" {
+		t.Errorf("CSV header %q", lines[0])
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(3) != "3" || trimFloat(3.5) != "3.5" {
+		t.Error("trimFloat formatting")
+	}
+}
+
+func TestDiscoveryCurve(t *testing.T) {
+	sky := [][]int{{1, 2}, {3, 1}}
+	trace := []core.TraceEvent{
+		{Queries: 1, Tuple: []int{9, 9}}, // later displaced: not in final skyline
+		{Queries: 2, Tuple: []int{1, 2}},
+		{Queries: 5, Tuple: []int{1, 2}}, // duplicate: ignored
+		{Queries: 7, Tuple: []int{3, 1}},
+	}
+	curve := discoveryCurve(trace, sky)
+	if len(curve) != 2 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	if curve[0] != (Point{1, 2}) || curve[1] != (Point{2, 7}) {
+		t.Fatalf("curve %v", curve)
+	}
+}
+
+func TestRegistryTitlesNonEmpty(t *testing.T) {
+	for _, r := range All() {
+		if r.Title == "" || r.Run == nil {
+			t.Errorf("%s: incomplete runner", r.ID)
+		}
+	}
+}
+
+// Quick smoke runs for the fast figures; the rest are covered by the
+// root-level benchmarks.
+func TestQuickFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke tests skipped in -short mode")
+	}
+	cfg := Config{Quick: true, Seed: 1}
+	for _, id := range []string{"fig4", "fig6", "fig13", "fig23"} {
+		r, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		fig, err := r.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(fig.Series) == 0 {
+			t.Fatalf("%s: no series", id)
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) == 0 {
+				t.Fatalf("%s: series %q empty", id, s.Name)
+			}
+		}
+	}
+}
+
+// Figure 13's claim must hold at any scale: BASELINE costs more than
+// RQ-DB-SKY for every k.
+func TestFig13BaselineAlwaysWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	fig, err := Fig13(Config{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rq, base Series
+	for _, s := range fig.Series {
+		switch s.Name {
+		case "RQ-DB-SKY":
+			rq = s
+		case "BASELINE":
+			base = s
+		}
+	}
+	if len(rq.Points) == 0 || len(base.Points) != len(rq.Points) {
+		t.Fatalf("series missing: %+v", fig.Series)
+	}
+	for i := range rq.Points {
+		if base.Points[i].Y <= rq.Points[i].Y {
+			t.Errorf("k=%v: BASELINE %v <= RQ %v", rq.Points[i].X, base.Points[i].Y, rq.Points[i].Y)
+		}
+	}
+}
+
+// Figure 4's analytic series must be monotone and ordered (worst >= avg
+// for s >= 2).
+func TestFig4Shape(t *testing.T) {
+	fig, err := Fig4(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("want 4 series, got %d", len(fig.Series))
+	}
+	avg, worst := fig.Series[0], fig.Series[1]
+	for i := 1; i < len(avg.Points); i++ {
+		if avg.Points[i].Y < avg.Points[i-1].Y {
+			t.Error("average cost not monotone")
+		}
+	}
+	for i := 1; i < len(worst.Points); i++ { // s >= 2
+		if worst.Points[i].Y < avg.Points[i].Y {
+			t.Errorf("worst < average at s=%v", worst.Points[i].X)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+
+	"hiddensky/internal/core"
+	"hiddensky/internal/datagen"
+	"hiddensky/internal/hidden"
+)
+
+// fig16Attrs orders the point-predicate attributes used by the PQ and
+// mixed experiments (DOT's pre-discretized groups first, then the derived
+// groups).
+// Distance-vs-taxi and distance-vs-delay are anti-correlated (hub and
+// padding effects), so every prefix keeps a healthy Pareto frontier.
+var fig16Attrs = []int{
+	datagen.FlightDistGroup,
+	datagen.FlightTaxiOutGroup,
+	datagen.FlightArrDelayGrp,
+	datagen.FlightTaxiInGroup,
+	datagen.FlightDelayGroup,
+}
+
+// Fig16 regenerates Figure 16: PQ-DB-SKY query cost versus database size
+// for 3, 4 and 5 point attributes.
+func Fig16(cfg Config) (Figure, error) {
+	fig := Figure{
+		ID:     "fig16",
+		Title:  "Point Predicates: Impact of n",
+		XLabel: "Number of Tuples",
+		YLabel: "Query Cost",
+	}
+	ns := []int{20000, 40000, 60000, 80000, 100000}
+	if cfg.Quick {
+		ns = []int{4000, 8000, 16000}
+	}
+	full := datagen.Flights(cfg.Seed, ns[len(ns)-1])
+	for _, m := range []int{3, 4, 5} {
+		s := Series{Name: fmt.Sprintf("%dD", m)}
+		proj := full.Project(fig16Attrs[:m]...)
+		for _, n := range ns {
+			d := datagen.Dataset{Name: proj.Name, Attrs: proj.Attrs, Data: proj.Data[:n]}
+			res, err := core.PQDBSky(d.DB(1, hidden.SumRank{}), core.Options{})
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, Point{X: float64(n), Y: float64(res.Queries)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig17 regenerates Figure 17: PQ-DB-SKY query cost versus attribute
+// domain size. For each v the point attributes are truncated to their v
+// best values (tuples outside removed), then n tuples are kept.
+func Fig17(cfg Config) (Figure, error) {
+	fig := Figure{
+		ID:     "fig17",
+		Title:  "Point Predicates: Impact of Domain Size",
+		XLabel: "Attributes Domain",
+		YLabel: "Query Cost",
+	}
+	n := cfg.scale(100000, 10000)
+	vs := []int{5, 7, 9, 11, 13, 15}
+	if cfg.Quick {
+		vs = []int{5, 10, 15}
+	}
+	// Generate extra tuples so that after truncation n remain.
+	full := datagen.Flights(cfg.Seed, n*2)
+	s := Series{Name: "PQ-DB-SKY"}
+	for _, v := range vs {
+		// The paper's protocol over a fixed three-attribute testing
+		// database: every attribute whose domain exceeds v is truncated to
+		// its v best values (tuples outside removed); narrower attributes
+		// stay whole, so the dimensionality is constant across the sweep.
+		attrs := []int{datagen.FlightDistGroup, datagen.FlightTaxiOutGroup, datagen.FlightTaxiInGroup}
+		d := full.Project(attrs...)
+		for col := range attrs {
+			if flightPQDomainSize(d, col) > v {
+				d = d.TruncateDomain(col, v)
+			}
+		}
+		if len(d.Data) < 50 {
+			fig.Notes = append(fig.Notes, fmt.Sprintf("v=%d skipped: only %d tuples survive truncation", v, len(d.Data)))
+			continue
+		}
+		if len(d.Data) > n {
+			d = datagen.Dataset{Name: d.Name, Attrs: d.Attrs, Data: d.Data[:n]}
+		}
+		res, err := core.PQDBSky(d.DB(1, hidden.SumRank{}), core.Options{})
+		if err != nil {
+			return fig, err
+		}
+		s.Points = append(s.Points, Point{X: float64(v), Y: float64(res.Queries)})
+		fig.Notes = append(fig.Notes, fmt.Sprintf("v=%d: %d attributes, %d tuples after truncation",
+			v, len(attrs), len(d.Data)))
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// flightPQDomainSize returns the value count of attribute a in d.
+func flightPQDomainSize(d datagen.Dataset, a int) int {
+	lo, hi := d.Data[0][a], d.Data[0][a]
+	for _, t := range d.Data {
+		if t[a] < lo {
+			lo = t[a]
+		}
+		if t[a] > hi {
+			hi = t[a]
+		}
+	}
+	return hi - lo + 1
+}
+
+// Fig18 regenerates Figure 18: MQ-DB-SKY query cost versus database size
+// on a mixed interface with 3 two-ended range and 2 point attributes.
+func Fig18(cfg Config) (Figure, error) {
+	fig := Figure{
+		ID:     "fig18",
+		Title:  "Mixed Predicates: Impact of n",
+		XLabel: "Number of Tuples",
+		YLabel: "Query Cost",
+	}
+	ns := []int{20000, 40000, 60000, 80000, 100000}
+	if cfg.Quick {
+		ns = []int{4000, 8000, 16000}
+	}
+	cols := []int{
+		datagen.FlightDistanceRank, datagen.FlightDepDelay, datagen.FlightArrDelay,
+		datagen.FlightDistGroup, datagen.FlightTaxiOutGroup,
+	}
+	full := datagen.Flights(cfg.Seed, ns[len(ns)-1]).Project(cols...)
+	s := Series{Name: "MQ-DB-SKY"}
+	for _, n := range ns {
+		d := datagen.Dataset{Name: full.Name, Attrs: full.Attrs, Data: full.Data[:n]}
+		res, err := core.MQDBSky(d.DB(1, hidden.SumRank{}), core.Options{})
+		if err != nil {
+			return fig, err
+		}
+		s.Points = append(s.Points, Point{X: float64(n), Y: float64(res.Queries)})
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}
+
+// Fig19 regenerates Figure 19: MQ-DB-SKY query cost when growing the
+// number of range attributes (with one point attribute) versus growing the
+// number of point attributes (with one range attribute).
+func Fig19(cfg Config) (Figure, error) {
+	fig := Figure{
+		ID:     "fig19",
+		Title:  "Mixed Predicates: Varying Range and Point Predicates",
+		XLabel: "Number of Attributes",
+		YLabel: "Query Cost",
+	}
+	n := cfg.scale(50000, 8000)
+	full := datagen.Flights(cfg.Seed, n)
+	// Positively-correlated time attributes: adding one barely grows the
+	// skyline, so the range series stays flat while the point series
+	// explodes — the paper's contrast.
+	rangePool := []int{
+		datagen.FlightDepDelay, datagen.FlightArrDelay,
+		datagen.FlightTaxiOut, datagen.FlightTaxiIn, datagen.FlightElapsed,
+	}
+	pointPool := fig16Attrs
+
+	varRange := Series{Name: "Varying Range Predicates"}
+	varPoint := Series{Name: "Varying Point Predicates"}
+	maxExtra := 5
+	if cfg.Quick {
+		maxExtra = 4
+	}
+	for extra := 2; extra <= maxExtra; extra++ {
+		// (a) one point attribute, `extra` range attributes.
+		cols := append(append([]int(nil), rangePool[:extra]...), pointPool[0])
+		d := full.Project(cols...)
+		res, err := core.MQDBSky(d.DB(1, hidden.SumRank{}), core.Options{})
+		if err != nil {
+			return fig, err
+		}
+		varRange.Points = append(varRange.Points, Point{X: float64(extra + 1), Y: float64(res.Queries)})
+
+		// (b) one range attribute, `extra` point attributes.
+		cols = append([]int{rangePool[0]}, pointPool[:extra]...)
+		d = full.Project(cols...)
+		res, err = core.MQDBSky(d.DB(1, hidden.SumRank{}), core.Options{})
+		if err != nil {
+			return fig, err
+		}
+		varPoint.Points = append(varPoint.Points, Point{X: float64(extra + 1), Y: float64(res.Queries)})
+	}
+	fig.Series = append(fig.Series, varPoint, varRange)
+	return fig, nil
+}
+
+// Fig21 regenerates Figure 21: the anytime curve of PQ-DB-SKY.
+func Fig21(cfg Config) (Figure, error) {
+	fig := Figure{
+		ID:     "fig21",
+		Title:  "Anytime Property of PQ-DB-SKY",
+		XLabel: "Skyline Discovery Progress",
+		YLabel: "Query Cost",
+	}
+	n := cfg.scale(100000, 10000)
+	d := datagen.Flights(cfg.Seed, n).Project(fig16Attrs[:4]...)
+	res, err := core.PQDBSky(d.DB(1, hidden.SumRank{}), core.Options{Trace: true})
+	if err != nil {
+		return fig, err
+	}
+	fig.Series = append(fig.Series, Series{
+		Name:   "PQ-DB-SKY",
+		Points: discoveryCurve(res.Trace, res.Skyline),
+	})
+	fig.Notes = append(fig.Notes, fmt.Sprintf("n=%d, |S|=%d, total %d queries", n, len(res.Skyline), res.Queries))
+	return fig, nil
+}

@@ -1,0 +1,234 @@
+// Package core implements the skyline-discovery algorithms of "Discovering
+// the Skyline of Web Databases" (Asudeh, Thirumuruganathan, Zhang, Das,
+// 2016) over top-k hidden web interfaces:
+//
+//   - SQDBSky  — Algorithm 1, one-ended range interfaces (SQ)
+//   - RQDBSky  — Algorithm 2, two-ended range interfaces (RQ)
+//   - PQ2DSky  — Algorithm 3, point-predicate interfaces, two attributes
+//   - PQDBSky  — Algorithm 5 (with the Algorithm 4 subspace subroutine),
+//     point-predicate interfaces, any dimensionality
+//   - MQDBSky  — Algorithm 6, arbitrary mixtures of SQ, RQ and PQ
+//   - the K-skyband extensions of §7.2 (RQBandSky, PQBandSky, SQBandSky)
+//
+// All algorithms interact with the database only through the Interface
+// type, count every query they issue, and feature the paper's anytime
+// property: when the query budget runs out mid-run they return the
+// skyline tuples discovered so far together with ErrBudget.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+	"hiddensky/internal/skyline"
+)
+
+// Interface is the minimal view of a hidden web database the discovery
+// algorithms need. *hidden.DB implements it; tests wrap it to instrument
+// query streams.
+type Interface interface {
+	// Query executes a top-k conjunctive query.
+	Query(q query.Q) (hidden.Result, error)
+	// NumAttrs returns the number of ranking attributes.
+	NumAttrs() int
+	// K returns the top-k output limit.
+	K() int
+	// Cap returns the predicate capability of attribute i.
+	Cap(i int) hidden.Capability
+	// Domain returns the advertised value range of attribute i.
+	Domain(i int) query.Interval
+}
+
+// ErrBudget is wrapped into the error returned when the database's rate
+// limit interrupts discovery; the accompanying Result still carries every
+// skyline tuple found so far (the anytime property).
+var ErrBudget = errors.New("core: query budget exhausted (partial result)")
+
+// Options tunes a discovery run. The zero value reproduces the paper's
+// algorithms faithfully.
+type Options struct {
+	// Trace records a TraceEvent each time the candidate skyline set gains
+	// a tuple, enabling the paper's anytime plots (Figures 20-23).
+	Trace bool
+	// UseOverflowFlag trusts the interface's overflow indicator ("showing
+	// k of many") to decide whether a node needs expanding. The paper's
+	// model only observes the returned tuples and must treat every full
+	// answer (|T| = k) as potentially truncated, so the default is false;
+	// enabling this saves queries on interfaces that expose result counts.
+	UseOverflowFlag bool
+	// SkipProvablyEmpty suppresses issuing queries whose canonical box is
+	// empty given the advertised attribute domains (a real client can read
+	// those off the search form). The paper's cost model issues them, so
+	// the default is false.
+	SkipProvablyEmpty bool
+	// MaxQueries, when positive, stops discovery after that many queries
+	// with a partial (anytime) result and ErrBudget.
+	MaxQueries int
+}
+
+// TraceEvent records that Tuple joined the candidate skyline after Queries
+// queries had been issued.
+type TraceEvent struct {
+	Queries int
+	Tuple   []int
+}
+
+// Result is the outcome of a discovery run.
+type Result struct {
+	// Skyline holds the discovered skyline tuples (exact and complete when
+	// err == nil), in discovery order after final dominance filtering.
+	Skyline [][]int
+	// Queries is the number of queries issued to the interface.
+	Queries int
+	// Trace carries discovery events when Options.Trace was set.
+	Trace []TraceEvent
+	// Complete is false when the run ended early (budget) or the algorithm
+	// ran in an explicitly partial mode (SQ sky band).
+	Complete bool
+}
+
+// ctx carries the shared per-run state of every algorithm.
+type ctx struct {
+	db      Interface
+	opt     Options
+	m       int
+	k       int
+	domains []query.Interval
+
+	queries int
+	sky     [][]int // current candidate skyline (mutually non-dominated)
+	merged  map[string]bool
+	trace   []TraceEvent
+}
+
+func newCtx(db Interface, opt Options) *ctx {
+	c := &ctx{db: db, opt: opt, m: db.NumAttrs(), k: db.K(), merged: map[string]bool{}}
+	c.domains = make([]query.Interval, c.m)
+	for i := 0; i < c.m; i++ {
+		c.domains[i] = db.Domain(i)
+	}
+	return c
+}
+
+// issue sends q to the database, enforcing the local budget, and returns
+// the result. A budget stop or rate limit surfaces as ErrBudget.
+func (c *ctx) issue(q query.Q) (hidden.Result, error) {
+	if c.opt.MaxQueries > 0 && c.queries >= c.opt.MaxQueries {
+		return hidden.Result{}, ErrBudget
+	}
+	res, err := c.db.Query(q)
+	if err != nil {
+		if errors.Is(err, hidden.ErrRateLimited) {
+			return hidden.Result{}, fmt.Errorf("%w: %v", ErrBudget, err)
+		}
+		return hidden.Result{}, err
+	}
+	c.queries++
+	return res, nil
+}
+
+// overflowed reports whether a query answer must be treated as truncated:
+// under the paper's model any answer carrying k tuples may hide more;
+// with UseOverflowFlag the interface's own indicator decides.
+func (c *ctx) overflowed(res hidden.Result) bool {
+	if c.opt.UseOverflowFlag {
+		return res.Overflow
+	}
+	return len(res.Tuples) >= c.k
+}
+
+// provablyEmpty reports whether q cannot match any tuple given the
+// advertised domains.
+func (c *ctx) provablyEmpty(q query.Q) bool {
+	return q.Canonicalize(c.domains).Empty()
+}
+
+// merge folds tuple t into the candidate skyline, tracing additions. A
+// value combination is only processed once: re-merging an already-seen
+// tuple cannot change the candidate set (if it was kept it is present or
+// was displaced by a dominator; if rejected it stays dominated).
+func (c *ctx) merge(t []int) {
+	key := tupleKey(t)
+	if c.merged[key] {
+		return
+	}
+	c.merged[key] = true
+	var kept bool
+	c.sky, kept = skyline.Merge(c.sky, t)
+	if kept && c.opt.Trace {
+		c.trace = append(c.trace, TraceEvent{Queries: c.queries, Tuple: append([]int(nil), t...)})
+	}
+}
+
+// tupleKey renders a tuple as a compact map key.
+func tupleKey(t []int) string {
+	buf := make([]byte, 0, len(t)*4)
+	for _, v := range t {
+		buf = appendInt(buf, v)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+func appendInt(buf []byte, v int) []byte {
+	if v < 0 {
+		buf = append(buf, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(buf, tmp[i:]...)
+}
+
+// mergeAll folds every returned tuple into the candidate skyline.
+func (c *ctx) mergeAll(ts [][]int) {
+	for _, t := range ts {
+		c.merge(t)
+	}
+}
+
+// result packages the context into a Result; err distinguishes the anytime
+// partial case from hard failures.
+func (c *ctx) result(err error) (Result, error) {
+	res := Result{
+		Skyline:  append([][]int(nil), c.sky...),
+		Queries:  c.queries,
+		Trace:    c.trace,
+		Complete: err == nil,
+	}
+	if err != nil && !errors.Is(err, ErrBudget) {
+		return res, err
+	}
+	return res, err
+}
+
+// attrsByCap partitions attribute indices by their interface capability.
+func attrsByCap(db Interface) (sq, rq, pq []int) {
+	for i := 0; i < db.NumAttrs(); i++ {
+		switch db.Cap(i) {
+		case hidden.SQ:
+			sq = append(sq, i)
+		case hidden.RQ:
+			rq = append(rq, i)
+		case hidden.PQ:
+			pq = append(pq, i)
+		}
+	}
+	return sq, rq, pq
+}
+
+// Discover runs the most appropriate algorithm for the database's
+// interface mixture (MQDBSky's dispatch): SQ-, RQ-, PQ- or MQ-DB-SKY.
+func Discover(db Interface, opt Options) (Result, error) {
+	return MQDBSky(db, opt)
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+)
+
+// DiscoverWhere discovers the skyline of the subset of the database
+// matching the given conjunctive filter — §2.1's observation that
+// constrained skylines need no new machinery: "simply append the filtering
+// conditions as conjunctive predicates to all queries issued". The filter
+// must only use predicates the interface supports on the respective
+// attributes; the algorithm choice then follows the interface mixture as
+// in Discover.
+//
+// Example: the skyline of nonstop flights only —
+//
+//	DiscoverWhere(db, query.Q{{Attr: stops, Op: query.EQ, Value: 0}}, opt)
+func DiscoverWhere(db Interface, filter query.Q, opt Options) (Result, error) {
+	if len(filter) == 0 {
+		return Discover(db, opt)
+	}
+	for _, p := range filter {
+		if p.Attr < 0 || p.Attr >= db.NumAttrs() {
+			return Result{}, fmt.Errorf("core: filter attribute A%d out of range", p.Attr)
+		}
+		if !db.Cap(p.Attr).Allows(p.Op) {
+			return Result{}, fmt.Errorf("core: filter predicate %v not supported by the %s interface of A%d",
+				p, db.Cap(p.Attr), p.Attr)
+		}
+	}
+	return Discover(&filteredView{db: db, filter: filter.Clone()}, opt)
+}
+
+// filteredView presents the subset of a hidden database matching a
+// conjunctive filter as a database of its own: every query silently
+// carries the filter, and the advertised domains shrink to the filter's
+// box. All discovery algorithms work through it unchanged.
+type filteredView struct {
+	db     Interface
+	filter query.Q
+}
+
+func (f *filteredView) Query(q query.Q) (hidden.Result, error) {
+	merged := f.filter.Clone()
+	merged = append(merged, q...)
+	return f.db.Query(merged)
+}
+
+func (f *filteredView) NumAttrs() int { return f.db.NumAttrs() }
+
+func (f *filteredView) K() int { return f.db.K() }
+
+func (f *filteredView) Cap(i int) hidden.Capability { return f.db.Cap(i) }
+
+func (f *filteredView) Domain(i int) query.Interval {
+	dom := f.db.Domain(i)
+	domains := make([]query.Interval, f.db.NumAttrs())
+	for a := range domains {
+		domains[a] = f.db.Domain(a)
+	}
+	return f.filter.Canonicalize(domains).Dims[i].Intersect(dom)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sort"
+
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+)
+
+// MQDBSky discovers the complete skyline of a database whose interface
+// mixes one-ended range (SQ), two-ended range (RQ) and point (PQ)
+// attributes — the paper's Algorithm 6. Pure interfaces dispatch to the
+// specialized algorithms. For genuine mixtures it proceeds in two phases:
+//
+//  1. a range phase running the SQ/RQ query tree over the range attributes
+//     with the point attributes unconstrained (every tuple it returns is a
+//     global skyline tuple);
+//  2. a point phase that finds the tuples the range phase must miss — those
+//     range-dominated by a discovered tuple but superior on some point
+//     attribute. The search space is pruned by appending
+//     "A_j >= min_{t in S} t[A_j]" for each two-ended range attribute
+//     (eq. 17), point-value combinations are enumerated hierarchically so
+//     that one empty probe discards a whole sub-lattice (MIXED-DB-SKY's
+//     premise), combinations weakly point-dominated by every discovered
+//     tuple are skipped outright, and each surviving cell is resolved by
+//     re-running the range-phase tree inside the cell (a tuple dominated
+//     within its cell is dominated globally, so the cell skyline suffices).
+func MQDBSky(db Interface, opt Options) (Result, error) {
+	sqA, rqA, pqA := attrsByCap(db)
+	switch {
+	case len(pqA) == 0 && len(rqA) == 0:
+		return SQDBSky(db, opt)
+	case len(pqA) == 0:
+		return RQDBSky(db, opt)
+	case len(sqA) == 0 && len(rqA) == 0:
+		return PQDBSky(db, opt)
+	}
+
+	c := newCtx(db, opt)
+	rangeAttrs := append(append([]int(nil), sqA...), rqA...)
+	sort.Ints(rangeAttrs)
+	me := make([]bool, len(rangeAttrs))
+	anyRQ := false
+	for j, a := range rangeAttrs {
+		me[j] = db.Cap(a) == hidden.RQ
+		anyRQ = anyRQ || me[j]
+	}
+
+	// Phase 1: range-attribute skyline (point attributes set to "*").
+	w := newTreeWalker(c, nil, rangeAttrs, me, anyRQ)
+	if err := w.run(); err != nil {
+		return c.result(err)
+	}
+	phase1 := append([][]int(nil), c.sky...)
+	if len(phase1) == 0 {
+		return c.result(nil) // empty database
+	}
+
+	// eq. 17: prune the point phase to the region range-dominated by the
+	// union of discovered tuples, expressible only on two-ended attributes.
+	var pruneP query.Q
+	for _, a := range rqA {
+		min := phase1[0][a]
+		for _, t := range phase1[1:] {
+			if t[a] < min {
+				min = t[a]
+			}
+		}
+		if min > c.domains[a].Lo {
+			pruneP = append(pruneP, query.Predicate{Attr: a, Op: query.GE, Value: min})
+		}
+	}
+
+	err := mqPointPhase(c, pruneP, pqA, rangeAttrs, me, anyRQ, phase1)
+	return c.result(err)
+}
+
+// mqPointPhase hierarchically enumerates point-attribute value
+// combinations: a probe query pinning a prefix (deeper point attributes
+// free) that returns empty discards the entire completion sub-lattice. At
+// full depth the cell is explored with the range-phase tree walker, seeded
+// with the probe's answer to avoid re-issuing the cell's root query.
+func mqPointPhase(c *ctx, pruneP query.Q, pqA, rangeAttrs []int, me []bool, anyRQ bool, phase1 [][]int) error {
+	prefix := make(query.Q, 0, len(pqA))
+	var rec func(d int) error
+	rec = func(d int) error {
+		dom := c.domains[pqA[d]]
+		for v := dom.Lo; v <= dom.Hi; v++ {
+			pfx := append(prefix, query.Predicate{Attr: pqA[d], Op: query.EQ, Value: v})
+			if d == len(pqA)-1 && mqSkippableCombo(pfx, pqA, phase1) {
+				continue
+			}
+			probe := append(pruneP.Clone(), pfx...)
+			res, err := c.issue(probe)
+			if err != nil {
+				return err
+			}
+			if len(res.Tuples) == 0 {
+				continue // nothing in this sub-lattice
+			}
+			c.mergeAll(res.Tuples)
+			if d < len(pqA)-1 {
+				prefix = pfx
+				if err := rec(d + 1); err != nil {
+					return err
+				}
+				prefix = pfx[:len(pfx)-1]
+				continue
+			}
+			if !c.overflowed(res) {
+				continue // probe returned the whole cell
+			}
+			// Resolve the overflowing cell with the range-phase tree,
+			// reusing the probe answer as the root node's result.
+			w := newTreeWalker(c, probe, rangeAttrs, me, anyRQ)
+			if err := w.runSeeded(res); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// mqSkippableCombo reports whether the full point-value combination is
+// weakly point-dominated by every phase-1 tuple: any undiscovered tuple
+// with these point values would be range-dominated by some phase-1 tuple
+// that is also no worse on every point attribute, hence dominated globally.
+func mqSkippableCombo(combo query.Q, pqA []int, phase1 [][]int) bool {
+	for _, t := range phase1 {
+		worse := false
+		for i, a := range pqA {
+			if t[a] > combo[i].Value {
+				worse = true
+				break
+			}
+		}
+		if worse {
+			return false
+		}
+	}
+	return true
+}

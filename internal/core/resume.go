@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"hiddensky/internal/query"
+)
+
+// Session is a checkpoint of an interrupted SQ-DB-SKY run, designed for
+// the paper's operating reality: per-day query quotas (Google's QPX
+// allowed 50 free queries per day). Algorithm 1's state is just its FIFO
+// queue of pending node queries plus the tuples confirmed so far — both
+// plain data — so discovery can stop at the quota, serialize, and resume
+// tomorrow without repeating a single query.
+//
+// Sessions apply to the SQ algorithm (which also runs on RQ interfaces);
+// its queue-based traversal makes the checkpoint exact.
+type Session struct {
+	// Pending holds the exclusive per-attribute upper-bound vectors of the
+	// unexplored tree nodes, FIFO order.
+	Pending [][]int `json:"pending"`
+	// Skyline holds the candidate skyline confirmed so far.
+	Skyline [][]int `json:"skyline"`
+	// Queries accumulates the cost of all completed sessions.
+	Queries int `json:"queries"`
+	// Attrs pins the schema for sanity checks at resume time.
+	Attrs int `json:"attrs"`
+}
+
+// NewSession starts a fresh checkpointable run for db.
+func NewSession(db Interface) *Session {
+	m := db.NumAttrs()
+	root := make([]int, m)
+	for a := 0; a < m; a++ {
+		root[a] = db.Domain(a).Hi + 1
+	}
+	return &Session{Pending: [][]int{root}, Attrs: m}
+}
+
+// Done reports whether discovery has finished (nothing left to explore).
+func (s *Session) Done() bool { return len(s.Pending) == 0 }
+
+// Save serializes the checkpoint as JSON.
+func (s *Session) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// ReadSession loads a checkpoint.
+func ReadSession(r io.Reader) (*Session, error) {
+	var s Session
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decoding session: %w", err)
+	}
+	if s.Attrs < 1 {
+		return nil, fmt.Errorf("core: implausible session (attrs=%d)", s.Attrs)
+	}
+	for _, ub := range s.Pending {
+		if len(ub) != s.Attrs {
+			return nil, fmt.Errorf("core: session node has %d bounds, want %d", len(ub), s.Attrs)
+		}
+	}
+	return &s, nil
+}
+
+// Resume continues an SQ-DB-SKY run from the checkpoint, spending at most
+// opt.MaxQueries queries in this session (0 = run to completion). It
+// returns the cumulative result so far; Result.Complete (equivalently
+// s.Done()) tells whether the skyline is final. The session is updated in
+// place and stays serializable between calls.
+func (s *Session) Resume(db Interface, opt Options) (Result, error) {
+	if db.NumAttrs() != s.Attrs {
+		return Result{}, fmt.Errorf("core: session has %d attributes, database %d", s.Attrs, db.NumAttrs())
+	}
+	c := newCtx(db, opt)
+	for _, t := range s.Skyline {
+		c.merge(t)
+	}
+	c.trace = nil // seeding is not discovery
+
+	budgetErr := error(nil)
+	for len(s.Pending) > 0 {
+		ub := s.Pending[0]
+		q := sessionQuery(c, ub)
+		if opt.SkipProvablyEmpty && c.provablyEmpty(q) {
+			s.Pending = s.Pending[1:]
+			continue
+		}
+		res, err := c.issue(q)
+		if errors.Is(err, ErrBudget) {
+			budgetErr = err
+			break // the node stays pending for the next session
+		}
+		if err != nil {
+			return s.snapshot(c, err), err
+		}
+		s.Pending = s.Pending[1:]
+		c.mergeAll(res.Tuples)
+		if c.overflowed(res) {
+			top := res.Tuples[0]
+			for a := 0; a < s.Attrs; a++ {
+				kid := append([]int(nil), ub...)
+				if top[a] < kid[a] {
+					kid[a] = top[a]
+				}
+				s.Pending = append(s.Pending, kid)
+			}
+		}
+	}
+	out := s.snapshot(c, budgetErr)
+	return out, budgetErr
+}
+
+// snapshot folds the context back into the session and builds the
+// cumulative result.
+func (s *Session) snapshot(c *ctx, err error) Result {
+	s.Skyline = append([][]int(nil), c.sky...)
+	s.Queries += c.queries
+	return Result{
+		Skyline:  append([][]int(nil), s.Skyline...),
+		Queries:  s.Queries,
+		Trace:    c.trace,
+		Complete: err == nil && len(s.Pending) == 0,
+	}
+}
+
+func sessionQuery(c *ctx, ub []int) query.Q {
+	var q query.Q
+	for a, v := range ub {
+		if v <= c.domains[a].Hi {
+			q = append(q, query.Predicate{Attr: a, Op: query.LT, Value: v})
+		}
+	}
+	return q
+}

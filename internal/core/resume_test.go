@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/skyline"
+)
+
+func TestSessionResumeMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 10; trial++ {
+		data := randData(rng, 100+rng.Intn(200), 3, 10)
+		k := 1 + rng.Intn(4)
+
+		oneShot, err := SQDBSky(mkDB(t, data, capsAll(3, hidden.SQ), k, hidden.SumRank{}), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Resume in daily slices of 7 queries against a fresh interface
+		// each day (as a new API key would be).
+		s := NewSession(mkDB(t, data, capsAll(3, hidden.SQ), k, hidden.SumRank{}))
+		var last Result
+		days := 0
+		for !s.Done() {
+			db := mkDB(t, data, capsAll(3, hidden.SQ), k, hidden.SumRank{})
+			res, err := s.Resume(db, Options{MaxQueries: 7})
+			if err != nil && !errors.Is(err, ErrBudget) {
+				t.Fatal(err)
+			}
+			last = res
+			days++
+			if days > 10000 {
+				t.Fatal("resume does not converge")
+			}
+		}
+		if !last.Complete {
+			t.Fatal("finished session not complete")
+		}
+		if ok, diff := sameTupleSet(last.Skyline, oneShot.Skyline); !ok {
+			t.Fatalf("trial %d: resumed skyline differs: %s", trial, diff)
+		}
+		if last.Queries != oneShot.Queries {
+			t.Fatalf("trial %d: resumed cost %d, one-shot %d (no query may be repeated or skipped)",
+				trial, last.Queries, oneShot.Queries)
+		}
+	}
+}
+
+func TestSessionSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	data := randData(rng, 300, 3, 12)
+	mk := func() *hidden.DB { return mkDB(t, data, capsAll(3, hidden.SQ), 2, hidden.SumRank{}) }
+
+	s := NewSession(mk())
+	if _, err := s.Resume(mk(), Options{MaxQueries: 5}); !errors.Is(err, ErrBudget) {
+		t.Fatalf("expected budget stop, got %v", err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSession(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(restored.Pending) != fmt.Sprint(s.Pending) ||
+		fmt.Sprint(restored.Skyline) != fmt.Sprint(s.Skyline) ||
+		restored.Queries != s.Queries {
+		t.Fatal("round trip lost state")
+	}
+	// Drive the restored session to completion and verify.
+	var last Result
+	for !restored.Done() {
+		last, err = restored.Resume(mk(), Options{MaxQueries: 20})
+		if err != nil && !errors.Is(err, ErrBudget) {
+			t.Fatal(err)
+		}
+	}
+	want := skyline.ComputeTuples(data)
+	if ok, diff := sameTupleSet(last.Skyline, want); !ok {
+		t.Fatal(diff)
+	}
+}
+
+func TestSessionPartialResultsAreSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	data := randData(rng, 400, 3, 15)
+	truth := tupleSet(skyline.ComputeTuples(data))
+	s := NewSession(mkDB(t, data, capsAll(3, hidden.SQ), 3, hidden.SumRank{}))
+	res, err := s.Resume(mkDB(t, data, capsAll(3, hidden.SQ), 3, hidden.SumRank{}), Options{MaxQueries: 9})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	if res.Complete || s.Done() {
+		t.Fatal("budgeted session claims completion")
+	}
+	for _, tup := range res.Skyline {
+		if !truth[fmt.Sprint(tup)] {
+			t.Fatalf("non-skyline tuple %v in checkpoint", tup)
+		}
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	data := [][]int{{1, 2}, {2, 1}}
+	db2 := mkDB(t, data, capsAll(2, hidden.SQ), 1, hidden.SumRank{})
+	db3 := mkDB(t, [][]int{{1, 2, 3}}, capsAll(3, hidden.SQ), 1, hidden.SumRank{})
+	s := NewSession(db2)
+	if _, err := s.Resume(db3, Options{}); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+	for _, bad := range []string{
+		``,
+		`{"attrs":0}`,
+		`{"attrs":2,"pending":[[1,2,3]]}`,
+	} {
+		if _, err := ReadSession(bytes.NewBufferString(bad)); err == nil {
+			t.Errorf("session %q accepted", bad)
+		}
+	}
+}
+
+func TestSessionWorksOnRateLimitedInterface(t *testing.T) {
+	// The realistic loop: the site enforces the quota, not the client.
+	rng := rand.New(rand.NewSource(73))
+	data := randData(rng, 250, 2, 20)
+	s := NewSession(mkDB(t, data, capsAll(2, hidden.SQ), 2, hidden.SumRank{}))
+	days := 0
+	var last Result
+	for !s.Done() {
+		db, err := hidden.New(hidden.Config{
+			Data: data, Caps: capsAll(2, hidden.SQ), K: 2, QueryLimit: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last, err = s.Resume(db, Options{})
+		if err != nil && !errors.Is(err, ErrBudget) {
+			t.Fatal(err)
+		}
+		if days++; days > 1000 {
+			t.Fatal("no convergence under site-side rate limit")
+		}
+	}
+	want := skyline.ComputeTuples(data)
+	if ok, diff := sameTupleSet(last.Skyline, want); !ok {
+		t.Fatal(diff)
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+	"hiddensky/internal/skyline"
+)
+
+// treeWalker implements the divide-and-conquer query tree shared by
+// SQ-DB-SKY (Algorithm 1) and RQ-DB-SKY (Algorithm 2). Each node is a
+// conjunctive query; a node that overflows branches into one child per
+// branching attribute, appending "A_i < t[A_i]" for the node's branching
+// tuple t. RQ mode additionally maintains the mutually-exclusive
+// counterpart R(q) of each node (lower bounds from earlier branches) and
+// the Seen set enabling early termination.
+type treeWalker struct {
+	c     *ctx
+	base  query.Q // predicates appended to every issued query (cell phase)
+	attrs []int   // branching attribute indices, in branch order
+	me    []bool  // me[j]: attrs[j] supports ">=" and participates in R(q)
+	rq    bool    // Algorithm 2 mode (Seen check + R(q)); false = Algorithm 1
+
+	seen     [][]int // every tuple returned so far (RQ mode), oldest first
+	seenKeys map[string]bool
+}
+
+// node is one query-tree node. ub[j] is the exclusive upper bound on
+// attrs[j] accumulated from "<" predicates (domain.Hi+1 when unbounded);
+// lb[j] is the inclusive lower bound of R(q) accumulated from ">="
+// predicates (domain.Lo when unbounded).
+type node struct {
+	ub []int
+	lb []int
+}
+
+func newTreeWalker(c *ctx, base query.Q, attrs []int, me []bool, rqMode bool) *treeWalker {
+	return &treeWalker{c: c, base: base, attrs: attrs, me: me, rq: rqMode, seenKeys: map[string]bool{}}
+}
+
+func (w *treeWalker) root() node {
+	ub := make([]int, len(w.attrs))
+	lb := make([]int, len(w.attrs))
+	for j, a := range w.attrs {
+		ub[j] = w.c.domains[a].Hi + 1
+		lb[j] = w.c.domains[a].Lo
+	}
+	return node{ub: ub, lb: lb}
+}
+
+// buildQ renders the node's SQ-form query: base plus one "<" predicate per
+// bounded branching attribute.
+func (w *treeWalker) buildQ(n node) query.Q {
+	q := w.base.Clone()
+	for j, a := range w.attrs {
+		if n.ub[j] <= w.c.domains[a].Hi {
+			q = append(q, query.Predicate{Attr: a, Op: query.LT, Value: n.ub[j]})
+		}
+	}
+	return q
+}
+
+// buildR renders R(q): the SQ-form query plus the ">=" lower bounds that
+// make sibling subtrees mutually exclusive.
+func (w *treeWalker) buildR(n node) query.Q {
+	q := w.buildQ(n)
+	for j, a := range w.attrs {
+		if w.me[j] && n.lb[j] > w.c.domains[a].Lo {
+			q = append(q, query.Predicate{Attr: a, Op: query.GE, Value: n.lb[j]})
+		}
+	}
+	return q
+}
+
+// children expands a node using branching tuple b: child j appends
+// "A_j < b[A_j]" to q, and (in RQ mode) "A_i >= b[A_i]" for earlier
+// branches i < j to R(q).
+func (w *treeWalker) children(n node, b []int) []node {
+	kids := make([]node, 0, len(w.attrs))
+	for j := range w.attrs {
+		ub := append([]int(nil), n.ub...)
+		lb := append([]int(nil), n.lb...)
+		if v := b[w.attrs[j]]; v < ub[j] {
+			ub[j] = v
+		}
+		for i := 0; i < j; i++ {
+			if w.me[i] {
+				if v := b[w.attrs[i]]; v > lb[i] {
+					lb[i] = v
+				}
+			}
+		}
+		kids = append(kids, node{ub: ub, lb: lb})
+	}
+	return kids
+}
+
+// matchesQ reports whether tuple t satisfies the node's SQ-form query,
+// including the base predicates.
+func (w *treeWalker) matchesQ(n node, t []int) bool {
+	if !w.base.Matches(t) {
+		return false
+	}
+	for j, a := range w.attrs {
+		if t[a] >= n.ub[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// anySeenMatches implements Algorithm 2's early-termination test. Newest
+// tuples are checked first: a node's query space usually overlaps what its
+// recently-explored siblings returned, so the scan exits early in practice.
+func (w *treeWalker) anySeenMatches(n node) bool {
+	for i := len(w.seen) - 1; i >= 0; i-- {
+		if w.matchesQ(n, w.seen[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// run traverses the whole tree. SQ mode uses the FIFO queue of Algorithm 1;
+// RQ mode uses the depth-first preorder of Algorithm 2 (required for the
+// post-order mapping that defines R(q)).
+func (w *treeWalker) run() error {
+	if w.rq {
+		return w.walkRQ(w.root())
+	}
+	return w.runQueue([]node{w.root()})
+}
+
+// runSeeded is run with the root node's answer already in hand (the mixed
+// algorithm's cell probe doubles as the cell tree's root query).
+func (w *treeWalker) runSeeded(root hidden.Result) error {
+	n := w.root()
+	w.noteSeen(root.Tuples)
+	if !w.c.overflowed(root) {
+		return nil
+	}
+	kids := w.children(n, root.Tuples[0])
+	if w.rq {
+		for _, kid := range kids {
+			if err := w.walkRQ(kid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return w.runQueue(kids)
+}
+
+func (w *treeWalker) runQueue(queue []node) error {
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		q := w.buildQ(n)
+		if w.c.opt.SkipProvablyEmpty && w.c.provablyEmpty(q) {
+			continue
+		}
+		res, err := w.c.issue(q)
+		if err != nil {
+			return err
+		}
+		w.c.mergeAll(res.Tuples)
+		if w.c.overflowed(res) {
+			queue = append(queue, w.children(n, res.Tuples[0])...)
+		}
+	}
+	return nil
+}
+
+// walkRQ is the recursive body of Algorithm 2.
+func (w *treeWalker) walkRQ(n node) error {
+	var branch []int
+	if !w.anySeenMatches(n) {
+		q := w.buildQ(n)
+		if w.c.opt.SkipProvablyEmpty && w.c.provablyEmpty(q) {
+			return nil
+		}
+		res, err := w.c.issue(q)
+		if err != nil {
+			return err
+		}
+		w.noteSeen(res.Tuples)
+		w.c.mergeAll(res.Tuples)
+		if !w.c.overflowed(res) {
+			return nil
+		}
+		branch = res.Tuples[0]
+	} else {
+		rq := w.buildR(n)
+		if w.c.opt.SkipProvablyEmpty && w.c.provablyEmpty(rq) {
+			return nil
+		}
+		res, err := w.c.issue(rq)
+		if err != nil {
+			return err
+		}
+		if len(res.Tuples) == 0 {
+			return nil // no undiscovered tuple below this subtree: abandon
+		}
+		t0 := res.Tuples[0]
+		branch = t0
+		for _, s := range w.c.sky {
+			if skyline.Dominates(s, t0) {
+				branch = s
+				break
+			}
+		}
+		w.noteSeen(res.Tuples)
+		w.c.mergeAll(res.Tuples)
+		if !w.c.overflowed(res) {
+			return nil
+		}
+	}
+	for _, kid := range w.children(n, branch) {
+		if err := w.walkRQ(kid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *treeWalker) noteSeen(ts [][]int) {
+	if !w.rq {
+		return
+	}
+	for _, t := range ts {
+		key := tupleKey(t)
+		if !w.seenKeys[key] {
+			w.seenKeys[key] = true
+			w.seen = append(w.seen, append([]int(nil), t...))
+		}
+	}
+}
+
+// allAttrs returns [0, m).
+func allAttrs(m int) []int {
+	out := make([]int, m)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// SQDBSky discovers the complete skyline through a one-ended-range (SQ)
+// interface — the paper's Algorithm 1. It also runs unchanged on RQ
+// interfaces (a strictly stronger capability).
+func SQDBSky(db Interface, opt Options) (Result, error) {
+	c := newCtx(db, opt)
+	attrs := allAttrs(c.m)
+	w := newTreeWalker(c, nil, attrs, make([]bool, len(attrs)), false)
+	return c.result(w.run())
+}
+
+// RQDBSky discovers the complete skyline through a two-ended-range (RQ)
+// interface — the paper's Algorithm 2, which prunes subtrees whose
+// mutually-exclusive counterpart R(q) proves empty. Attributes that only
+// support one-ended ranges are handled by omitting their ">=" bounds from
+// R(q), which keeps the traversal correct (R(q) only grows, so no subtree
+// is abandoned wrongly) at some loss of pruning power.
+func RQDBSky(db Interface, opt Options) (Result, error) {
+	c := newCtx(db, opt)
+	attrs := allAttrs(c.m)
+	me := make([]bool, len(attrs))
+	for j, a := range attrs {
+		me[j] = db.Cap(a) == hidden.RQ
+	}
+	w := newTreeWalker(c, nil, attrs, me, true)
+	return c.result(w.run())
+}

@@ -1,0 +1,261 @@
+// Package datagen generates the datasets behind the paper's evaluation:
+// classic synthetic skyline workloads (independent, correlated,
+// anti-correlated, Boolean-correlation sweeps), a synthetic stand-in for
+// the US DOT flight on-time database used in the offline experiments, and
+// simulated Blue Nile, Google Flights and Yahoo! Autos databases matching
+// the published scales of the online experiments. All generators are
+// deterministic given their seed.
+//
+// Every attribute is integer-coded so that smaller values are preferred;
+// attributes whose natural order is "larger is better" (carat, model year,
+// departure time, distance) are rank-encoded by subtraction from their
+// maximum, which preserves dominance relations exactly.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hiddensky/internal/hidden"
+)
+
+// Attr describes one ranking attribute of a generated dataset.
+type Attr struct {
+	// Name identifies the attribute ("Price", "Taxi-out", ...).
+	Name string
+	// Cap is the search-interface capability the real site offers for it.
+	Cap hidden.Capability
+}
+
+// Dataset is a generated database plus its interface metadata.
+type Dataset struct {
+	// Name identifies the dataset ("dot-flights", "bluenile", ...).
+	Name string
+	// Attrs describes the ranking attributes, aligned with Data columns.
+	Attrs []Attr
+	// Data holds the integer-coded tuples (smaller preferred everywhere).
+	Data [][]int
+	// FilterNames / Filters optionally carry order-less filtering
+	// attributes (carrier, flight number...), aligned with Data rows.
+	FilterNames []string
+	Filters     [][]string
+}
+
+// Caps returns the per-attribute capabilities.
+func (d Dataset) Caps() []hidden.Capability {
+	out := make([]hidden.Capability, len(d.Attrs))
+	for i, a := range d.Attrs {
+		out[i] = a.Cap
+	}
+	return out
+}
+
+// WithCaps returns a copy of the dataset with every attribute forced to
+// capability c (experiments sweep the same data across interface types).
+func (d Dataset) WithCaps(c hidden.Capability) Dataset {
+	attrs := make([]Attr, len(d.Attrs))
+	for i, a := range d.Attrs {
+		attrs[i] = Attr{Name: a.Name, Cap: c}
+	}
+	d.Attrs = attrs
+	return d
+}
+
+// Project returns a dataset restricted to the given attribute columns.
+func (d Dataset) Project(cols ...int) Dataset {
+	attrs := make([]Attr, len(cols))
+	for i, c := range cols {
+		attrs[i] = d.Attrs[c]
+	}
+	data := make([][]int, len(d.Data))
+	for i, t := range d.Data {
+		row := make([]int, len(cols))
+		for j, c := range cols {
+			row[j] = t[c]
+		}
+		data[i] = row
+	}
+	return Dataset{
+		Name:        d.Name,
+		Attrs:       attrs,
+		Data:        data,
+		FilterNames: d.FilterNames,
+		Filters:     d.Filters,
+	}
+}
+
+// Sample returns a dataset with n tuples drawn uniformly without
+// replacement (the paper's technique for the Figure 14 size sweep).
+func (d Dataset) Sample(rng *rand.Rand, n int) Dataset {
+	if n >= len(d.Data) {
+		return d
+	}
+	perm := rng.Perm(len(d.Data))[:n]
+	data := make([][]int, n)
+	var filters [][]string
+	if d.Filters != nil {
+		filters = make([][]string, n)
+	}
+	for i, j := range perm {
+		data[i] = d.Data[j]
+		if filters != nil {
+			filters[i] = d.Filters[j]
+		}
+	}
+	out := d
+	out.Data = data
+	out.Filters = filters
+	return out
+}
+
+// Config assembles a hidden-database configuration serving this dataset.
+func (d Dataset) Config(k int, rank hidden.Ranking) hidden.Config {
+	return hidden.Config{
+		Data:    d.Data,
+		Caps:    d.Caps(),
+		K:       k,
+		Rank:    rank,
+		Filters: d.Filters,
+	}
+}
+
+// DB builds the hidden database directly, panicking on configuration
+// errors (generated datasets are well-formed by construction).
+func (d Dataset) DB(k int, rank hidden.Ranking) *hidden.DB {
+	return hidden.MustNew(d.Config(k, rank))
+}
+
+// Independent draws n tuples with m i.i.d. uniform attributes over
+// [0, domain).
+func Independent(seed int64, n, m, domain int) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]int, n)
+	for i := range data {
+		t := make([]int, m)
+		for j := range t {
+			t[j] = rng.Intn(domain)
+		}
+		data[i] = t
+	}
+	return Dataset{Name: "independent", Attrs: genericAttrs(m), Data: data}
+}
+
+// Correlated draws tuples whose attributes share a latent quality factor:
+// rho in [0,1] blends the shared factor with independent noise. High rho
+// shrinks the skyline (the paper controls |S| this way in Figure 6).
+func Correlated(seed int64, n, m, domain int, rho float64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]int, n)
+	for i := range data {
+		base := rng.Float64()
+		t := make([]int, m)
+		for j := range t {
+			v := rho*base + (1-rho)*rng.Float64()
+			t[j] = clampInt(int(v*float64(domain)), 0, domain-1)
+		}
+		data[i] = t
+	}
+	return Dataset{Name: "correlated", Attrs: genericAttrs(m), Data: data}
+}
+
+// AntiCorrelated draws tuples near the constant-sum hyperplane with
+// inverse trade-offs between attributes — the classic skyline stress
+// workload with a large skyline.
+func AntiCorrelated(seed int64, n, m, domain int) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]int, n)
+	for i := range data {
+		t := make([]int, m)
+		// Sample a random direction on the simplex and scale to a total
+		// budget concentrated near m*domain/2.
+		w := make([]float64, m)
+		sum := 0.0
+		for j := range w {
+			w[j] = -math.Log(1 - rng.Float64())
+			sum += w[j]
+		}
+		budget := float64(domain) * float64(m) / 2 * (0.85 + 0.3*rng.Float64())
+		for j := range t {
+			t[j] = clampInt(int(w[j]/sum*budget), 0, domain-1)
+		}
+		data[i] = t
+	}
+	return Dataset{Name: "anticorrelated", Attrs: genericAttrs(m), Data: data}
+}
+
+// CorrelationSweep generates the Figure 6 simulation databases: n tuples,
+// m small-domain attributes whose pairwise correlation is swept from
+// strongly positive (tiny skyline) to strongly negative (huge skyline).
+// corr in [-1, 1].
+func CorrelationSweep(seed int64, n, m, domain int, corr float64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]int, n)
+	for i := range data {
+		t := make([]int, m)
+		base := rng.Float64()
+		for j := range t {
+			var v float64
+			switch {
+			case corr >= 0:
+				v = corr*base + (1-corr)*rng.Float64()
+			default:
+				// Anti-correlation: alternate attributes pull in opposite
+				// directions around the shared factor.
+				a := -corr
+				if j%2 == 0 {
+					v = a*base + (1-a)*rng.Float64()
+				} else {
+					v = a*(1-base) + (1-a)*rng.Float64()
+				}
+			}
+			t[j] = clampInt(int(v*float64(domain)), 0, domain-1)
+		}
+		data[i] = t
+	}
+	return Dataset{Name: "corr-sweep", Attrs: genericAttrs(m), Data: data}
+}
+
+func genericAttrs(m int) []Attr {
+	out := make([]Attr, m)
+	for i := range out {
+		out[i] = Attr{Name: fmt.Sprintf("A%d", i), Cap: hidden.RQ}
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// normInt draws a clamped discretized gaussian.
+func normInt(rng *rand.Rand, mean, sd float64, lo, hi int) int {
+	return clampInt(int(rng.NormFloat64()*sd+mean), lo, hi)
+}
+
+// Zipf draws n tuples whose attribute values follow a Zipf distribution
+// (exponent skew > 1) over [0, domain): most tuples crowd the preferred
+// low values with a long tail of poor ones — the value-frequency shape of
+// real web catalogs (most listings are ordinary, a few are extreme).
+func Zipf(seed int64, n, m, domain int, skew float64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	if skew <= 1 {
+		skew = 1.07
+	}
+	z := rand.NewZipf(rng, skew, 1, uint64(domain-1))
+	data := make([][]int, n)
+	for i := range data {
+		t := make([]int, m)
+		for j := range t {
+			t[j] = int(z.Uint64())
+		}
+		data[i] = t
+	}
+	return Dataset{Name: "zipf", Attrs: genericAttrs(m), Data: data}
+}

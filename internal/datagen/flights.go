@@ -1,0 +1,204 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hiddensky/internal/hidden"
+)
+
+// Column indices of the Flights dataset, mirroring the nine ordinal
+// ranking attributes the paper selects from the US DOT on-time database
+// (plus the four derived "group" attributes used as extra PQ columns).
+const (
+	FlightDepDelay = iota
+	FlightTaxiOut
+	FlightTaxiIn
+	FlightElapsed
+	FlightAirTime
+	FlightDistanceRank // longer distance preferred, rank-encoded
+	FlightDelayGroup   // pre-discretized by DOT: PQ
+	FlightDistGroup    // pre-discretized by DOT: PQ
+	FlightArrDelay
+	FlightTaxiOutGroup // derived PQ
+	FlightTaxiInGroup  // derived PQ
+	FlightArrDelayGrp  // derived PQ
+	FlightAirTimeGroup // derived PQ
+	flightNumCols
+)
+
+// FlightRankingAttrs indexes the paper's nine primary ranking attributes.
+var FlightRankingAttrs = []int{
+	FlightDepDelay, FlightTaxiOut, FlightTaxiIn, FlightElapsed,
+	FlightAirTime, FlightDistanceRank, FlightDelayGroup, FlightDistGroup,
+	FlightArrDelay,
+}
+
+// FlightPQAttrs indexes the point-predicate candidates: the two DOT-
+// discretized groups plus the four derived groups.
+var FlightPQAttrs = []int{
+	FlightDelayGroup, FlightDistGroup, FlightTaxiOutGroup,
+	FlightTaxiInGroup, FlightArrDelayGrp, FlightAirTimeGroup,
+}
+
+// maxFlightDistance bounds the route length in miles; the paper reports
+// attribute domains up to 4,983 values, which Distance provides.
+const maxFlightDistance = 4982
+
+// Flights synthesizes a stand-in for the DOT January-2015 on-time dataset
+// (457,013 flights in the paper). The correlation structure follows the
+// real data:
+//
+//   - air time tracks distance; elapsed time is air time plus the taxi
+//     phases; arrival delay tracks departure delay minus en-route slack;
+//   - a per-flight congestion factor couples ground times and delays;
+//   - long routes fly from big hubs (longer taxi) but carry more schedule
+//     padding (earlier arrivals), so no flight is best at everything;
+//   - the "group" columns are DOT's separately-normalized coarse metrics:
+//     quantile bins of a noisy view of their base attribute, with the best
+//     bins rare — as in the real data, where the top delay group means
+//     arriving hours early. This keeps the point-predicate skyline
+//     non-degenerate at any database size.
+//
+// Filtering attributes (carrier, flight number) ride along to demonstrate
+// that they have no bearing on skyline discovery.
+func Flights(seed int64, n int) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	carriers := []string{"AA", "DL", "UA", "WN", "B6", "AS", "NK", "F9", "HA", "VX", "OO", "EV", "MQ", "US"}
+
+	type raw struct {
+		distance, airTime, taxiOut, taxiIn, elapsed, depDelay, arrDelay int
+	}
+	raws := make([]raw, n)
+	filters := make([][]string, n)
+	for i := range raws {
+		distance := 100 + int(rng.ExpFloat64()*600)
+		if distance > maxFlightDistance {
+			distance = maxFlightDistance
+		}
+		congestion := rng.NormFloat64()
+		hub := float64(distance) / 500
+		airTime := clampInt(int(float64(distance)/7.5)+normInt(rng, 10, 8, -20, 60), 15, 649)
+		taxiOut := clampInt(2*normInt(rng, 6+hub+3*congestion, 3, 0, 89)+1, 1, 179)
+		taxiIn := clampInt(2*normInt(rng, 3+hub/2+2*congestion, 2, 0, 59)+1, 1, 119)
+		elapsed := clampInt(airTime+taxiOut+taxiIn+normInt(rng, 5, 5, 0, 30), 20, 699)
+
+		// Departure delay in minutes relative to 20 minutes early (DOT
+		// records early departures as negative delays; shifting keeps the
+		// encoding non-negative while leaving the best values rare). Real
+		// DOT delays are heavily tied, so quantize to 3-minute bins; heavy
+		// right tail for the genuinely delayed flights.
+		depDelay := 3 * normInt(rng, 6+2*congestion, 2, 0, 20)
+		if rng.Float64() < 0.25 {
+			depDelay += 3 * int(rng.ExpFloat64()*12)
+			if depDelay > 1819 {
+				depDelay = 1819
+			}
+		}
+		// Arrival delay relative to 80 minutes early; long routes carry
+		// more padding and arrive earlier relative to plan.
+		padding := 19 - float64(distance)/300
+		arrDelay := clampInt(depDelay+3*normInt(rng, padding, 7, -26, 43), 0, 1979)
+
+		raws[i] = raw{distance, airTime, taxiOut, taxiIn, elapsed, depDelay, arrDelay}
+		filters[i] = []string{
+			carriers[rng.Intn(len(carriers))],
+			fmt.Sprintf("%04d", 1+rng.Intn(8999)),
+		}
+	}
+
+	// Quantile-binned group metrics: bin boundaries at p_i = (i/B)^2 of the
+	// noisy score distribution, so the best bin holds <1% of flights and
+	// bin widths grow toward the common middle — no attainable joint
+	// minimum, exactly like DOT's normalized groups.
+	bin := func(bins int, noise float64, score func(raw) float64) []int {
+		scores := make([]float64, n)
+		for i, r := range raws {
+			scores[i] = score(r) + noise*rng.NormFloat64()
+		}
+		sorted := append([]float64(nil), scores...)
+		sort.Float64s(sorted)
+		cuts := make([]float64, bins-1)
+		for b := 1; b < bins; b++ {
+			frac := float64(b) / float64(bins)
+			idx := int(frac * frac * float64(n))
+			if idx >= n {
+				idx = n - 1
+			}
+			cuts[b-1] = sorted[idx]
+		}
+		out := make([]int, n)
+		for i, s := range scores {
+			out[i] = sort.SearchFloat64s(cuts, s)
+		}
+		return out
+	}
+	delayGroup := bin(12, 9, func(r raw) float64 { return float64(r.arrDelay) })
+	distGroup := bin(11, 150, func(r raw) float64 { return float64(maxFlightDistance - r.distance) })
+	taxiOutGroup := bin(18, 4, func(r raw) float64 { return float64(r.taxiOut) })
+	taxiInGroup := bin(12, 3, func(r raw) float64 { return float64(r.taxiIn) })
+	arrDelayGrp := bin(16, 20, func(r raw) float64 { return float64(r.arrDelay) })
+	airTimeGroup := bin(11, 25, func(r raw) float64 { return float64(r.airTime) })
+
+	data := make([][]int, n)
+	for i, r := range raws {
+		t := make([]int, flightNumCols)
+		t[FlightDepDelay] = r.depDelay
+		t[FlightTaxiOut] = r.taxiOut
+		t[FlightTaxiIn] = r.taxiIn
+		t[FlightElapsed] = r.elapsed
+		t[FlightAirTime] = r.airTime
+		t[FlightDistanceRank] = maxFlightDistance - r.distance
+		t[FlightDelayGroup] = delayGroup[i]
+		t[FlightDistGroup] = distGroup[i]
+		t[FlightArrDelay] = r.arrDelay
+		t[FlightTaxiOutGroup] = taxiOutGroup[i]
+		t[FlightTaxiInGroup] = taxiInGroup[i]
+		t[FlightArrDelayGrp] = arrDelayGrp[i]
+		t[FlightAirTimeGroup] = airTimeGroup[i]
+		data[i] = t
+	}
+	attrs := []Attr{
+		{Name: "Dep-Delay", Cap: hidden.RQ},
+		{Name: "Taxi-out", Cap: hidden.RQ},
+		{Name: "Taxi-in", Cap: hidden.RQ},
+		{Name: "Actual-elapsed-time", Cap: hidden.RQ},
+		{Name: "Air-time", Cap: hidden.RQ},
+		{Name: "Distance", Cap: hidden.RQ},
+		{Name: "Delay-group-normal", Cap: hidden.PQ},
+		{Name: "Distance-group", Cap: hidden.PQ},
+		{Name: "ArrivalDelay", Cap: hidden.RQ},
+		{Name: "Taxi-out-group", Cap: hidden.PQ},
+		{Name: "Taxi-in-group", Cap: hidden.PQ},
+		{Name: "ArrivalDelay-group", Cap: hidden.PQ},
+		{Name: "Air-Time-group", Cap: hidden.PQ},
+	}
+	return Dataset{
+		Name:        "dot-flights",
+		Attrs:       attrs,
+		Data:        data,
+		FilterNames: []string{"Carrier", "FlightNumber"},
+		Filters:     filters,
+	}
+}
+
+// TruncateDomain returns a copy of the dataset where attribute col keeps
+// only its v smallest values, removing tuples outside them — the paper's
+// Figure 17 procedure for sweeping PQ domain sizes.
+func (d Dataset) TruncateDomain(col, v int) Dataset {
+	var data [][]int
+	var filters [][]string
+	for i, t := range d.Data {
+		if t[col] < v {
+			data = append(data, t)
+			if d.Filters != nil {
+				filters = append(filters, d.Filters[i])
+			}
+		}
+	}
+	out := d
+	out.Data = data
+	out.Filters = filters
+	return out
+}

@@ -1,0 +1,48 @@
+package datagen
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV hardens the dataset parser against malformed input: it must
+// return an error or a structurally consistent dataset, never panic.
+func FuzzReadCSV(f *testing.F) {
+	var seed bytes.Buffer
+	_ = GoogleFlightsRoute(1).WriteCSV(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte("A,B\nRQ,PQ\n1,2\n"))
+	f.Add([]byte("A,#F\nSQ,-\n3,x\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("A\nXX\n1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(d.Data) == 0 || len(d.Attrs) == 0 {
+			t.Fatalf("parser returned empty dataset without error")
+		}
+		m := len(d.Attrs)
+		for i, tup := range d.Data {
+			if len(tup) != m {
+				t.Fatalf("row %d has %d values, want %d", i, len(tup), m)
+			}
+		}
+		if d.Filters != nil && len(d.Filters) != len(d.Data) {
+			t.Fatalf("filters misaligned: %d vs %d", len(d.Filters), len(d.Data))
+		}
+		// Round-trip: what we parsed must serialize and re-parse equal.
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if len(back.Data) != len(d.Data) {
+			t.Fatalf("round trip changed row count")
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package datagen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hiddensky/internal/hidden"
+)
+
+// WriteCSV serializes the dataset with a two-row header: attribute names
+// (filter columns prefixed with "#") and capabilities (SQ/RQ/PQ, "-" for
+// filters), followed by one row per tuple.
+func (d Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	names := make([]string, 0, len(d.Attrs)+len(d.FilterNames))
+	caps := make([]string, 0, cap(names))
+	for _, a := range d.Attrs {
+		names = append(names, a.Name)
+		caps = append(caps, a.Cap.String())
+	}
+	for _, fn := range d.FilterNames {
+		names = append(names, "#"+fn)
+		caps = append(caps, "-")
+	}
+	if err := cw.Write(names); err != nil {
+		return err
+	}
+	if err := cw.Write(caps); err != nil {
+		return err
+	}
+	for i, t := range d.Data {
+		row := make([]string, 0, len(names))
+		for _, v := range t {
+			row = append(row, strconv.Itoa(v))
+		}
+		if d.Filters != nil {
+			row = append(row, d.Filters[i]...)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or hand-authored in the
+// same format).
+func ReadCSV(r io.Reader) (Dataset, error) {
+	cr := csv.NewReader(r)
+	names, err := cr.Read()
+	if err != nil {
+		return Dataset{}, fmt.Errorf("datagen: reading header: %w", err)
+	}
+	capsRow, err := cr.Read()
+	if err != nil {
+		return Dataset{}, fmt.Errorf("datagen: reading capability row: %w", err)
+	}
+	if len(capsRow) != len(names) {
+		return Dataset{}, fmt.Errorf("datagen: header has %d names but %d capabilities", len(names), len(capsRow))
+	}
+	var d Dataset
+	var rankCols []int
+	for i, name := range names {
+		if strings.HasPrefix(name, "#") {
+			d.FilterNames = append(d.FilterNames, strings.TrimPrefix(name, "#"))
+			continue
+		}
+		c, err := ParseCapability(capsRow[i])
+		if err != nil {
+			return Dataset{}, fmt.Errorf("datagen: column %q: %w", name, err)
+		}
+		d.Attrs = append(d.Attrs, Attr{Name: name, Cap: c})
+		rankCols = append(rankCols, i)
+	}
+	filterCols := make([]int, 0, len(d.FilterNames))
+	for i, name := range names {
+		if strings.HasPrefix(name, "#") {
+			filterCols = append(filterCols, i)
+		}
+	}
+	line := 2
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return Dataset{}, fmt.Errorf("datagen: line %d: %w", line, err)
+		}
+		if len(row) != len(names) {
+			return Dataset{}, fmt.Errorf("datagen: line %d has %d fields, want %d", line, len(row), len(names))
+		}
+		t := make([]int, len(rankCols))
+		for j, col := range rankCols {
+			v, err := strconv.Atoi(strings.TrimSpace(row[col]))
+			if err != nil {
+				return Dataset{}, fmt.Errorf("datagen: line %d, column %q: %w", line, names[col], err)
+			}
+			t[j] = v
+		}
+		d.Data = append(d.Data, t)
+		if len(filterCols) > 0 {
+			f := make([]string, len(filterCols))
+			for j, col := range filterCols {
+				f[j] = row[col]
+			}
+			d.Filters = append(d.Filters, f)
+		}
+	}
+	if len(d.Data) == 0 {
+		return Dataset{}, fmt.Errorf("datagen: CSV contains no data rows")
+	}
+	return d, nil
+}
+
+// ParseCapability parses "SQ", "RQ" or "PQ" (case-insensitive).
+func ParseCapability(s string) (hidden.Capability, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "SQ":
+		return hidden.SQ, nil
+	case "RQ":
+		return hidden.RQ, nil
+	case "PQ":
+		return hidden.PQ, nil
+	}
+	return 0, fmt.Errorf("unknown capability %q (want SQ, RQ or PQ)", s)
+}

@@ -1,0 +1,190 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hiddensky/internal/hidden"
+)
+
+// Column indices of the BlueNile dataset.
+const (
+	DiamondPrice     = iota
+	DiamondCaratRank // larger carat preferred, rank-encoded
+	DiamondCut       // 0 = Ideal ... 3 = Good
+	DiamondColor     // 0 = D ... 6 = J
+	DiamondClarity   // 0 = FL ... 7 = SI2
+	diamondNumCols
+)
+
+// bnMaxCaratPoints is the largest carat weight in hundredths (5.09 ct).
+const bnMaxCaratPoints = 509
+
+// BlueNile synthesizes the Blue Nile diamond catalog at its published
+// scale (209,666 diamonds over Price, Carat, Cut, Color, Clarity, all
+// served with two-ended ranges and ranked by price ascending). Price grows
+// super-linearly with carat and with the quality grades, so price trades
+// off against every other attribute — the structure that gives the real
+// site its ~2,000-tuple skyline. The Shape attribute of the real site is a
+// filtering attribute and rides along as such.
+func BlueNile(seed int64, n int) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	shapes := []string{"Round", "Princess", "Cushion", "Oval", "Emerald", "Pear", "Asscher", "Radiant", "Marquise", "Heart"}
+	data := make([][]int, n)
+	filters := make([][]string, n)
+	for i := range data {
+		// Carat clusters on 0.05ct steps like real inventory.
+		caratPts := clampInt(25+5*int(rng.ExpFloat64()*11), 25, bnMaxCaratPoints)
+		cut := rng.Intn(4)
+		color := rng.Intn(7)
+		clarity := rng.Intn(8)
+		// Grades nudge the price but market noise dwarfs them, so bargain
+		// high-grade stones frequently undercut low-grade ones — the
+		// cross-grade domination that keeps the real skyline ~2k.
+		quality := 1.0 +
+			0.05*float64(3-cut) +
+			0.035*float64(6-color) +
+			0.03*float64(7-clarity)
+		carat := float64(caratPts) / 100
+		base := 2400 * math.Pow(carat, 1.9) * quality
+		price := clampInt(int(base*(0.55+0.9*rng.Float64())), 320, 2500000)
+
+		t := make([]int, diamondNumCols)
+		t[DiamondPrice] = price
+		t[DiamondCaratRank] = bnMaxCaratPoints - caratPts
+		t[DiamondCut] = cut
+		t[DiamondColor] = color
+		t[DiamondClarity] = clarity
+		data[i] = t
+		filters[i] = []string{shapes[rng.Intn(len(shapes))], fmt.Sprintf("LD%08d", rng.Intn(99999999))}
+	}
+	attrs := []Attr{
+		{Name: "Price", Cap: hidden.RQ},
+		{Name: "Carat", Cap: hidden.RQ},
+		{Name: "Cut", Cap: hidden.RQ},
+		{Name: "Color", Cap: hidden.RQ},
+		{Name: "Clarity", Cap: hidden.RQ},
+	}
+	return Dataset{
+		Name:        "bluenile",
+		Attrs:       attrs,
+		Data:        data,
+		FilterNames: []string{"Shape", "StockID"},
+		Filters:     filters,
+	}
+}
+
+// Column indices of the YahooAutos dataset.
+const (
+	AutoPrice = iota
+	AutoMileage
+	AutoYearRank // newer preferred, rank-encoded (0 = current model year)
+	autoNumCols
+)
+
+// YahooAutos synthesizes the Yahoo! Autos used-car listings near New York
+// City at the published scale (125,149 cars over Price, Mileage, Year, all
+// two-ended ranges, ranked by price ascending). Older and higher-mileage
+// cars are cheaper, so all three attributes trade off pairwise, giving a
+// skyline in the low thousands like the ~1,601 the paper reports.
+func YahooAutos(seed int64, n int) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	makes := []string{"Toyota", "Honda", "Ford", "Chevrolet", "Nissan", "BMW", "Mercedes", "Hyundai", "Kia", "Subaru", "Jeep", "Audi"}
+	data := make([][]int, n)
+	filters := make([][]string, n)
+	for i := range data {
+		age := clampInt(int(rng.ExpFloat64()*6), 0, 25)
+		mileage := clampInt(int(float64(age)*11500*(0.2+1.7*rng.Float64()))+rng.Intn(3000), 0, 299999)
+		segment := 16000 + rng.Intn(80000) // new-price of the model
+		depreciation := math.Pow(0.88, float64(age)) * math.Pow(0.986, float64(mileage)/1000)
+		price := clampInt(int(float64(segment)*depreciation*(0.965+0.07*rng.Float64())), 500, 200000)
+
+		t := make([]int, autoNumCols)
+		t[AutoPrice] = price
+		t[AutoMileage] = mileage
+		t[AutoYearRank] = age
+		data[i] = t
+		filters[i] = []string{makes[rng.Intn(len(makes))], fmt.Sprintf("VIN%09d", rng.Intn(999999999))}
+	}
+	attrs := []Attr{
+		{Name: "Price", Cap: hidden.RQ},
+		{Name: "Mileage", Cap: hidden.RQ},
+		{Name: "Year", Cap: hidden.RQ},
+	}
+	return Dataset{
+		Name:        "yahoo-autos",
+		Attrs:       attrs,
+		Data:        data,
+		FilterNames: []string{"Make", "VIN"},
+		Filters:     filters,
+	}
+}
+
+// Column indices of a GoogleFlightsRoute dataset.
+const (
+	GFStops = iota
+	GFPrice
+	GFConnection
+	GFDepTimeRank // later departure preferred, rank-encoded
+	gfNumCols
+)
+
+// gfLatestDeparture is the last departure minute of the day (23:59).
+const gfLatestDeparture = 23*60 + 59
+
+// GoogleFlightsRoute synthesizes one route/date flight database as exposed
+// by the QPX API: Stops, Price and ConnectionDuration support one-ended
+// ranges, DepartureTime supports two-ended ranges, and the default ranking
+// is price ascending. Nonstop flights are pricier; connection time exists
+// only when there are stops. One route/date holds a few dozen itineraries;
+// fares come in $5 buckets and schedules in 5-minute slots, as airline
+// inventory does — the small, tied domains keep the skyline at the paper's
+// 4-11 flights and complete discovery within the free 50-query quota.
+func GoogleFlightsRoute(seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	n := 25 + rng.Intn(55)
+	airlines := []string{"AA", "DL", "UA", "B6", "AS", "WN", "NK", "F9"}
+	base := 90 + rng.Intn(220) // route fare level
+	data := make([][]int, n)
+	filters := make([][]string, n)
+	for i := range data {
+		stops := 0
+		r := rng.Float64()
+		switch {
+		case r < 0.3:
+			stops = 0
+		case r < 0.8:
+			stops = 1
+		default:
+			stops = 2
+		}
+		conn := 0
+		if stops > 0 {
+			conn = clampInt((35+int(rng.ExpFloat64()*70)*stops)/5*5, 30, 600)
+		}
+		dep := rng.Intn((gfLatestDeparture+1)/5) * 5
+		price := clampInt(int(float64(base)*(1.6-0.35*float64(stops))*(0.7+0.7*rng.Float64()))/5*5, 40, 1900)
+
+		t := make([]int, gfNumCols)
+		t[GFStops] = stops
+		t[GFPrice] = price
+		t[GFConnection] = conn
+		t[GFDepTimeRank] = gfLatestDeparture - dep
+		data[i] = t
+		filters[i] = []string{airlines[rng.Intn(len(airlines))], fmt.Sprintf("%d", 100+rng.Intn(8899))}
+	}
+	attrs := []Attr{
+		{Name: "Stops", Cap: hidden.SQ},
+		{Name: "Price", Cap: hidden.SQ},
+		{Name: "ConnectionDuration", Cap: hidden.SQ},
+		{Name: "DepartureTime", Cap: hidden.RQ},
+	}
+	return Dataset{
+		Name:        "google-flights-route",
+		Attrs:       attrs,
+		Data:        data,
+		FilterNames: []string{"Airline", "FlightNumber"},
+		Filters:     filters,
+	}
+}

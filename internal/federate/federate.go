@@ -1,0 +1,230 @@
+// Package federate implements the paper's motivating third-party
+// application (§1): a meta-search service that discovers the skyline of
+// several hidden web databases — each with its own interface capabilities
+// and proprietary ranking — merges them into one global Pareto frontier,
+// and then answers arbitrary user-defined monotonic ranking queries
+// locally, with zero further web queries.
+//
+// The correctness hinge is a classical skyline identity: the skyline of a
+// union is contained in the union of the skylines, so per-store discovery
+// followed by a local merge loses nothing. And because the top-1 tuple of
+// every monotonic scoring function is on the skyline (a dominated tuple
+// scores strictly worse than its dominator), the merged frontier answers
+// every such top-1 — and, via the K-skyband, every top-k — exactly.
+package federate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hiddensky/internal/core"
+	"hiddensky/internal/skyline"
+)
+
+// Store is one participating hidden database.
+type Store struct {
+	// Name identifies the store in results ("Blue Nile", ...).
+	Name string
+	// DB is the store's top-k search interface.
+	DB core.Interface
+}
+
+// Offer is one Pareto-optimal tuple together with its origin.
+type Offer struct {
+	// Store names the database the tuple came from.
+	Store string
+	// Tuple holds the integer-coded ranking attributes (smaller better).
+	Tuple []int
+}
+
+// Result is the outcome of a federated discovery.
+type Result struct {
+	// Frontier holds the global skyline across every store: offers not
+	// dominated by any offer of any store. Ties across stores (equal
+	// value vectors) are all kept — they are genuinely interchangeable.
+	Frontier []Offer
+	// PerStore records each store's own skyline size and query cost.
+	PerStore []StoreStats
+	// Queries is the total number of web queries across all stores.
+	Queries int
+	// Complete is false when at least one store's discovery was cut short
+	// (its partial skyline still contributes — the anytime property).
+	Complete bool
+}
+
+// StoreStats summarizes one store's discovery run.
+type StoreStats struct {
+	Store    string
+	Skyline  int
+	Queries  int
+	Complete bool
+}
+
+// Discover runs skyline discovery against every store (dispatching on each
+// store's interface mixture) and merges the results into the global
+// frontier. Stores must agree on the ranking-attribute schema: same
+// attribute order and preferential encoding. A per-store budget error is
+// tolerated and surfaced through Result.Complete.
+func Discover(stores []Store, opt core.Options) (Result, error) {
+	if len(stores) == 0 {
+		return Result{}, fmt.Errorf("federate: no stores")
+	}
+	m := stores[0].DB.NumAttrs()
+	for _, s := range stores[1:] {
+		if s.DB.NumAttrs() != m {
+			return Result{}, fmt.Errorf("federate: store %q has %d attributes, want %d (schemas must align)",
+				s.Name, s.DB.NumAttrs(), m)
+		}
+	}
+	out := Result{Complete: true}
+	var all []Offer
+	for _, s := range stores {
+		res, err := core.Discover(s.DB, opt)
+		if err != nil && !errors.Is(err, core.ErrBudget) {
+			return out, fmt.Errorf("federate: store %q: %w", s.Name, err)
+		}
+		out.Queries += res.Queries
+		out.Complete = out.Complete && res.Complete
+		out.PerStore = append(out.PerStore, StoreStats{
+			Store:    s.Name,
+			Skyline:  len(res.Skyline),
+			Queries:  res.Queries,
+			Complete: res.Complete,
+		})
+		for _, t := range res.Skyline {
+			all = append(all, Offer{Store: s.Name, Tuple: t})
+		}
+	}
+	out.Frontier = mergeOffers(all)
+	return out, nil
+}
+
+// mergeOffers keeps every offer not strictly dominated by another; equal
+// value vectors from different stores all survive.
+func mergeOffers(offers []Offer) []Offer {
+	var out []Offer
+	for i, o := range offers {
+		dominated := false
+		for j, p := range offers {
+			if i == j {
+				continue
+			}
+			if skyline.Dominates(p.Tuple, o.Tuple) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Scorer is a user-defined monotonic scoring function: lower is better,
+// and it must be non-decreasing in every attribute (the library cannot
+// verify this; Rank panics on nil).
+type Scorer func(tuple []int) float64
+
+// WeightedScorer builds the common linear scorer from positive weights.
+func WeightedScorer(weights []float64) (Scorer, error) {
+	for _, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("federate: weights must be positive for monotonicity, got %v", w)
+		}
+	}
+	ws := append([]float64(nil), weights...)
+	return func(t []int) float64 {
+		if len(t) != len(ws) {
+			return 0
+		}
+		s := 0.0
+		for i, v := range t {
+			s += ws[i] * float64(v)
+		}
+		return s
+	}, nil
+}
+
+// Rank orders the frontier under a user-defined monotonic scorer and
+// returns the best `limit` offers (all of them when limit <= 0). No web
+// queries are issued: the frontier provably contains the optimum of every
+// monotonic scoring function.
+func (r Result) Rank(score Scorer, limit int) []Offer {
+	if score == nil {
+		panic("federate: nil scorer")
+	}
+	ranked := append([]Offer(nil), r.Frontier...)
+	sort.SliceStable(ranked, func(a, b int) bool {
+		return score(ranked[a].Tuple) < score(ranked[b].Tuple)
+	})
+	if limit > 0 && limit < len(ranked) {
+		ranked = ranked[:limit]
+	}
+	return ranked
+}
+
+// Best returns the single top offer under the scorer.
+func (r Result) Best(score Scorer) (Offer, bool) {
+	top := r.Rank(score, 1)
+	if len(top) == 0 {
+		return Offer{}, false
+	}
+	return top[0], true
+}
+
+// DiscoverParallel is Discover with every store queried concurrently —
+// stores are independent services, so their rate limits and latencies
+// don't serialize. Results are merged identically to Discover; per-store
+// statistics keep the stores' input order.
+func DiscoverParallel(stores []Store, opt core.Options) (Result, error) {
+	if len(stores) == 0 {
+		return Result{}, fmt.Errorf("federate: no stores")
+	}
+	m := stores[0].DB.NumAttrs()
+	for _, s := range stores[1:] {
+		if s.DB.NumAttrs() != m {
+			return Result{}, fmt.Errorf("federate: store %q has %d attributes, want %d (schemas must align)",
+				s.Name, s.DB.NumAttrs(), m)
+		}
+	}
+	type outcome struct {
+		res core.Result
+		err error
+	}
+	outcomes := make([]outcome, len(stores))
+	var wg sync.WaitGroup
+	for i, s := range stores {
+		wg.Add(1)
+		go func(i int, s Store) {
+			defer wg.Done()
+			res, err := core.Discover(s.DB, opt)
+			outcomes[i] = outcome{res: res, err: err}
+		}(i, s)
+	}
+	wg.Wait()
+
+	out := Result{Complete: true}
+	var all []Offer
+	for i, s := range stores {
+		oc := outcomes[i]
+		if oc.err != nil && !errors.Is(oc.err, core.ErrBudget) {
+			return out, fmt.Errorf("federate: store %q: %w", s.Name, oc.err)
+		}
+		out.Queries += oc.res.Queries
+		out.Complete = out.Complete && oc.res.Complete
+		out.PerStore = append(out.PerStore, StoreStats{
+			Store:    s.Name,
+			Skyline:  len(oc.res.Skyline),
+			Queries:  oc.res.Queries,
+			Complete: oc.res.Complete,
+		})
+		for _, t := range oc.res.Skyline {
+			all = append(all, Offer{Store: s.Name, Tuple: t})
+		}
+	}
+	out.Frontier = mergeOffers(all)
+	return out, nil
+}

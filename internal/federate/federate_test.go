@@ -1,0 +1,290 @@
+package federate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hiddensky/internal/core"
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/skyline"
+)
+
+func storeOf(t *testing.T, name string, data [][]int, caps []hidden.Capability, k int) Store {
+	t.Helper()
+	db, err := hidden.New(hidden.Config{Data: data, Caps: caps, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Store{Name: name, DB: db}
+}
+
+func capsRQ(m int) []hidden.Capability {
+	out := make([]hidden.Capability, m)
+	for i := range out {
+		out[i] = hidden.RQ
+	}
+	return out
+}
+
+func randData(rng *rand.Rand, n, m, domain int) [][]int {
+	data := make([][]int, n)
+	for i := range data {
+		tup := make([]int, m)
+		for j := range tup {
+			tup[j] = rng.Intn(domain)
+		}
+		data[i] = tup
+	}
+	return data
+}
+
+func TestFederatedFrontierMatchesUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		nStores := 2 + rng.Intn(3)
+		m := 2 + rng.Intn(2)
+		var stores []Store
+		var union [][]int
+		for s := 0; s < nStores; s++ {
+			data := randData(rng, 30+rng.Intn(150), m, 20)
+			union = append(union, data...)
+			caps := capsRQ(m)
+			if s%2 == 1 {
+				for i := range caps {
+					caps[i] = hidden.SQ
+				}
+			}
+			stores = append(stores, storeOf(t, fmt.Sprintf("s%d", s), data, caps, 1+rng.Intn(5)))
+		}
+		res, err := Discover(stores, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			t.Fatal("unbudgeted discovery not complete")
+		}
+		want := map[string]bool{}
+		for _, i := range skyline.Compute(union) {
+			want[fmt.Sprint(union[i])] = true
+		}
+		got := map[string]bool{}
+		for _, o := range res.Frontier {
+			got[fmt.Sprint(o.Tuple)] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: frontier %d distinct values, union skyline %d", trial, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("trial %d: frontier misses %s", trial, k)
+			}
+		}
+		// Per-store accounting adds up.
+		total := 0
+		for _, st := range res.PerStore {
+			total += st.Queries
+		}
+		if total != res.Queries {
+			t.Fatalf("query accounting: %d vs %d", total, res.Queries)
+		}
+	}
+}
+
+func TestCrossStoreTiesAllKept(t *testing.T) {
+	a := storeOf(t, "a", [][]int{{1, 5}, {9, 9}}, capsRQ(2), 2)
+	b := storeOf(t, "b", [][]int{{1, 5}, {5, 1}}, capsRQ(2), 2)
+	res, err := Discover([]Store{a, b}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1,5) appears in both stores: both copies survive (interchangeable
+	// offers); (5,1) survives; (9,9) is dominated.
+	if len(res.Frontier) != 3 {
+		t.Fatalf("frontier %v", res.Frontier)
+	}
+	stores := map[string]int{}
+	for _, o := range res.Frontier {
+		stores[o.Store]++
+	}
+	if stores["a"] != 1 || stores["b"] != 2 {
+		t.Fatalf("per-store frontier split %v", stores)
+	}
+}
+
+func TestSchemaMismatchRejected(t *testing.T) {
+	a := storeOf(t, "a", [][]int{{1, 2}}, capsRQ(2), 1)
+	b := storeOf(t, "b", [][]int{{1, 2, 3}}, capsRQ(3), 1)
+	if _, err := Discover([]Store{a, b}, core.Options{}); err == nil {
+		t.Fatal("mismatched schemas accepted")
+	}
+	if _, err := Discover(nil, core.Options{}); err == nil {
+		t.Fatal("empty store list accepted")
+	}
+}
+
+func TestBudgetedStoreStillContributes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	big := randData(rng, 800, 3, 40)
+	small := [][]int{{0, 5, 5}, {5, 0, 5}}
+	a := Store{Name: "limited", DB: hidden.MustNew(hidden.Config{
+		Data: big, Caps: capsRQ(3), K: 1, QueryLimit: 4,
+	})}
+	b := storeOf(t, "fine", small, capsRQ(3), 5)
+	res, err := Discover([]Store{a, b}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("result should be marked incomplete")
+	}
+	for _, st := range res.PerStore {
+		if st.Store == "fine" && !st.Complete {
+			t.Fatal("unlimited store marked incomplete")
+		}
+		if st.Store == "limited" && st.Complete {
+			t.Fatal("rate-limited store marked complete")
+		}
+	}
+	// The small store's tuples must be present unless dominated.
+	found := 0
+	for _, o := range res.Frontier {
+		if o.Store == "fine" {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("anytime contribution lost")
+	}
+}
+
+// Property: the optimum of any positive-weighted scoring over the union of
+// all stores is found on the federated frontier.
+func TestMonotonicOptimumOnFrontier(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var stores []Store
+	var union [][]int
+	for s := 0; s < 3; s++ {
+		data := randData(rng, 120, 3, 25)
+		union = append(union, data...)
+		stores = append(stores, storeOf(t, fmt.Sprintf("s%d", s), data, capsRQ(3), 3))
+	}
+	res, err := Discover(stores, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(w1, w2, w3 uint8) bool {
+		weights := []float64{float64(w1%31) + 0.5, float64(w2%31) + 0.5, float64(w3%31) + 0.5}
+		score, err := WeightedScorer(weights)
+		if err != nil {
+			return false
+		}
+		best, ok := res.Best(score)
+		if !ok {
+			return false
+		}
+		for _, u := range union {
+			if score(u) < score(best.Tuple)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedScorerValidation(t *testing.T) {
+	if _, err := WeightedScorer([]float64{1, 0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := WeightedScorer([]float64{1, -2}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	s, err := WeightedScorer([]float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s([]int{1, 1}) != 5 {
+		t.Error("scoring arithmetic wrong")
+	}
+}
+
+func TestRankLimit(t *testing.T) {
+	res := Result{Frontier: []Offer{
+		{Store: "a", Tuple: []int{3, 1}},
+		{Store: "b", Tuple: []int{1, 3}},
+		{Store: "c", Tuple: []int{2, 2}},
+	}}
+	score, _ := WeightedScorer([]float64{1, 1.01})
+	top := res.Rank(score, 2)
+	if len(top) != 2 {
+		t.Fatalf("limit ignored: %v", top)
+	}
+	all := res.Rank(score, 0)
+	if len(all) != 3 {
+		t.Fatalf("limit 0 should return all: %v", all)
+	}
+	if _, ok := res.Best(score); !ok {
+		t.Fatal("Best on non-empty frontier failed")
+	}
+	empty := Result{}
+	if _, ok := empty.Best(score); ok {
+		t.Fatal("Best on empty frontier succeeded")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var stores []Store
+	for s := 0; s < 4; s++ {
+		data := randData(rng, 150, 3, 15)
+		stores = append(stores, storeOf(t, fmt.Sprintf("s%d", s), data, capsRQ(3), 3))
+	}
+	seq, err := Discover(stores, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh interfaces for the parallel pass (counters are per-DB).
+	rng = rand.New(rand.NewSource(9))
+	var stores2 []Store
+	for s := 0; s < 4; s++ {
+		data := randData(rng, 150, 3, 15)
+		stores2 = append(stores2, storeOf(t, fmt.Sprintf("s%d", s), data, capsRQ(3), 3))
+	}
+	par, err := DiscoverParallel(stores2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Queries != seq.Queries || len(par.Frontier) != len(seq.Frontier) {
+		t.Fatalf("parallel %d/%d vs sequential %d/%d",
+			par.Queries, len(par.Frontier), seq.Queries, len(seq.Frontier))
+	}
+	a := map[string]bool{}
+	for _, o := range seq.Frontier {
+		a[o.Store+fmt.Sprint(o.Tuple)] = true
+	}
+	for _, o := range par.Frontier {
+		if !a[o.Store+fmt.Sprint(o.Tuple)] {
+			t.Fatalf("parallel frontier diverges at %v", o)
+		}
+	}
+	for i := range par.PerStore {
+		if par.PerStore[i] != seq.PerStore[i] {
+			t.Fatalf("per-store stats diverge: %+v vs %+v", par.PerStore[i], seq.PerStore[i])
+		}
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	if _, err := DiscoverParallel(nil, core.Options{}); err == nil {
+		t.Fatal("empty store list accepted")
+	}
+	a := storeOf(t, "a", [][]int{{1, 2}}, capsRQ(2), 1)
+	b := storeOf(t, "b", [][]int{{1, 2, 3}}, capsRQ(3), 1)
+	if _, err := DiscoverParallel([]Store{a, b}, core.Options{}); err == nil {
+		t.Fatal("mismatched schemas accepted")
+	}
+}

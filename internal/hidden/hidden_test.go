@@ -1,0 +1,406 @@
+package hidden
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hiddensky/internal/query"
+	"hiddensky/internal/skyline"
+)
+
+func capsOf(s string) []Capability {
+	out := make([]Capability, len(s))
+	for i, c := range s {
+		switch c {
+		case 'S':
+			out[i] = SQ
+		case 'R':
+			out[i] = RQ
+		case 'P':
+			out[i] = PQ
+		}
+	}
+	return out
+}
+
+func randData(rng *rand.Rand, n, m, domain int) [][]int {
+	data := make([][]int, n)
+	for i := range data {
+		t := make([]int, m)
+		for j := range t {
+			t[j] = rng.Intn(domain)
+		}
+		data[i] = t
+	}
+	return data
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := Config{Data: [][]int{{1, 2}}, Caps: capsOf("RR"), K: 1}
+	if _, err := New(good); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	for name, cfg := range map[string]Config{
+		"empty":         {Caps: capsOf("R"), K: 1},
+		"zero-attrs":    {Data: [][]int{{}}, Caps: nil, K: 1},
+		"ragged":        {Data: [][]int{{1, 2}, {1}}, Caps: capsOf("RR"), K: 1},
+		"caps-mismatch": {Data: [][]int{{1, 2}}, Caps: capsOf("R"), K: 1},
+		"bad-k":         {Data: [][]int{{1, 2}}, Caps: capsOf("RR"), K: 0},
+		"filter-rows":   {Data: [][]int{{1, 2}}, Caps: capsOf("RR"), K: 1, Filters: [][]string{{"a"}, {"b"}}},
+		"bad-weights":   {Data: [][]int{{1, 2}}, Caps: capsOf("RR"), K: 1, Rank: WeightedRank{Weights: []float64{1, -1}}},
+		"weights-arity": {Data: [][]int{{1, 2}}, Caps: capsOf("RR"), K: 1, Rank: WeightedRank{Weights: []float64{1}}},
+		"lex-bad-attr":  {Data: [][]int{{1, 2}}, Caps: capsOf("RR"), K: 1, Rank: LexRank{Priority: []int{5}}},
+		"lex-dup-attr":  {Data: [][]int{{1, 2}}, Caps: capsOf("RR"), K: 1, Rank: LexRank{Priority: []int{0, 0}}},
+		"attr-rank-oob": {Data: [][]int{{1, 2}}, Caps: capsOf("RR"), K: 1, Rank: AttrRank{Attr: 9}},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+}
+
+func TestCapabilityEnforcement(t *testing.T) {
+	db := MustNew(Config{Data: [][]int{{1, 2, 3}}, Caps: capsOf("SRP"), K: 1})
+	ok := []query.Q{
+		{{Attr: 0, Op: query.LT, Value: 2}},
+		{{Attr: 0, Op: query.LE, Value: 2}},
+		{{Attr: 0, Op: query.EQ, Value: 1}},
+		{{Attr: 1, Op: query.GT, Value: 0}},
+		{{Attr: 1, Op: query.GE, Value: 0}},
+		{{Attr: 2, Op: query.EQ, Value: 3}},
+	}
+	for _, q := range ok {
+		if _, err := db.Query(q); err != nil {
+			t.Errorf("%v rejected: %v", q, err)
+		}
+	}
+	bad := []query.Q{
+		{{Attr: 0, Op: query.GT, Value: 0}},    // SQ: no >
+		{{Attr: 0, Op: query.GE, Value: 0}},    // SQ: no >=
+		{{Attr: 2, Op: query.LT, Value: 9}},    // PQ: no <
+		{{Attr: 2, Op: query.GE, Value: 0}},    // PQ: no >=
+		{{Attr: 7, Op: query.EQ, Value: 0}},    // unknown attribute
+		{{Attr: 0, Op: query.Op(9), Value: 0}}, // invalid op
+	}
+	for _, q := range bad {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("%v accepted", q)
+		}
+	}
+	// A rejected query must not consume budget.
+	if got := db.QueriesIssued(); got != len(ok) {
+		t.Errorf("counter %d, want %d (rejections must not count)", got, len(ok))
+	}
+}
+
+func TestTopKSemantics(t *testing.T) {
+	data := [][]int{{1, 9}, {2, 8}, {3, 7}, {4, 6}, {5, 5}}
+	db := MustNew(Config{Data: data, Caps: capsOf("RR"), K: 2, Rank: AttrRank{Attr: 0}})
+
+	res, err := db.Query(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Overflow || len(res.Tuples) != 2 {
+		t.Fatalf("top-2 of 5: overflow=%v len=%d", res.Overflow, len(res.Tuples))
+	}
+	if res.Tuples[0][0] != 1 || res.Tuples[1][0] != 2 {
+		t.Fatalf("ranking violated: %v", res.Tuples)
+	}
+	if res.Top()[0] != 1 {
+		t.Fatal("Top() mismatch")
+	}
+
+	res, err = db.Query(query.Q{{Attr: 0, Op: query.GE, Value: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overflow || len(res.Tuples) != 2 {
+		t.Fatalf("exact-2 match: overflow=%v len=%d", res.Overflow, len(res.Tuples))
+	}
+
+	res, err = db.Query(query.Q{{Attr: 0, Op: query.GT, Value: 99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 0 || res.Overflow || res.Top() != nil {
+		t.Fatal("empty answer misreported")
+	}
+}
+
+func TestReturnedTuplesAreCopies(t *testing.T) {
+	data := [][]int{{1, 2}}
+	db := MustNew(Config{Data: data, Caps: capsOf("RR"), K: 1})
+	res, _ := db.Query(nil)
+	res.Tuples[0][0] = 99
+	res2, _ := db.Query(nil)
+	if res2.Tuples[0][0] != 1 {
+		t.Fatal("caller mutation leaked into the database")
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	db := MustNew(Config{Data: [][]int{{1}}, Caps: capsOf("R"), K: 1, QueryLimit: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := db.Query(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Query(nil); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("want ErrRateLimited, got %v", err)
+	}
+	db.SetQueryLimit(0)
+	if _, err := db.Query(nil); err != nil {
+		t.Fatalf("unlimited after reset: %v", err)
+	}
+	db.ResetCounter()
+	if db.QueriesIssued() != 0 {
+		t.Fatal("counter not reset")
+	}
+}
+
+func TestDomainsObserved(t *testing.T) {
+	db := MustNew(Config{Data: [][]int{{3, 10}, {7, -2}, {5, 4}}, Caps: capsOf("RR"), K: 1})
+	if db.Domain(0) != (query.Interval{Lo: 3, Hi: 7}) || db.Domain(1) != (query.Interval{Lo: -2, Hi: 10}) {
+		t.Fatalf("domains: %v %v", db.Domain(0), db.Domain(1))
+	}
+	doms := db.Domains()
+	doms[0] = query.Interval{}
+	if db.Domain(0).Lo != 3 {
+		t.Fatal("Domains() exposed internal slice")
+	}
+	caps := db.Caps()
+	caps[0] = PQ
+	if db.Cap(0) != RQ {
+		t.Fatal("Caps() exposed internal slice")
+	}
+}
+
+func TestFiltersReturned(t *testing.T) {
+	db := MustNew(Config{
+		Data:    [][]int{{1}, {2}},
+		Caps:    capsOf("R"),
+		K:       5,
+		Filters: [][]string{{"AA", "123"}, {"DL", "456"}},
+	})
+	res, filters, err := db.QueryFull(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filters) != 2 || filters[0][0] != "AA" || filters[1][1] != "456" {
+		t.Fatalf("filters misaligned: %v (tuples %v)", filters, res.Tuples)
+	}
+}
+
+// The two evaluation plans (selective-column scan and rank-order scan)
+// must agree exactly with a naive reference evaluation.
+func TestEvaluatePlansAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := randData(rng, 2000, 3, 30)
+	db := MustNew(Config{Data: data, Caps: capsOf("RRR"), K: 4})
+	ops := []query.Op{query.LT, query.LE, query.EQ, query.GE, query.GT}
+	for trial := 0; trial < 500; trial++ {
+		var q query.Q
+		for p := 0; p < rng.Intn(4); p++ {
+			q = append(q, query.Predicate{Attr: rng.Intn(3), Op: ops[rng.Intn(5)], Value: rng.Intn(31)})
+		}
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference evaluation.
+		var match [][]int
+		for _, tup := range data {
+			if q.Matches(tup) {
+				match = append(match, tup)
+			}
+		}
+		wantOverflow := len(match) > 4
+		if res.Overflow != wantOverflow {
+			t.Fatalf("q=%v overflow=%v want %v", q, res.Overflow, wantOverflow)
+		}
+		wantLen := len(match)
+		if wantLen > 4 {
+			wantLen = 4
+		}
+		if len(res.Tuples) != wantLen {
+			t.Fatalf("q=%v returned %d tuples want %d", q, len(res.Tuples), wantLen)
+		}
+		// Domination consistency within the answer (SumRank).
+		for i := 0; i < len(res.Tuples); i++ {
+			for j := i + 1; j < len(res.Tuples); j++ {
+				if skyline.Dominates(res.Tuples[j], res.Tuples[i]) {
+					t.Fatalf("q=%v: later tuple dominates earlier: %v before %v", q, res.Tuples[i], res.Tuples[j])
+				}
+			}
+		}
+	}
+}
+
+// Every shipped ranking must be domination-consistent: a dominating tuple
+// always ranks higher.
+func TestRankingsDominationConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := randData(rng, 300, 3, 8)
+	rankings := map[string]Ranking{
+		"sum":         SumRank{},
+		"weighted":    WeightedRank{Weights: []float64{1, 2.5, 0.5}},
+		"attr":        AttrRank{Attr: 1},
+		"lex":         LexRank{Priority: []int{2, 0, 1}},
+		"randweight":  RandomWeightRank{Seed: 5},
+		"randext":     RandomExtensionRank{Seed: 5},
+		"adversarial": AdversarialRank{},
+	}
+	for name, r := range rankings {
+		order, err := r.Order(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pos := make([]int, len(data))
+		for p, i := range order {
+			pos[i] = p
+		}
+		for i := range data {
+			for j := range data {
+				if skyline.Dominates(data[i], data[j]) && pos[i] > pos[j] {
+					t.Fatalf("%s: %v dominates %v but ranks below", name, data[i], data[j])
+				}
+			}
+		}
+	}
+}
+
+// RandomExtensionRank must vary with the seed but stay deterministic.
+func TestRandomExtensionSeeding(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := randData(rng, 100, 2, 10)
+	a1, _ := RandomExtensionRank{Seed: 1}.Order(data)
+	a2, _ := RandomExtensionRank{Seed: 1}.Order(data)
+	b, _ := RandomExtensionRank{Seed: 2}.Order(data)
+	if fmt.Sprint(a1) != fmt.Sprint(a2) {
+		t.Fatal("same seed, different order")
+	}
+	if fmt.Sprint(a1) == fmt.Sprint(b) {
+		t.Fatal("different seeds produced identical orders (suspicious)")
+	}
+}
+
+func TestCapabilityStrings(t *testing.T) {
+	if SQ.String() != "SQ" || RQ.String() != "RQ" || PQ.String() != "PQ" {
+		t.Error("capability names wrong")
+	}
+	if !RQ.Allows(query.GT) || SQ.Allows(query.GT) || PQ.Allows(query.LT) {
+		t.Error("Allows matrix wrong")
+	}
+	if Capability(7).Allows(query.EQ) {
+		t.Error("unknown capability should allow nothing")
+	}
+}
+
+func TestGroundTruthIsCopy(t *testing.T) {
+	db := MustNew(Config{Data: [][]int{{1, 2}}, Caps: capsOf("RR"), K: 1})
+	g := db.GroundTruth()
+	g[0][0] = 99
+	if db.GroundTruth()[0][0] != 1 {
+		t.Fatal("GroundTruth exposed internals")
+	}
+}
+
+func TestAdvertisedDomainOverrides(t *testing.T) {
+	data := [][]int{{3, 5}, {7, 6}}
+	db, err := New(Config{
+		Data:    data,
+		Caps:    capsOf("RR"),
+		K:       1,
+		Domains: []query.Interval{{Lo: 0, Hi: 10}, {Lo: 5, Hi: 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Domain(0) != (query.Interval{Lo: 0, Hi: 10}) {
+		t.Fatalf("override not applied: %v", db.Domain(0))
+	}
+	if db.Domain(1) != (query.Interval{Lo: 5, Hi: 6}) {
+		t.Fatalf("tight override mangled: %v", db.Domain(1))
+	}
+	// Overrides must contain the observed range.
+	if _, err := New(Config{
+		Data:    data,
+		Caps:    capsOf("RR"),
+		K:       1,
+		Domains: []query.Interval{{Lo: 4, Hi: 10}, {Lo: 5, Hi: 6}},
+	}); err == nil {
+		t.Fatal("override excluding data accepted")
+	}
+	// Arity must match.
+	if _, err := New(Config{
+		Data:    data,
+		Caps:    capsOf("RR"),
+		K:       1,
+		Domains: []query.Interval{{Lo: 0, Hi: 10}},
+	}); err == nil {
+		t.Fatal("wrong-arity override accepted")
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := MustNew(Config{Data: randData(rng, 500, 2, 20), Caps: capsOf("RR"), K: 3})
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				q := query.Q{{Attr: r.Intn(2), Op: query.LE, Value: r.Intn(20)}}
+				if _, err := db.Query(q); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := db.QueriesIssued(); got != workers*perWorker {
+		t.Fatalf("counter %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestConcurrentRateLimitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const limit = 37
+	db := MustNew(Config{Data: randData(rng, 100, 2, 10), Caps: capsOf("RR"), K: 1, QueryLimit: limit})
+	var wg sync.WaitGroup
+	var served, rejected int64
+	var mu sync.Mutex
+	for w := 0; w < 10; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				_, err := db.Query(nil)
+				mu.Lock()
+				if err == nil {
+					served++
+				} else if errors.Is(err, ErrRateLimited) {
+					rejected++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if served != limit {
+		t.Fatalf("served %d queries under limit %d (rejected %d)", served, limit, rejected)
+	}
+}

@@ -1,0 +1,274 @@
+package hidden
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hiddensky/internal/skyline"
+)
+
+// Ranking is the proprietary ranking function of a hidden database. Order
+// returns a permutation of tuple indices, best-ranked first. The paper
+// requires only domination-consistency: if tuple t dominates tuple u, then
+// t must appear before u. Every Ranking shipped here satisfies it (see the
+// per-type comments for the argument) and TestRankingsDominationConsistent
+// checks it empirically.
+type Ranking interface {
+	Order(data [][]int) ([]int, error)
+}
+
+// scoreOrder sorts tuple indices by ascending score with ascending attribute
+// sum, then index, as deterministic tie-breaks.
+func scoreOrder(data [][]int, score func(t []int) float64) []int {
+	order := make([]int, len(data))
+	sums := make([]int, len(data))
+	scores := make([]float64, len(data))
+	for i, t := range data {
+		order[i] = i
+		s := 0
+		for _, v := range t {
+			s += v
+		}
+		sums[i] = s
+		scores[i] = score(t)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] < scores[ib]
+		}
+		if sums[ia] != sums[ib] {
+			return sums[ia] < sums[ib]
+		}
+		return ia < ib
+	})
+	return order
+}
+
+// SumRank ranks by ascending attribute sum — the ranking function used for
+// the paper's offline DOT experiments ("SUM of attributes for which smaller
+// values are preferred"). Domination-consistent: a dominating tuple has a
+// strictly smaller sum, and the sum tie-break leaves only mutually
+// non-dominated tuples tied.
+type SumRank struct{}
+
+// Order implements Ranking.
+func (SumRank) Order(data [][]int) ([]int, error) {
+	return scoreOrder(data, func(t []int) float64 {
+		s := 0.0
+		for _, v := range t {
+			s += float64(v)
+		}
+		return s
+	}), nil
+}
+
+// WeightedRank ranks by ascending positive-weighted sum. Domination-
+// consistent for strictly positive weights: dominating lowers every term.
+type WeightedRank struct {
+	Weights []float64
+}
+
+// Order implements Ranking.
+func (r WeightedRank) Order(data [][]int) ([]int, error) {
+	if len(data) > 0 && len(r.Weights) != len(data[0]) {
+		return nil, fmt.Errorf("hidden: %d weights for %d attributes", len(r.Weights), len(data[0]))
+	}
+	for _, w := range r.Weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("hidden: weights must be positive for domination consistency, got %v", w)
+		}
+	}
+	return scoreOrder(data, func(t []int) float64 {
+		s := 0.0
+		for i, v := range t {
+			s += r.Weights[i] * float64(v)
+		}
+		return s
+	}), nil
+}
+
+// AttrRank ranks by a single attribute ascending (e.g., "Price low to
+// high", the default order of Blue Nile, Google Flights and Yahoo! Autos),
+// with attribute sum breaking ties. Domination-consistent: a dominating
+// tuple is no worse on the primary attribute, and when equal there its sum
+// is strictly smaller.
+type AttrRank struct {
+	Attr int
+}
+
+// Order implements Ranking.
+func (r AttrRank) Order(data [][]int) ([]int, error) {
+	if len(data) > 0 && (r.Attr < 0 || r.Attr >= len(data[0])) {
+		return nil, fmt.Errorf("hidden: rank attribute A%d out of range", r.Attr)
+	}
+	return scoreOrder(data, func(t []int) float64 { return float64(t[r.Attr]) }), nil
+}
+
+// LexRank ranks lexicographically by the given attribute priority order
+// (first attribute most significant, ascending). Domination-consistent: at
+// the first differing priority attribute the dominating tuple is smaller.
+type LexRank struct {
+	Priority []int
+}
+
+// Order implements Ranking.
+func (r LexRank) Order(data [][]int) ([]int, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	m := len(data[0])
+	prio := r.Priority
+	if prio == nil {
+		prio = make([]int, m)
+		for i := range prio {
+			prio[i] = i
+		}
+	}
+	seen := make([]bool, m)
+	for _, a := range prio {
+		if a < 0 || a >= m || seen[a] {
+			return nil, fmt.Errorf("hidden: bad lexicographic priority %v", r.Priority)
+		}
+		seen[a] = true
+	}
+	full := append([]int(nil), prio...)
+	for a := 0; a < m; a++ {
+		if !seen[a] {
+			full = append(full, a)
+		}
+	}
+	order := make([]int, len(data))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		tx, ty := data[order[x]], data[order[y]]
+		for _, a := range full {
+			if tx[a] != ty[a] {
+				return tx[a] < ty[a]
+			}
+		}
+		return order[x] < order[y]
+	})
+	return order, nil
+}
+
+// RandomWeightRank draws strictly positive random weights once and ranks by
+// the weighted sum. This models an unknown proprietary weighting; it is
+// domination-consistent like WeightedRank and cheap enough for databases of
+// hundreds of thousands of tuples.
+type RandomWeightRank struct {
+	Seed int64
+}
+
+// Order implements Ranking.
+func (r RandomWeightRank) Order(data [][]int) ([]int, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	w := make([]float64, len(data[0]))
+	for i := range w {
+		w[i] = 0.05 + rng.Float64()
+	}
+	return WeightedRank{Weights: w}.Order(data)
+}
+
+// RandomExtensionRank produces a uniformly random linear extension of the
+// dominance partial order (Kahn's algorithm selecting uniformly among the
+// currently non-dominated tuples). This is exactly the paper's average-case
+// model: at every step — hence for every query — the top-ranked matching
+// tuple is a uniformly random element of the matching skyline.
+//
+// Cost is O(n^2 · m); use it for simulation-scale databases (the paper's
+// Figure 6 uses n = 2000).
+type RandomExtensionRank struct {
+	Seed int64
+}
+
+// Order implements Ranking.
+func (r RandomExtensionRank) Order(data [][]int) ([]int, error) {
+	return peelOrder(data, func(candidates []int, rng *rand.Rand) int {
+		return candidates[rng.Intn(len(candidates))]
+	}, r.Seed)
+}
+
+// AdversarialRank is an intentionally ill-behaved but still domination-
+// consistent ranking: among the currently non-dominated remaining tuples it
+// always surfaces the one with the largest attribute sum, i.e., the
+// "locally worst" skyline tuple. It exercises the worst-case branches of
+// SQ-DB-SKY. O(n^2 · m); simulation scale only.
+type AdversarialRank struct{}
+
+// Order implements Ranking.
+func (AdversarialRank) Order(data [][]int) ([]int, error) {
+	return peelOrder(data, func(candidates []int, _ *rand.Rand) int {
+		best, bestSum := candidates[0], -1
+		for _, i := range candidates {
+			s := 0
+			for _, v := range data[i] {
+				s += v
+			}
+			_ = s
+			if s > bestSum {
+				best, bestSum = i, s
+			}
+		}
+		return best
+	}, 0)
+}
+
+// peelOrder repeatedly selects one tuple from the current maxima (the
+// non-dominated set among remaining tuples) — any such sequence is a linear
+// extension of the dominance order.
+func peelOrder(data [][]int, pick func(candidates []int, rng *rand.Rand) int, seed int64) ([]int, error) {
+	n := len(data)
+	rng := rand.New(rand.NewSource(seed))
+	remaining := make([]bool, n)
+	for i := range remaining {
+		remaining[i] = true
+	}
+	// indegree[i] = number of remaining tuples dominating i.
+	indeg := make([]int, n)
+	dominatedBy := make([][]int32, n) // edges u -> v where u dominates v
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && skyline.Dominates(data[i], data[j]) {
+				dominatedBy[i] = append(dominatedBy[i], int32(j))
+				indeg[j]++
+			}
+		}
+	}
+	var frontier []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(frontier) > 0 {
+		chosen := pick(frontier, rng)
+		// Remove chosen from frontier.
+		next := frontier[:0]
+		for _, i := range frontier {
+			if i != chosen {
+				next = append(next, i)
+			}
+		}
+		frontier = next
+		remaining[chosen] = false
+		order = append(order, chosen)
+		for _, v := range dominatedBy[chosen] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				frontier = append(frontier, int(v))
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("hidden: dominance order has a cycle (data corrupted)")
+	}
+	return order, nil
+}

@@ -1,0 +1,173 @@
+package hidden
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hiddensky/internal/query"
+)
+
+// Backend is the querying surface a Transcript wraps — satisfied by *DB,
+// the web client, and any core.Interface implementation.
+type Backend interface {
+	Query(q query.Q) (Result, error)
+	NumAttrs() int
+	K() int
+	Cap(i int) Capability
+	Domain(i int) query.Interval
+}
+
+// TranscriptEntry is one recorded exchange.
+type TranscriptEntry struct {
+	Query    query.Q `json:"query"`
+	Tuples   [][]int `json:"tuples"`
+	Overflow bool    `json:"overflow"`
+}
+
+// Transcript records every query and answer flowing through it. Since the
+// paper's algorithms are deterministic given the interface's answers, a
+// transcript makes any discovery run reproducible offline: replay it with
+// Replayer, inspect it for debugging, or persist it as evidence of what a
+// live site answered (the paper's online experiments hinge on exactly such
+// logs). Transcript itself implements Backend, so it drops in anywhere.
+type Transcript struct {
+	backend Backend
+	Entries []TranscriptEntry
+}
+
+// Record wraps a backend for recording.
+func Record(b Backend) *Transcript { return &Transcript{backend: b} }
+
+// Query implements Backend, recording successful exchanges.
+func (t *Transcript) Query(q query.Q) (Result, error) {
+	res, err := t.backend.Query(q)
+	if err != nil {
+		return res, err
+	}
+	entry := TranscriptEntry{Query: q.Clone(), Overflow: res.Overflow}
+	for _, tup := range res.Tuples {
+		entry.Tuples = append(entry.Tuples, append([]int(nil), tup...))
+	}
+	t.Entries = append(t.Entries, entry)
+	return res, nil
+}
+
+// NumAttrs implements Backend.
+func (t *Transcript) NumAttrs() int { return t.backend.NumAttrs() }
+
+// K implements Backend.
+func (t *Transcript) K() int { return t.backend.K() }
+
+// Cap implements Backend.
+func (t *Transcript) Cap(i int) Capability { return t.backend.Cap(i) }
+
+// Domain implements Backend.
+func (t *Transcript) Domain(i int) query.Interval { return t.backend.Domain(i) }
+
+// transcriptFile is the serialized form: schema plus exchanges.
+type transcriptFile struct {
+	K       int               `json:"k"`
+	Caps    []string          `json:"caps"`
+	Domains []query.Interval  `json:"domains"`
+	Entries []TranscriptEntry `json:"entries"`
+}
+
+// Save persists the transcript (schema included) as JSON.
+func (t *Transcript) Save(w io.Writer) error {
+	f := transcriptFile{K: t.K(), Entries: t.Entries}
+	for i := 0; i < t.NumAttrs(); i++ {
+		f.Caps = append(f.Caps, t.Cap(i).String())
+		f.Domains = append(f.Domains, t.Domain(i))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// Replayer serves previously recorded answers: a Backend with no database
+// behind it. Queries are matched by their canonical box (predicate order
+// and redundant bounds do not matter); an unrecorded query errors.
+type Replayer struct {
+	k       int
+	caps    []Capability
+	domains []query.Interval
+	answers map[string]TranscriptEntry
+}
+
+// Replay builds a Replayer from a live transcript.
+func (t *Transcript) Replay() *Replayer {
+	r := &Replayer{k: t.K(), answers: map[string]TranscriptEntry{}}
+	for i := 0; i < t.NumAttrs(); i++ {
+		r.caps = append(r.caps, t.Cap(i))
+		r.domains = append(r.domains, t.Domain(i))
+	}
+	for _, e := range t.Entries {
+		r.answers[r.key(e.Query)] = e
+	}
+	return r
+}
+
+// ReadReplayer loads a persisted transcript into a Replayer.
+func ReadReplayer(rd io.Reader) (*Replayer, error) {
+	var f transcriptFile
+	if err := json.NewDecoder(rd).Decode(&f); err != nil {
+		return nil, fmt.Errorf("hidden: decoding transcript: %w", err)
+	}
+	if f.K < 1 || len(f.Caps) == 0 || len(f.Caps) != len(f.Domains) {
+		return nil, fmt.Errorf("hidden: implausible transcript schema")
+	}
+	r := &Replayer{k: f.K, domains: f.Domains, answers: map[string]TranscriptEntry{}}
+	for _, c := range f.Caps {
+		switch c {
+		case "SQ":
+			r.caps = append(r.caps, SQ)
+		case "RQ":
+			r.caps = append(r.caps, RQ)
+		case "PQ":
+			r.caps = append(r.caps, PQ)
+		default:
+			return nil, fmt.Errorf("hidden: unknown capability %q in transcript", c)
+		}
+	}
+	for _, e := range f.Entries {
+		r.answers[r.key(e.Query)] = e
+	}
+	return r, nil
+}
+
+// ErrNotRecorded is returned when a replayed query was never recorded.
+var ErrNotRecorded = fmt.Errorf("hidden: query not in transcript")
+
+func (r *Replayer) key(q query.Q) string {
+	box := q.Canonicalize(r.domains)
+	return fmt.Sprint(box.Dims)
+}
+
+// Query implements Backend from the recorded answers.
+func (r *Replayer) Query(q query.Q) (Result, error) {
+	e, ok := r.answers[r.key(q)]
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %s", ErrNotRecorded, q)
+	}
+	out := Result{Overflow: e.Overflow}
+	for _, tup := range e.Tuples {
+		out.Tuples = append(out.Tuples, append([]int(nil), tup...))
+	}
+	return out, nil
+}
+
+// NumAttrs implements Backend.
+func (r *Replayer) NumAttrs() int { return len(r.caps) }
+
+// K implements Backend.
+func (r *Replayer) K() int { return r.k }
+
+// Cap implements Backend.
+func (r *Replayer) Cap(i int) Capability { return r.caps[i] }
+
+// Domain implements Backend.
+func (r *Replayer) Domain(i int) query.Interval { return r.domains[i] }
+
+// Len reports how many distinct exchanges the replayer can answer.
+func (r *Replayer) Len() int { return len(r.answers) }

@@ -1,0 +1,135 @@
+package hidden
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hiddensky/internal/query"
+)
+
+func TestTranscriptRecordsExchanges(t *testing.T) {
+	db := MustNew(Config{Data: [][]int{{1, 2}, {3, 4}}, Caps: capsOf("RR"), K: 1})
+	tr := Record(db)
+	if _, err := tr.Query(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Query(query.Q{{Attr: 0, Op: query.GE, Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 2 {
+		t.Fatalf("%d entries", len(tr.Entries))
+	}
+	if tr.Entries[0].Query != nil && len(tr.Entries[0].Query) != 0 {
+		t.Fatalf("first entry query %v", tr.Entries[0].Query)
+	}
+	if !tr.Entries[0].Overflow || tr.Entries[1].Overflow {
+		t.Fatal("overflow flags misrecorded")
+	}
+	// Schema passthrough.
+	if tr.K() != 1 || tr.NumAttrs() != 2 || tr.Cap(0) != RQ {
+		t.Fatal("backend schema lost")
+	}
+	// Failed queries are not recorded.
+	if _, err := tr.Query(query.Q{{Attr: 9, Op: query.EQ, Value: 0}}); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if len(tr.Entries) != 2 {
+		t.Fatal("failed query recorded")
+	}
+}
+
+func TestReplayerAnswersEquivalentQueries(t *testing.T) {
+	db := MustNew(Config{Data: [][]int{{1, 2}, {3, 4}, {5, 0}}, Caps: capsOf("RR"), K: 2})
+	tr := Record(db)
+	orig, err := tr.Query(query.Q{{Attr: 0, Op: query.LE, Value: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := tr.Replay()
+	// Same box, different spelling: A0 <= 4 is A0 < 5 over this domain.
+	res, err := rp.Query(query.Q{{Attr: 0, Op: query.LT, Value: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res.Tuples) != fmt.Sprint(orig.Tuples) || res.Overflow != orig.Overflow {
+		t.Fatalf("replay mismatch: %v vs %v", res, orig)
+	}
+	// Unrecorded queries error.
+	if _, err := rp.Query(query.Q{{Attr: 1, Op: query.GE, Value: 3}}); !errors.Is(err, ErrNotRecorded) {
+		t.Fatalf("want ErrNotRecorded, got %v", err)
+	}
+	if rp.Len() != 1 {
+		t.Fatalf("replayer holds %d answers", rp.Len())
+	}
+}
+
+func TestTranscriptPersistRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db := MustNew(Config{Data: randData(rng, 60, 3, 8), Caps: capsOf("SRP"), K: 3})
+	tr := Record(db)
+	queries := []query.Q{
+		nil,
+		{{Attr: 0, Op: query.LT, Value: 5}},
+		{{Attr: 2, Op: query.EQ, Value: 2}},
+		{{Attr: 1, Op: query.GE, Value: 4}, {Attr: 0, Op: query.LE, Value: 6}},
+	}
+	want := make([]Result, len(queries))
+	for i, q := range queries {
+		res, err := tr.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := ReadReplayer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.K() != 3 || rp.NumAttrs() != 3 || rp.Cap(2) != PQ {
+		t.Fatal("schema lost in round trip")
+	}
+	for i, q := range queries {
+		res, err := rp.Query(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if fmt.Sprint(res.Tuples) != fmt.Sprint(want[i].Tuples) {
+			t.Fatalf("query %d: %v vs %v", i, res.Tuples, want[i].Tuples)
+		}
+	}
+}
+
+func TestReadReplayerValidation(t *testing.T) {
+	for _, bad := range []string{
+		``,
+		`{}`,
+		`{"k":1,"caps":["XX"],"domains":[{"Lo":0,"Hi":1}],"entries":[]}`,
+		`{"k":1,"caps":["RQ","RQ"],"domains":[{"Lo":0,"Hi":1}],"entries":[]}`,
+	} {
+		if _, err := ReadReplayer(bytes.NewBufferString(bad)); err == nil {
+			t.Errorf("transcript %q accepted", bad)
+		}
+	}
+}
+
+func TestReplayerAnswersAreCopies(t *testing.T) {
+	db := MustNew(Config{Data: [][]int{{1, 2}}, Caps: capsOf("RR"), K: 1})
+	tr := Record(db)
+	if _, err := tr.Query(nil); err != nil {
+		t.Fatal(err)
+	}
+	rp := tr.Replay()
+	a, _ := rp.Query(nil)
+	a.Tuples[0][0] = 99
+	b, _ := rp.Query(nil)
+	if b.Tuples[0][0] != 1 {
+		t.Fatal("replayer leaked shared storage")
+	}
+}

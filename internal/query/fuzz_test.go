@@ -1,0 +1,43 @@
+package query
+
+import (
+	"testing"
+)
+
+// FuzzCanonicalizeEquivalence drives random predicate soups through
+// Canonicalize and checks box semantics against direct matching.
+func FuzzCanonicalizeEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 3, 2, 4, 5}, []byte{1, 2, 3})
+	f.Add([]byte{}, []byte{0, 0})
+	f.Add([]byte{9, 200, 7}, []byte{255})
+	f.Fuzz(func(t *testing.T, predBytes, tupleBytes []byte) {
+		if len(tupleBytes) == 0 || len(tupleBytes) > 6 {
+			return
+		}
+		m := len(tupleBytes)
+		domains := make([]Interval, m)
+		for i := range domains {
+			domains[i] = Interval{Lo: 0, Hi: 15}
+		}
+		tuple := make([]int, m)
+		for i, b := range tupleBytes {
+			tuple[i] = int(b % 16)
+		}
+		var q Q
+		for i := 0; i+2 < len(predBytes) && len(q) < 8; i += 3 {
+			q = append(q, Predicate{
+				Attr:  int(predBytes[i]) % m,
+				Op:    Op(predBytes[i+1] % 5),
+				Value: int(predBytes[i+2] % 16),
+			})
+		}
+		box := q.Canonicalize(domains)
+		if q.Matches(tuple) != box.Contains(tuple) {
+			t.Fatalf("q=%v tuple=%v: Matches=%v box=%v", q, tuple, q.Matches(tuple), box)
+		}
+		norm := q.Normalize(domains)
+		if norm.Matches(tuple) != q.Matches(tuple) {
+			t.Fatalf("normalize changed semantics: %v vs %v on %v", q, norm, tuple)
+		}
+	})
+}

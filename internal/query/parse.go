@@ -1,0 +1,84 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse turns a compact textual filter into a conjunctive query. The
+// grammar is one comma-separated predicate list:
+//
+//	"A0<5, A2>=3, A1=7"
+//
+// Attribute references are "A<index>" (case-insensitive); operators are
+// <, <=, =, ==, >=, >; values are decimal integers. Whitespace is free.
+// The CLI tools use this for ad-hoc filtered discovery (§2.1).
+func Parse(s string) (Q, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var q Q
+	for _, part := range strings.Split(s, ",") {
+		p, err := parsePredicate(part)
+		if err != nil {
+			return nil, err
+		}
+		q = append(q, p)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on malformed input; for tests and fixed
+// literals.
+func MustParse(s string) Q {
+	q, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func parsePredicate(s string) (Predicate, error) {
+	raw := strings.TrimSpace(s)
+	if raw == "" {
+		return Predicate{}, fmt.Errorf("query: empty predicate")
+	}
+	// Longest operators first so "<=" is not read as "<".
+	ops := []struct {
+		text string
+		op   Op
+	}{
+		{"<=", LE}, {">=", GE}, {"==", EQ}, {"<", LT}, {">", GT}, {"=", EQ},
+	}
+	for _, cand := range ops {
+		idx := strings.Index(raw, cand.text)
+		if idx < 0 {
+			continue
+		}
+		attrPart := strings.TrimSpace(raw[:idx])
+		valPart := strings.TrimSpace(raw[idx+len(cand.text):])
+		attr, err := parseAttrRef(attrPart)
+		if err != nil {
+			return Predicate{}, fmt.Errorf("query: predicate %q: %w", raw, err)
+		}
+		val, err := strconv.Atoi(valPart)
+		if err != nil {
+			return Predicate{}, fmt.Errorf("query: predicate %q: bad value %q", raw, valPart)
+		}
+		return Predicate{Attr: attr, Op: cand.op, Value: val}, nil
+	}
+	return Predicate{}, fmt.Errorf("query: predicate %q has no operator", raw)
+}
+
+func parseAttrRef(s string) (int, error) {
+	if len(s) < 2 || (s[0] != 'A' && s[0] != 'a') {
+		return 0, fmt.Errorf("bad attribute reference %q (want A<index>)", s)
+	}
+	idx, err := strconv.Atoi(s[1:])
+	if err != nil || idx < 0 {
+		return 0, fmt.Errorf("bad attribute index %q", s[1:])
+	}
+	return idx, nil
+}

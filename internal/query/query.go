@@ -1,0 +1,289 @@
+// Package query defines the conjunctive-predicate query model used by both
+// the hidden-database simulator and the skyline-discovery algorithms.
+//
+// A query is a conjunction of per-attribute predicates over integer-coded
+// ordinal attributes. Throughout the module, smaller values rank higher
+// (are preferred), matching the paper's convention that vi ranks higher
+// than vj if vi < vj.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op is a comparison operator usable in a predicate.
+type Op uint8
+
+// Supported comparison operators.
+const (
+	LT Op = iota // attribute <  value
+	LE           // attribute <= value
+	EQ           // attribute =  value
+	GE           // attribute >= value
+	GT           // attribute >  value
+)
+
+// String returns the SQL-ish spelling of the operator.
+func (op Op) String() string {
+	switch op {
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case EQ:
+		return "="
+	case GE:
+		return ">="
+	case GT:
+		return ">"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// Valid reports whether op is one of the defined operators.
+func (op Op) Valid() bool { return op <= GT }
+
+// Predicate is a single comparison on one ranking attribute.
+type Predicate struct {
+	Attr  int // attribute index in [0, m)
+	Op    Op
+	Value int
+}
+
+// String renders the predicate as "A3 <= 42".
+func (p Predicate) String() string {
+	return fmt.Sprintf("A%d %s %d", p.Attr, p.Op, p.Value)
+}
+
+// Matches reports whether attribute value v satisfies the predicate.
+func (p Predicate) Matches(v int) bool {
+	switch p.Op {
+	case LT:
+		return v < p.Value
+	case LE:
+		return v <= p.Value
+	case EQ:
+		return v == p.Value
+	case GE:
+		return v >= p.Value
+	case GT:
+		return v > p.Value
+	}
+	return false
+}
+
+// Q is a conjunctive query: all predicates must hold. The zero value (nil)
+// is the unrestricted SELECT * query.
+type Q []Predicate
+
+// Matches reports whether the tuple (a slice of attribute values indexed by
+// attribute) satisfies every predicate in the query.
+func (q Q) Matches(tuple []int) bool {
+	for _, p := range q {
+		if p.Attr < 0 || p.Attr >= len(tuple) {
+			return false
+		}
+		if !p.Matches(tuple[p.Attr]) {
+			return false
+		}
+	}
+	return true
+}
+
+// With returns a new query that appends predicate p to q, leaving q intact.
+func (q Q) With(p Predicate) Q {
+	out := make(Q, len(q), len(q)+1)
+	copy(out, q)
+	return append(out, p)
+}
+
+// WithAll returns a new query appending every predicate in ps.
+func (q Q) WithAll(ps ...Predicate) Q {
+	out := make(Q, len(q), len(q)+len(ps))
+	copy(out, q)
+	return append(out, ps...)
+}
+
+// Clone returns a deep copy of the query.
+func (q Q) Clone() Q {
+	if q == nil {
+		return nil
+	}
+	out := make(Q, len(q))
+	copy(out, q)
+	return out
+}
+
+// String renders the query as a WHERE clause, or "SELECT *" when empty.
+func (q Q) String() string {
+	if len(q) == 0 {
+		return "SELECT *"
+	}
+	parts := make([]string, len(q))
+	for i, p := range q {
+		parts[i] = p.String()
+	}
+	return "WHERE " + strings.Join(parts, " AND ")
+}
+
+// Interval is a closed integer interval [Lo, Hi]. An empty interval has
+// Lo > Hi.
+type Interval struct {
+	Lo, Hi int
+}
+
+// Empty reports whether the interval contains no integers.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Len returns the number of integers in the interval (0 when empty).
+func (iv Interval) Len() int {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo + 1
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v int) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Intersect returns the intersection of two intervals.
+func (iv Interval) Intersect(o Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	return Interval{lo, hi}
+}
+
+// Box is the per-attribute interval representation of a canonical
+// conjunctive query: attribute i must fall in Dims[i].
+type Box struct {
+	Dims []Interval
+}
+
+// NewBox returns the unrestricted box over m attributes with the given
+// per-attribute domains.
+func NewBox(domains []Interval) Box {
+	dims := make([]Interval, len(domains))
+	copy(dims, domains)
+	return Box{Dims: dims}
+}
+
+// Empty reports whether any dimension of the box is empty.
+func (b Box) Empty() bool {
+	for _, iv := range b.Dims {
+		if iv.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether the tuple lies inside the box.
+func (b Box) Contains(tuple []int) bool {
+	if len(tuple) < len(b.Dims) {
+		return false
+	}
+	for i, iv := range b.Dims {
+		if !iv.Contains(tuple[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the box.
+func (b Box) Clone() Box {
+	dims := make([]Interval, len(b.Dims))
+	copy(dims, b.Dims)
+	return Box{Dims: dims}
+}
+
+// Canonicalize reduces a conjunctive query to a box given the attribute
+// domains: multiple predicates on the same attribute intersect. The box is
+// exactly equivalent to the query for integer-valued attributes.
+func (q Q) Canonicalize(domains []Interval) Box {
+	b := NewBox(domains)
+	for _, p := range q {
+		if p.Attr < 0 || p.Attr >= len(b.Dims) {
+			continue
+		}
+		iv := &b.Dims[p.Attr]
+		switch p.Op {
+		case LT:
+			if p.Value-1 < iv.Hi {
+				iv.Hi = p.Value - 1
+			}
+		case LE:
+			if p.Value < iv.Hi {
+				iv.Hi = p.Value
+			}
+		case EQ:
+			if p.Value > iv.Lo {
+				iv.Lo = p.Value
+			}
+			if p.Value < iv.Hi {
+				iv.Hi = p.Value
+			}
+		case GE:
+			if p.Value > iv.Lo {
+				iv.Lo = p.Value
+			}
+		case GT:
+			if p.Value+1 > iv.Lo {
+				iv.Lo = p.Value + 1
+			}
+		}
+	}
+	return b
+}
+
+// Normalize returns an equivalent query with at most one lower and one
+// upper bound predicate per attribute (LE/GE form), sorted by attribute.
+// Equality constraints become a pair LE/GE with the same value.
+func (q Q) Normalize(domains []Interval) Q {
+	b := q.Canonicalize(domains)
+	var out Q
+	for i, iv := range b.Dims {
+		full := domains[i]
+		if iv.Lo == iv.Hi {
+			out = append(out, Predicate{Attr: i, Op: EQ, Value: iv.Lo})
+			continue
+		}
+		if iv.Lo > full.Lo {
+			out = append(out, Predicate{Attr: i, Op: GE, Value: iv.Lo})
+		}
+		if iv.Hi < full.Hi {
+			out = append(out, Predicate{Attr: i, Op: LE, Value: iv.Hi})
+		}
+	}
+	sort.Slice(out, func(a, c int) bool {
+		if out[a].Attr != out[c].Attr {
+			return out[a].Attr < out[c].Attr
+		}
+		return out[a].Op < out[c].Op
+	})
+	return out
+}
+
+// UsesOnly reports whether every predicate's operator is in allowed.
+func (q Q) UsesOnly(allowed ...Op) bool {
+	for _, p := range q {
+		ok := false
+		for _, a := range allowed {
+			if p.Op == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

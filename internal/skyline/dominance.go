@@ -1,0 +1,80 @@
+// Package skyline implements in-memory skyline and K-skyband computation
+// over integer-coded tuples where smaller values are preferred on every
+// ranking attribute. It provides the ground truth for the hidden-database
+// discovery algorithms and the local extraction step of the crawling
+// baseline.
+package skyline
+
+// Dominates reports whether tuple a dominates tuple b: a is no worse than b
+// on every attribute and strictly better on at least one. Smaller is better.
+// Tuples must have the same length; extra attributes of the longer tuple are
+// ignored (comparison runs over the shorter prefix).
+func Dominates(a, b []int) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	strict := false
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] > b[i]:
+			return false
+		case a[i] < b[i]:
+			strict = true
+		}
+	}
+	return strict
+}
+
+// DominatesOnSubset is Dominates restricted to the given attribute indices.
+func DominatesOnSubset(a, b []int, attrs []int) bool {
+	strict := false
+	for _, i := range attrs {
+		switch {
+		case a[i] > b[i]:
+			return false
+		case a[i] < b[i]:
+			strict = true
+		}
+	}
+	return strict
+}
+
+// WeakDominatesOnSubset reports a[i] <= b[i] for every attribute index in
+// attrs (equality everywhere counts). Used for range-domination pruning in
+// the mixed-interface algorithm.
+func WeakDominatesOnSubset(a, b []int, attrs []int) bool {
+	for _, i := range attrs {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two tuples agree on every attribute.
+func Equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DominationCount returns, for each tuple, the number of other tuples in
+// data that dominate it. O(n^2); intended for ground truth and tests.
+func DominationCount(data [][]int) []int {
+	counts := make([]int, len(data))
+	for i, t := range data {
+		for j, u := range data {
+			if i != j && Dominates(u, t) {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}

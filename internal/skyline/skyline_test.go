@@ -1,0 +1,320 @@
+package skyline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	for _, tc := range []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{1, 2}, []int{2, 3}, true},
+		{[]int{1, 2}, []int{1, 3}, true},
+		{[]int{1, 2}, []int{1, 2}, false}, // equal: no strict improvement
+		{[]int{2, 1}, []int{1, 2}, false}, // incomparable
+		{[]int{1, 2}, []int{1, 1}, false},
+		{[]int{0}, []int{5}, true},
+	} {
+		if got := Dominates(tc.a, tc.b); got != tc.want {
+			t.Errorf("Dominates(%v, %v) = %v", tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestDominatesProperties(t *testing.T) {
+	// Irreflexive, antisymmetric and transitive (spot-checked).
+	gen := func(seed int64) [][]int {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([][]int, 60)
+		for i := range data {
+			data[i] = []int{rng.Intn(5), rng.Intn(5), rng.Intn(5)}
+		}
+		return data
+	}
+	data := gen(1)
+	for _, a := range data {
+		if Dominates(a, a) {
+			t.Fatalf("%v dominates itself", a)
+		}
+	}
+	for _, a := range data {
+		for _, b := range data {
+			if Dominates(a, b) && Dominates(b, a) {
+				t.Fatalf("mutual domination: %v, %v", a, b)
+			}
+			for _, c := range data {
+				if Dominates(a, b) && Dominates(b, c) && !Dominates(a, c) {
+					t.Fatalf("transitivity broken: %v > %v > %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestDominatesOnSubset(t *testing.T) {
+	a, b := []int{1, 9, 1}, []int{2, 0, 2}
+	if !DominatesOnSubset(a, b, []int{0, 2}) {
+		t.Error("should dominate on {0,2}")
+	}
+	if DominatesOnSubset(a, b, []int{0, 1}) {
+		t.Error("should not dominate on {0,1}")
+	}
+	if DominatesOnSubset(a, a, []int{0, 1, 2}) {
+		t.Error("equal tuples: no strict domination")
+	}
+	if !WeakDominatesOnSubset(a, a, []int{0, 1, 2}) {
+		t.Error("equal tuples weakly dominate")
+	}
+	if WeakDominatesOnSubset(a, b, []int{1}) {
+		t.Error("9 should not weakly dominate 0")
+	}
+}
+
+// All three skyline algorithms must agree on random inputs.
+func TestAlgorithmsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(400)
+		m := 1 + rng.Intn(4)
+		domain := 2 + rng.Intn(30)
+		data := make([][]int, n)
+		for i := range data {
+			tup := make([]int, m)
+			for j := range tup {
+				tup[j] = rng.Intn(domain)
+			}
+			data[i] = tup
+		}
+		bnl := BNL(data)
+		sfs := SFS(data)
+		dc := DivideConquer(data)
+		if fmt.Sprint(bnl) != fmt.Sprint(sfs) || fmt.Sprint(sfs) != fmt.Sprint(dc) {
+			t.Fatalf("trial %d (n=%d m=%d): BNL=%v SFS=%v DC=%v", trial, n, m, bnl, sfs, dc)
+		}
+		// Verify against the definition.
+		want := map[int]bool{}
+		for i, tup := range data {
+			dominated := false
+			for j, other := range data {
+				if i != j && Dominates(other, tup) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				want[i] = true
+			}
+		}
+		if len(want) != len(bnl) {
+			t.Fatalf("trial %d: %d skyline indices, want %d", trial, len(bnl), len(want))
+		}
+		for _, i := range bnl {
+			if !want[i] {
+				t.Fatalf("trial %d: index %d is not skyline", trial, i)
+			}
+		}
+	}
+}
+
+func TestSkybandDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([][]int, 200)
+	for i := range data {
+		data[i] = []int{rng.Intn(10), rng.Intn(10)}
+	}
+	counts := DominationCount(data)
+	for _, kBand := range []int{1, 2, 4} {
+		got := Skyband(data, kBand)
+		want := 0
+		for _, c := range counts {
+			if c < kBand {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("K=%d: %d tuples, want %d", kBand, len(got), want)
+		}
+		for _, i := range got {
+			if counts[i] >= kBand {
+				t.Fatalf("K=%d: index %d has count %d", kBand, i, counts[i])
+			}
+		}
+	}
+	if Skyband(data, 0) != nil {
+		t.Error("K=0 band should be nil")
+	}
+	band1 := Skyband(data, 1)
+	sky := Compute(data)
+	if fmt.Sprint(band1) != fmt.Sprint(sky) {
+		t.Error("1-band must equal the skyline")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var sky [][]int
+	var kept bool
+	sky, kept = Merge(sky, []int{5, 5})
+	if !kept || len(sky) != 1 {
+		t.Fatal("first insert")
+	}
+	sky, kept = Merge(sky, []int{5, 5})
+	if kept || len(sky) != 1 {
+		t.Fatal("duplicate should be rejected")
+	}
+	sky, kept = Merge(sky, []int{6, 6})
+	if kept {
+		t.Fatal("dominated insert accepted")
+	}
+	sky, kept = Merge(sky, []int{4, 6})
+	if !kept || len(sky) != 2 {
+		t.Fatal("incomparable insert")
+	}
+	sky, kept = Merge(sky, []int{3, 3})
+	if !kept || len(sky) != 1 {
+		t.Fatalf("dominating insert should displace both: %v", sky)
+	}
+}
+
+// Property: merging tuples one by one equals batch computation.
+func TestMergeEqualsBatch(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var data [][]int
+		for i := 0; i+1 < len(raw); i += 2 {
+			data = append(data, []int{int(raw[i] % 16), int(raw[i+1] % 16)})
+		}
+		var sky [][]int
+		for _, t := range data {
+			sky, _ = Merge(sky, t)
+		}
+		// Batch: distinct skyline values.
+		want := map[string]bool{}
+		for _, i := range Compute(data) {
+			want[fmt.Sprint(data[i])] = true
+		}
+		got := map[string]bool{}
+		for _, t := range sky {
+			got[fmt.Sprint(t)] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSkyline(t *testing.T) {
+	data := [][]int{{1, 5}, {5, 1}}
+	if !IsSkyline(data, []int{2, 2}) {
+		t.Error("incomparable tuple is skyline")
+	}
+	if IsSkyline(data, []int{2, 6}) {
+		t.Error("dominated tuple is not skyline")
+	}
+}
+
+func TestComputeTuples(t *testing.T) {
+	data := [][]int{{3, 3}, {1, 1}, {2, 2}}
+	got := ComputeTuples(data)
+	if len(got) != 1 || got[0][0] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal([]int{1, 2}, []int{1, 2}) || Equal([]int{1, 2}, []int{1, 3}) || Equal([]int{1}, []int{1, 2}) {
+		t.Error("Equal broken")
+	}
+}
+
+func TestSkylineSortedOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([][]int, 300)
+	for i := range data {
+		data[i] = []int{rng.Intn(20), rng.Intn(20)}
+	}
+	for name, fn := range map[string]func([][]int) []int{"BNL": BNL, "SFS": SFS, "DC": DivideConquer} {
+		idx := fn(data)
+		if !sort.IntsAreSorted(idx) {
+			t.Errorf("%s output not sorted", name)
+		}
+	}
+}
+
+// TopKMonotone must agree with brute-force scoring of the whole table for
+// any positive weighting — the skyband shortcut loses nothing.
+func TestTopKMonotoneMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.Intn(200)
+		data := make([][]int, n)
+		seen := map[string]bool{}
+		for i := range data {
+			for {
+				tup := []int{rng.Intn(30), rng.Intn(30), rng.Intn(30)}
+				if !seen[fmt.Sprint(tup)] {
+					seen[fmt.Sprint(tup)] = true
+					data[i] = tup
+					break
+				}
+			}
+		}
+		w := []float64{0.5 + rng.Float64(), 0.5 + rng.Float64(), 0.5 + rng.Float64()}
+		score := func(tup []int) float64 {
+			return w[0]*float64(tup[0]) + w[1]*float64(tup[1]) + w[2]*float64(tup[2])
+		}
+		k := 1 + rng.Intn(6)
+		got := TopKMonotone(data, score, k)
+
+		brute := make([]int, n)
+		for i := range brute {
+			brute[i] = i
+		}
+		sort.SliceStable(brute, func(a, b int) bool {
+			sa, sb := score(data[brute[a]]), score(data[brute[b]])
+			if sa != sb {
+				return sa < sb
+			}
+			return brute[a] < brute[b]
+		})
+		brute = brute[:k]
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), k)
+		}
+		for i := range brute {
+			if score(data[got[i]]) != score(data[brute[i]]) {
+				t.Fatalf("trial %d rank %d: skyband top-k %v (score %v) vs brute %v (score %v)",
+					trial, i, data[got[i]], score(data[got[i]]), data[brute[i]], score(data[brute[i]]))
+			}
+		}
+	}
+}
+
+func TestTopKMonotoneEdges(t *testing.T) {
+	data := [][]int{{3}, {1}, {2}}
+	if TopKMonotone(nil, Sum, 3) != nil || TopKMonotone(data, Sum, 0) != nil {
+		t.Fatal("degenerate inputs should return nil")
+	}
+	all := TopKMonotone(data, Sum, 99)
+	if len(all) != 3 || data[all[0]][0] != 1 {
+		t.Fatalf("k > n should return all sorted: %v", all)
+	}
+	if Sum([]int{2, 3}) != 5 {
+		t.Fatal("Sum broken")
+	}
+}

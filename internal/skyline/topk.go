@@ -1,0 +1,44 @@
+package skyline
+
+import "sort"
+
+// MonotoneScore is a scoring function that is non-decreasing in every
+// attribute (lower scores are better). Every positive-weighted sum — and
+// every ranking function a hidden web database may legally use — is one.
+type MonotoneScore func(tuple []int) float64
+
+// TopKMonotone returns the indices of the k best tuples under a monotone
+// scoring function, exploiting the skyband identity the paper cites from
+// Gong et al. [11]: the top-k of any monotone aggregate lies inside the
+// K-skyband, so only band members need scoring. Ties are broken by index
+// for determinism. This is the local building block behind "discover the
+// band once, answer every user ranking for free".
+func TopKMonotone(data [][]int, score MonotoneScore, k int) []int {
+	if k <= 0 || len(data) == 0 {
+		return nil
+	}
+	if k > len(data) {
+		k = len(data)
+	}
+	band := Skyband(data, k)
+	sort.SliceStable(band, func(a, b int) bool {
+		sa, sb := score(data[band[a]]), score(data[band[b]])
+		if sa != sb {
+			return sa < sb
+		}
+		return band[a] < band[b]
+	})
+	if len(band) > k {
+		band = band[:k]
+	}
+	return band
+}
+
+// Sum is the canonical monotone score: the attribute total.
+func Sum(tuple []int) float64 {
+	s := 0.0
+	for _, v := range tuple {
+		s += float64(v)
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+package web
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+)
+
+// Client implements core.Interface against a remote hidden-database
+// endpoint served by Server. The discovery algorithms run against it
+// unchanged — every Query is one HTTP round trip, mirroring what a real
+// third-party service pays per search request.
+type Client struct {
+	base string
+	http *http.Client
+
+	k       int
+	caps    []hidden.Capability
+	domains []query.Interval
+	names   []string
+	queries int
+}
+
+// Dial fetches the remote schema and returns a ready client. httpClient
+// may be nil (http.DefaultClient).
+func Dial(baseURL string, httpClient *http.Client) (*Client, error) {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	resp, err := c.http.Get(c.base + "/v1/meta")
+	if err != nil {
+		return nil, fmt.Errorf("web: fetching meta: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("web: meta endpoint answered %s", resp.Status)
+	}
+	var meta MetaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("web: decoding meta: %w", err)
+	}
+	if meta.K < 1 || len(meta.Attrs) == 0 {
+		return nil, fmt.Errorf("web: implausible meta: k=%d, %d attributes", meta.K, len(meta.Attrs))
+	}
+	c.k = meta.K
+	for _, a := range meta.Attrs {
+		cap, err := parseCap(a.Cap)
+		if err != nil {
+			return nil, err
+		}
+		c.caps = append(c.caps, cap)
+		c.domains = append(c.domains, query.Interval{Lo: a.Lo, Hi: a.Hi})
+		c.names = append(c.names, a.Name)
+	}
+	return c, nil
+}
+
+// Query implements core.Interface with one HTTP search request.
+func (c *Client) Query(q query.Q) (hidden.Result, error) {
+	req := SearchRequest{}
+	for _, p := range q {
+		req.Preds = append(req.Preds, WirePredicate{Attr: p.Attr, Op: encodeOp(p.Op), Value: p.Value})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return hidden.Result{}, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return hidden.Result{}, fmt.Errorf("web: search request: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		return hidden.Result{}, fmt.Errorf("%w: remote answered 429", hidden.ErrRateLimited)
+	case http.StatusBadRequest:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return hidden.Result{}, fmt.Errorf("%w: %s", hidden.ErrUnsupportedPredicate, strings.TrimSpace(string(msg)))
+	default:
+		return hidden.Result{}, fmt.Errorf("web: search answered %s", resp.Status)
+	}
+	var sr SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return hidden.Result{}, fmt.Errorf("web: decoding search response: %w", err)
+	}
+	c.queries++
+	return hidden.Result{Tuples: sr.Tuples, Overflow: sr.Overflow}, nil
+}
+
+// NumAttrs implements core.Interface.
+func (c *Client) NumAttrs() int { return len(c.caps) }
+
+// K implements core.Interface.
+func (c *Client) K() int { return c.k }
+
+// Cap implements core.Interface.
+func (c *Client) Cap(i int) hidden.Capability { return c.caps[i] }
+
+// Domain implements core.Interface.
+func (c *Client) Domain(i int) query.Interval { return c.domains[i] }
+
+// AttrName returns the remote display name of attribute i.
+func (c *Client) AttrName(i int) string { return c.names[i] }
+
+// QueriesIssued counts successful search requests sent by this client.
+func (c *Client) QueriesIssued() int { return c.queries }
+
+func parseCap(s string) (hidden.Capability, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "SQ":
+		return hidden.SQ, nil
+	case "RQ":
+		return hidden.RQ, nil
+	case "PQ":
+		return hidden.PQ, nil
+	}
+	return 0, fmt.Errorf("web: unknown capability %q in remote meta", s)
+}

@@ -1,0 +1,189 @@
+// Package web puts the "web" back into hidden web database: it serves a
+// hidden.DB over HTTP as a JSON search API with the exact same top-k
+// semantics, capability enforcement and rate limiting as the in-process
+// simulator, and provides a client that implements core.Interface against
+// such an endpoint. Discovery algorithms run unmodified against a remote
+// database — over a unix socket, localhost, or the open network.
+//
+// Wire protocol (versioned under /v1):
+//
+//	GET  /v1/meta                 -> {attrs:[{name,cap,lo,hi}], k}
+//	POST /v1/search {preds:[...]} -> {tuples:[[...]], overflow, filters?}
+//
+// A predicate is {attr, op, value} with op in "<", "<=", "=", ">=", ">".
+// Unsupported predicates answer 400; an exhausted rate limit answers 429.
+package web
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+)
+
+// MetaResponse describes the searchable schema of the served database.
+type MetaResponse struct {
+	Attrs []MetaAttr `json:"attrs"`
+	K     int        `json:"k"`
+}
+
+// MetaAttr is one ranking attribute: its display name, capability
+// ("SQ"/"RQ"/"PQ") and advertised value range.
+type MetaAttr struct {
+	Name string `json:"name"`
+	Cap  string `json:"cap"`
+	Lo   int    `json:"lo"`
+	Hi   int    `json:"hi"`
+}
+
+// WirePredicate is the JSON form of one conjunctive predicate.
+type WirePredicate struct {
+	Attr  int    `json:"attr"`
+	Op    string `json:"op"`
+	Value int    `json:"value"`
+}
+
+// SearchRequest is the body of POST /v1/search.
+type SearchRequest struct {
+	Preds []WirePredicate `json:"preds"`
+}
+
+// SearchResponse is the top-k answer.
+type SearchResponse struct {
+	Tuples   [][]int    `json:"tuples"`
+	Overflow bool       `json:"overflow"`
+	Filters  [][]string `json:"filters,omitempty"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server serves one hidden database.
+type Server struct {
+	db    *hidden.DB
+	names []string
+	mux   *http.ServeMux
+}
+
+// NewServer wraps db; names optionally labels the attributes (padded with
+// A0, A1, ... when short).
+func NewServer(db *hidden.DB, names []string) *Server {
+	s := &Server{db: db}
+	for i := 0; i < db.NumAttrs(); i++ {
+		if i < len(names) && names[i] != "" {
+			s.names = append(s.names, names[i])
+		} else {
+			s.names = append(s.names, fmt.Sprintf("A%d", i))
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/meta", s.handleMeta)
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	resp := MetaResponse{K: s.db.K()}
+	for i := 0; i < s.db.NumAttrs(); i++ {
+		dom := s.db.Domain(i)
+		resp.Attrs = append(resp.Attrs, MetaAttr{
+			Name: s.names[i],
+			Cap:  s.db.Cap(i).String(),
+			Lo:   dom.Lo,
+			Hi:   dom.Hi,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+		return
+	}
+	q, err := decodeQuery(req.Preds)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	res, filters, err := s.db.QueryFull(q)
+	switch {
+	case errors.Is(err, hidden.ErrRateLimited):
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, hidden.ErrUnsupportedPredicate), errors.Is(err, hidden.ErrBadQuery):
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	resp := SearchResponse{Overflow: res.Overflow, Filters: filters}
+	resp.Tuples = res.Tuples
+	if resp.Tuples == nil {
+		resp.Tuples = [][]int{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeQuery converts wire predicates into the internal query form.
+func decodeQuery(preds []WirePredicate) (query.Q, error) {
+	var q query.Q
+	for _, p := range preds {
+		op, err := parseOp(p.Op)
+		if err != nil {
+			return nil, err
+		}
+		q = append(q, query.Predicate{Attr: p.Attr, Op: op, Value: p.Value})
+	}
+	return q, nil
+}
+
+func parseOp(s string) (query.Op, error) {
+	switch s {
+	case "<":
+		return query.LT, nil
+	case "<=":
+		return query.LE, nil
+	case "=", "==":
+		return query.EQ, nil
+	case ">=":
+		return query.GE, nil
+	case ">":
+		return query.GT, nil
+	}
+	return 0, fmt.Errorf("web: unknown operator %q", s)
+}
+
+func encodeOp(op query.Op) string {
+	switch op {
+	case query.LT:
+		return "<"
+	case query.LE:
+		return "<="
+	case query.EQ:
+		return "="
+	case query.GE:
+		return ">="
+	case query.GT:
+		return ">"
+	}
+	return "?"
+}

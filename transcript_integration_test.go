@@ -1,0 +1,131 @@
+package hiddensky_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hiddensky"
+)
+
+func randCatalog(rng *rand.Rand, n, m, domain int) [][]int {
+	data := make([][]int, n)
+	for i := range data {
+		t := make([]int, m)
+		for j := range t {
+			t[j] = rng.Intn(domain)
+		}
+		data[i] = t
+	}
+	return data
+}
+
+// Record a full discovery over every interface type, persist the
+// transcript, and replay it offline: results and costs must be identical,
+// and the replayer must need no queries beyond the recorded set.
+func TestRecordPersistReplayAllInterfaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct {
+		name string
+		caps []hiddensky.Capability
+	}{
+		{"sq", []hiddensky.Capability{hiddensky.SQ, hiddensky.SQ, hiddensky.SQ}},
+		{"rq", []hiddensky.Capability{hiddensky.RQ, hiddensky.RQ, hiddensky.RQ}},
+		{"pq", []hiddensky.Capability{hiddensky.PQ, hiddensky.PQ, hiddensky.PQ}},
+		{"mixed", []hiddensky.Capability{hiddensky.SQ, hiddensky.RQ, hiddensky.PQ}},
+	} {
+		data := randCatalog(rng, 150, 3, 6)
+		db := hiddensky.MustNew(hiddensky.Config{Data: data, Caps: tc.caps, K: 2})
+		tr := hiddensky.Record(db)
+		live, err := hiddensky.Discover(tr, hiddensky.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rp, err := hiddensky.ReadReplayer(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := hiddensky.Discover(rp, hiddensky.Options{})
+		if err != nil {
+			t.Fatalf("%s replay: %v", tc.name, err)
+		}
+		if len(replayed.Skyline) != len(live.Skyline) || replayed.Queries != live.Queries {
+			t.Fatalf("%s: replay diverged: %d/%d tuples, %d/%d queries",
+				tc.name, len(replayed.Skyline), len(live.Skyline), replayed.Queries, live.Queries)
+		}
+		lset := map[string]bool{}
+		for _, s := range live.Skyline {
+			lset[fmt.Sprint(s)] = true
+		}
+		for _, s := range replayed.Skyline {
+			if !lset[fmt.Sprint(s)] {
+				t.Fatalf("%s: replay invented tuple %v", tc.name, s)
+			}
+		}
+	}
+}
+
+// A replayer cannot answer a different workload: the error must identify
+// the unsupported query rather than fabricate an answer.
+func TestReplayRefusesForeignWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := randCatalog(rng, 80, 2, 6)
+	caps := []hiddensky.Capability{hiddensky.RQ, hiddensky.RQ}
+
+	tr := hiddensky.Record(hiddensky.MustNew(hiddensky.Config{Data: data, Caps: caps, K: 2}))
+	if _, err := hiddensky.Discover(tr, hiddensky.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rp := tr.Replay()
+	// The K-skyband run issues strict lower-bound queries that a skyline
+	// run never needs.
+	_, err := hiddensky.RQBandSky(rp, 2, hiddensky.Options{})
+	if err == nil || !errors.Is(err, hiddensky.ErrNotRecorded) {
+		t.Fatalf("foreign workload answered from transcript: %v", err)
+	}
+}
+
+// The web client and the in-process simulator must be observationally
+// identical: record both query streams for the same discovery and compare
+// exchange by exchange.
+func TestWebAndLocalTranscriptsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := randCatalog(rng, 200, 3, 8)
+	caps := []hiddensky.Capability{hiddensky.RQ, hiddensky.SQ, hiddensky.PQ}
+	mk := func() *hiddensky.DB {
+		return hiddensky.MustNew(hiddensky.Config{Data: data, Caps: caps, K: 3})
+	}
+
+	local := hiddensky.Record(mk())
+	lres, err := hiddensky.Discover(local, hiddensky.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := newTestWebServer(t, mk())
+	defer srv.close()
+	remote := hiddensky.Record(srv.client)
+	rres, err := hiddensky.Discover(remote, hiddensky.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.Queries != rres.Queries || len(lres.Skyline) != len(rres.Skyline) {
+		t.Fatalf("local %d/%d vs remote %d/%d", lres.Queries, len(lres.Skyline), rres.Queries, len(rres.Skyline))
+	}
+	if len(local.Entries) != len(remote.Entries) {
+		t.Fatalf("transcript lengths differ: %d vs %d", len(local.Entries), len(remote.Entries))
+	}
+	for i := range local.Entries {
+		if fmt.Sprint(local.Entries[i].Tuples) != fmt.Sprint(remote.Entries[i].Tuples) {
+			t.Fatalf("exchange %d diverges:\nlocal  %v\nremote %v",
+				i, local.Entries[i], remote.Entries[i])
+		}
+	}
+}

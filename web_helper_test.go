@@ -1,0 +1,49 @@
+package hiddensky_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"hiddensky"
+)
+
+// testWebServer bundles an httptest server around a hidden database with a
+// dialed client, for facade-level integration tests.
+type testWebServer struct {
+	srv    *httptest.Server
+	client *hiddensky.WebClient
+}
+
+func newTestWebServer(t *testing.T, db *hiddensky.DB) *testWebServer {
+	t.Helper()
+	srv := httptest.NewServer(hiddensky.NewWebServer(db, nil))
+	client, err := hiddensky.DialWeb(srv.URL, srv.Client())
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	return &testWebServer{srv: srv, client: client}
+}
+
+func (s *testWebServer) close() { s.srv.Close() }
+
+// Remote discovery through the facade end to end.
+func TestFacadeWebDiscovery(t *testing.T) {
+	db := hiddensky.MustNew(hiddensky.Config{
+		Data: [][]int{{1, 9}, {5, 5}, {9, 1}, {7, 7}},
+		Caps: []hiddensky.Capability{hiddensky.RQ, hiddensky.RQ},
+		K:    2,
+	})
+	s := newTestWebServer(t, db)
+	defer s.close()
+	res, err := hiddensky.Discover(s.client, hiddensky.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Skyline) != 3 {
+		t.Fatalf("remote skyline %v", res.Skyline)
+	}
+	if s.client.QueriesIssued() != res.Queries {
+		t.Fatal("remote query accounting mismatch")
+	}
+}
