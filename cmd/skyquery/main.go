@@ -7,8 +7,15 @@
 // Usage:
 //
 //	skyquery -in data.csv [-k 10] [-rank sum|attr0|lex|random] \
-//	         [-algo auto|sq|rq|pq|mq] [-band K] [-budget N] [-baseline]
-//	skyquery -url http://127.0.0.1:8080 [-algo auto] [-band K] [-budget N]
+//	         [-algo auto|sq|rq|pq|mq] [-band K] [-budget N] [-baseline] \
+//	         [-parallel P] [-cache N]
+//	skyquery -url http://127.0.0.1:8080 [-algo auto] [-band K] [-budget N] \
+//	         [-parallel P] [-cache N]
+//
+// -parallel P runs the independent branches of the discovery cascade on P
+// bounded workers; -cache N memoizes up to N answered queries (canonically
+// equal and concurrent duplicate queries are answered once) and prints the
+// cache's dedup statistics after the run.
 //
 // The CSV format is the one cmd/datagen emits: a name header row, a
 // capability row (SQ/RQ/PQ per ranking attribute, "-" for #filter
@@ -26,6 +33,7 @@ import (
 	"hiddensky/internal/crawl"
 	"hiddensky/internal/datagen"
 	"hiddensky/internal/hidden"
+	"hiddensky/internal/qcache"
 	"hiddensky/internal/query"
 	"hiddensky/internal/web"
 )
@@ -38,6 +46,8 @@ func main() {
 	algo := flag.String("algo", "auto", "algorithm: auto|sq|rq|pq|mq")
 	band := flag.Int("band", 1, "discover the K-skyband instead of the skyline (K>1, uniform SQ/RQ/PQ interfaces)")
 	budget := flag.Int("budget", 0, "query budget (0 = unlimited); discovery returns a partial anytime result when hit")
+	parallel := flag.Int("parallel", 1, "run independent discovery branches on this many workers (1 = the paper's sequential execution)")
+	cacheSize := flag.Int("cache", 0, "memoize up to this many query answers in the shared query cache (0 = no cache, -1 = unbounded)")
 	baseline := flag.Bool("baseline", false, "also run the crawling BASELINE for comparison (needs an all-RQ interface)")
 	where := flag.String("where", "", "conjunctive filter, e.g. \"A0<500,A2>=3\": discover the skyline of the matching subset only")
 	showTuples := flag.Bool("tuples", true, "print the discovered tuples")
@@ -85,7 +95,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := core.Options{MaxQueries: *budget}
+	opt := core.Options{MaxQueries: *budget, Parallelism: *parallel}
+	var cache *qcache.Cache
+	if *cacheSize != 0 {
+		cache = qcache.New(qcache.Config{MaxEntries: *cacheSize})
+		opt.Cache = cache
+	}
+	defer func() {
+		if cache != nil {
+			s := cache.Stats()
+			fmt.Printf("cache: %d lookups, %d hits, %d coalesced, %d misses (dedup ratio %.2f)\n",
+				s.Lookups, s.Hits, s.Coalesced, s.Misses, s.DedupRatio())
+		}
+	}()
 	if *band > 1 {
 		runBand(db, *band, opt, names, *showTuples)
 		return

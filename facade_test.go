@@ -102,3 +102,59 @@ func TestFacadeSkyband(t *testing.T) {
 		t.Fatalf("2-skyband %d distinct values, want %d", len(got), len(want))
 	}
 }
+
+// TestFacadeParallelEngine exercises the execution layer through the
+// public facade: parallel discovery with a shared query cache returns the
+// sequential skyline, and the fleet orchestration merges stores under a
+// global budget.
+func TestFacadeParallelEngine(t *testing.T) {
+	d := YahooAutos(21, 1500)
+	seqDB := d.DB(10, AttrRank{Attr: 0})
+	seq, err := Discover(seqDB, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewQueryCache(QueryCacheConfig{MaxEntries: 4096})
+	parDB := d.DB(10, AttrRank{Attr: 0})
+	par, err := Discover(parDB, Options{Parallelism: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, tup := range par.Skyline {
+		seen[fmt.Sprint(tup)] = true
+	}
+	for _, tup := range seq.Skyline {
+		if !seen[fmt.Sprint(tup)] {
+			t.Fatalf("parallel facade skyline misses %v", tup)
+		}
+	}
+	if len(par.Skyline) != len(seq.Skyline) {
+		t.Fatalf("parallel skyline %d tuples, sequential %d", len(par.Skyline), len(seq.Skyline))
+	}
+
+	// Warm-cache re-run: answered from memory, dedup ratio > 0.
+	if _, err := Discover(parDB, Options{Parallelism: 4, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.DedupRatio() <= 0 {
+		t.Fatalf("facade cache never deduplicated: %+v", s)
+	}
+
+	stores := []FederatedStore{
+		{Name: "alpha", DB: d.DB(10, AttrRank{Attr: 0})},
+		{Name: "beta", DB: d.DB(10, SumRank{})},
+	}
+	fleet, err := FederatedDiscoverFleet(stores, Options{Parallelism: 2}, FleetOptions{
+		MaxStores:    2,
+		GlobalBudget: 100000,
+		Cache:        NewQueryCache(QueryCacheConfig{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fleet.Complete || len(fleet.Frontier) == 0 {
+		t.Fatalf("fleet result implausible: complete=%v frontier=%d", fleet.Complete, len(fleet.Frontier))
+	}
+}

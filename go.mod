@@ -1,0 +1,3 @@
+module hiddensky
+
+go 1.24

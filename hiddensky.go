@@ -31,8 +31,10 @@ import (
 	"hiddensky/internal/core"
 	"hiddensky/internal/crawl"
 	"hiddensky/internal/datagen"
+	"hiddensky/internal/engine"
 	"hiddensky/internal/federate"
 	"hiddensky/internal/hidden"
+	"hiddensky/internal/qcache"
 	"hiddensky/internal/query"
 	"hiddensky/internal/skyline"
 	"hiddensky/internal/web"
@@ -151,6 +153,41 @@ var (
 	SQBandSky = core.SQBandSky
 )
 
+// Execution layer: the shared memoizing query cache and the bounded
+// parallel engine. Discover runs them via Options.Cache / Options
+// .Parallelism; the primitives are exported for direct composition.
+type (
+	// QueryCache is the concurrency-safe canonicalizing memo cache: equal
+	// queries (under predicate normalization) are answered once, in-flight
+	// duplicates are coalesced, and entries are LRU-bounded. One cache may
+	// front many databases and many runs.
+	QueryCache = qcache.Cache
+	// QueryCacheConfig tunes a QueryCache.
+	QueryCacheConfig = qcache.Config
+	// QueryCacheStats snapshots hit/miss/dedup/eviction counters.
+	QueryCacheStats = qcache.Stats
+	// CachedDB is one database's cached view (implements HiddenDB).
+	CachedDB = qcache.DB
+	// QueryBudget is a shared atomic web-query allowance for fleets.
+	QueryBudget = engine.Budget
+	// WorkerPool is the bounded-worker executor behind Options.Parallelism.
+	WorkerPool = engine.Pool
+)
+
+var (
+	// NewQueryCache builds an empty shared query cache.
+	NewQueryCache = qcache.New
+	// NewQueryBudget builds a shared budget of n queries (n <= 0: unlimited).
+	NewQueryBudget = engine.NewBudget
+	// LimitQueries gates a database behind a shared budget; exhaustion
+	// surfaces as ErrRateLimited and discovery degrades to its anytime
+	// partial result.
+	LimitQueries = engine.Limit
+	// NewWorkerPool builds a bounded task pool (advanced use; Discover
+	// manages its own pool via Options.Parallelism).
+	NewWorkerPool = engine.NewPool
+)
+
 // Multi-session discovery under daily quotas, and query transcripts.
 type (
 	// Session is a serializable checkpoint of an SQ-DB-SKY run.
@@ -186,6 +223,10 @@ type (
 	// WebClient implements the discovery interface against a remote
 	// endpoint.
 	WebClient = web.Client
+	// WebRateLimitError is returned when the remote endpoint answers 429
+	// even after the client's single backoff-and-retry; it errors.Is-matches
+	// ErrRateLimited.
+	WebRateLimitError = web.RateLimitError
 )
 
 var (
@@ -201,6 +242,9 @@ type (
 	FederatedStore = federate.Store
 	// FederatedResult is the merged multi-store frontier.
 	FederatedResult = federate.Result
+	// FleetOptions tunes a federated fleet run (store concurrency, global
+	// budget, shared cache).
+	FleetOptions = federate.FleetOptions
 	// Offer is one frontier tuple with its origin store.
 	Offer = federate.Offer
 	// Scorer is a user-defined monotonic scoring function.
@@ -212,6 +256,9 @@ var (
 	FederatedDiscover = federate.Discover
 	// FederatedDiscoverParallel queries the stores concurrently.
 	FederatedDiscoverParallel = federate.DiscoverParallel
+	// FederatedDiscoverFleet orchestrates stores on the bounded engine
+	// executor with a global budget and shared cache.
+	FederatedDiscoverFleet = federate.DiscoverFleet
 	// WeightedScorer builds a linear monotonic scorer from positive weights.
 	WeightedScorer = federate.WeightedScorer
 )

@@ -26,6 +26,10 @@ type Config struct {
 	Quick bool
 	// Seed drives every generator; runs are deterministic given it.
 	Seed int64
+	// Parallelism caps the worker sweep of the engine figure (0 = 8).
+	Parallelism int
+	// CacheEntries bounds the engine figure's query cache (0 = default).
+	CacheEntries int
 }
 
 // scale returns quick when cfg.Quick, else full.
@@ -198,17 +202,16 @@ func All() []Runner {
 		{"fig22", "Online: Blue Nile diamonds (MQ vs BASELINE)", Fig22},
 		{"fig23", "Online: Google Flights", Fig23},
 		{"fig24", "Online: Yahoo! Autos (MQ vs BASELINE)", Fig24},
+		{"engine", "Parallel engine speedup and query-cache dedup (not in the paper)", FigEngine},
 	}
 }
 
-// ByID returns the runner for a figure id ("fig13", "13", "Fig13").
+// ByID returns the runner for a figure id ("fig13", "13", "Fig13",
+// "engine").
 func ByID(id string) (Runner, bool) {
 	norm := strings.ToLower(strings.TrimSpace(id))
-	if !strings.HasPrefix(norm, "fig") {
-		norm = "fig" + norm
-	}
 	for _, r := range All() {
-		if r.ID == norm {
+		if r.ID == norm || r.ID == "fig"+norm {
 			return r, true
 		}
 	}

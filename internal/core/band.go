@@ -76,6 +76,7 @@ func RQBandSky(db Interface, kBand int, opt Options) (BandResult, error) {
 			return BandResult{}, fmt.Errorf("core: RQBandSky needs two-ended ranges on every attribute; A%d is %s", i, db.Cap(i))
 		}
 	}
+	db, opt = prepare(db, opt)
 	c := newCtx(db, opt)
 	var bc bandCollector
 
@@ -142,6 +143,7 @@ func PQBandSky(db Interface, kBand int, opt Options) (BandResult, error) {
 			return BandResult{}, fmt.Errorf("core: PQBandSky needs point predicates; A%d is %s", i, db.Cap(i))
 		}
 	}
+	db, opt = prepare(db, opt)
 	c := newCtx(db, opt)
 	var bc bandCollector
 	err := pqBandRun(c, kBand, &bc)
@@ -241,6 +243,7 @@ func SQBandSky(db Interface, kBand int, opt Options) (BandResult, error) {
 	if kBand < 1 {
 		return BandResult{}, fmt.Errorf("core: band level must be >= 1, got %d", kBand)
 	}
+	db, opt = prepare(db, opt)
 	c := newCtx(db, opt)
 	var bc bandCollector
 	complete := true

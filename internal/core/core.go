@@ -19,8 +19,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
+	"hiddensky/internal/engine"
 	"hiddensky/internal/hidden"
+	"hiddensky/internal/qcache"
 	"hiddensky/internal/query"
 	"hiddensky/internal/skyline"
 )
@@ -64,8 +68,29 @@ type Options struct {
 	// the default is false.
 	SkipProvablyEmpty bool
 	// MaxQueries, when positive, stops discovery after that many queries
-	// with a partial (anytime) result and ErrBudget.
+	// with a partial (anytime) result and ErrBudget. It bounds the
+	// queries the algorithm issues — the paper's cost metric — so a
+	// query answered by Cache still counts; to bound only the queries
+	// that reach the backend, gate the backend itself (engine.Limit /
+	// federate.FleetOptions.GlobalBudget, which sit beneath the cache).
 	MaxQueries int
+	// Parallelism, when > 1, runs the independent branches of the
+	// divide-and-conquer cascades (sibling subtrees of SQ/RQ-DB-SKY, the
+	// 2D subspaces of PQ-DB-SKY, the cell trees of MQ-DB-SKY's point
+	// phase) on a bounded worker pool with at most that many interface
+	// queries in flight. The discovered skyline is the same set as the
+	// sequential run's and is returned in deterministic (lexicographic)
+	// order; query accounting stays exact under a shared atomic budget.
+	// Values <= 1 reproduce the paper's sequential execution bit for bit.
+	Parallelism int
+	// Cache, when non-nil, routes every interface query through the shared
+	// memoizing query cache: canonically equal queries are answered once,
+	// concurrent duplicates are coalesced, and cached hits never reach
+	// the backend (so they consume none of its rate limit; they do still
+	// count toward MaxQueries and Result.Queries, which measure the
+	// algorithm's own query cost). The same Cache may be shared across
+	// runs and across databases.
+	Cache *qcache.Cache
 }
 
 // TraceEvent records that Tuple joined the candidate skyline after Queries
@@ -89,7 +114,11 @@ type Result struct {
 	Complete bool
 }
 
-// ctx carries the shared per-run state of every algorithm.
+// ctx carries the shared per-run state of every algorithm. A mutex guards
+// the mutable pieces (query accounting, candidate skyline, trace) so that
+// the parallel executors can share one ctx across workers; the sequential
+// paths take the same uncontended locks, which costs nothing next to a
+// query.
 type ctx struct {
 	db      Interface
 	opt     Options
@@ -97,10 +126,14 @@ type ctx struct {
 	k       int
 	domains []query.Interval
 
-	queries int
-	sky     [][]int // current candidate skyline (mutually non-dominated)
-	merged  map[string]bool
-	trace   []TraceEvent
+	pool *engine.Pool // non-nil only while a parallel entry point runs
+
+	mu       sync.Mutex
+	queries  int     // successfully issued queries
+	inflight int     // reserved but not yet answered (parallel budget exactness)
+	sky      [][]int // current candidate skyline (mutually non-dominated)
+	merged   map[string]bool
+	trace    []TraceEvent
 }
 
 func newCtx(db Interface, opt Options) *ctx {
@@ -112,20 +145,58 @@ func newCtx(db Interface, opt Options) *ctx {
 	return c
 }
 
+// prepare applies the Options that change what the algorithms talk to:
+// a non-nil Cache wraps the database in the shared memoizing view. Every
+// public entry point calls it exactly once (the Cache field is cleared so
+// nested dispatch cannot double-wrap).
+func prepare(db Interface, opt Options) (Interface, Options) {
+	if opt.Cache != nil {
+		db = opt.Cache.Wrap(db)
+		opt.Cache = nil
+	}
+	return db, opt
+}
+
+// newPool returns the bounded worker pool for this run, or nil when the
+// run is sequential. Callers own the pool and must Close it.
+func (c *ctx) newPool() *engine.Pool {
+	if c.opt.Parallelism <= 1 {
+		return nil
+	}
+	c.pool = engine.NewPool(c.opt.Parallelism)
+	return c.pool
+}
+
 // issue sends q to the database, enforcing the local budget, and returns
-// the result. A budget stop or rate limit surfaces as ErrBudget.
+// the result. A budget stop or rate limit surfaces as ErrBudget. The
+// budget is enforced by reservation: a slot is taken before the query and
+// refunded if the query fails, so even with many workers in flight at most
+// MaxQueries backend queries are ever issued and every success is counted
+// exactly once.
 func (c *ctx) issue(q query.Q) (hidden.Result, error) {
-	if c.opt.MaxQueries > 0 && c.queries >= c.opt.MaxQueries {
+	c.mu.Lock()
+	if c.opt.MaxQueries > 0 && c.queries+c.inflight >= c.opt.MaxQueries {
+		c.mu.Unlock()
 		return hidden.Result{}, ErrBudget
 	}
+	c.inflight++
+	c.mu.Unlock()
+
 	res, err := c.db.Query(q)
+
+	c.mu.Lock()
+	c.inflight--
+	if err == nil {
+		c.queries++
+	}
+	c.mu.Unlock()
+
 	if err != nil {
 		if errors.Is(err, hidden.ErrRateLimited) {
 			return hidden.Result{}, fmt.Errorf("%w: %v", ErrBudget, err)
 		}
 		return hidden.Result{}, err
 	}
-	c.queries++
 	return res, nil
 }
 
@@ -150,6 +221,8 @@ func (c *ctx) provablyEmpty(q query.Q) bool {
 // tuple cannot change the candidate set (if it was kept it is present or
 // was displaced by a dominator; if rejected it stays dominated).
 func (c *ctx) merge(t []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	key := tupleKey(t)
 	if c.merged[key] {
 		return
@@ -160,6 +233,29 @@ func (c *ctx) merge(t []int) {
 	if kept && c.opt.Trace {
 		c.trace = append(c.trace, TraceEvent{Queries: c.queries, Tuple: append([]int(nil), t...)})
 	}
+}
+
+// findDominator returns a current candidate-skyline tuple dominating t, or
+// nil. Used by the RQ walker to pick a stronger branching tuple; under
+// parallelism the snapshot semantics are sound (any returned dominator is
+// a real database tuple).
+func (c *ctx) findDominator(t []int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.sky {
+		if skyline.Dominates(s, t) {
+			return s
+		}
+	}
+	return nil
+}
+
+// skySnapshot returns the current candidate skyline. The tuples themselves
+// are never mutated after discovery, so sharing them is safe.
+func (c *ctx) skySnapshot() [][]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([][]int(nil), c.sky...)
 }
 
 // tupleKey renders a tuple as a compact map key.
@@ -198,7 +294,10 @@ func (c *ctx) mergeAll(ts [][]int) {
 }
 
 // result packages the context into a Result; err distinguishes the anytime
-// partial case from hard failures.
+// partial case from hard failures. Parallel runs sort the skyline
+// lexicographically — worker scheduling makes discovery order
+// nondeterministic, and a deterministic merge order is part of the
+// parallel contract; sequential runs keep the paper's discovery order.
 func (c *ctx) result(err error) (Result, error) {
 	res := Result{
 		Skyline:  append([][]int(nil), c.sky...),
@@ -206,10 +305,26 @@ func (c *ctx) result(err error) (Result, error) {
 		Trace:    c.trace,
 		Complete: err == nil,
 	}
+	if c.pool != nil {
+		sortTuples(res.Skyline)
+	}
 	if err != nil && !errors.Is(err, ErrBudget) {
 		return res, err
 	}
 	return res, err
+}
+
+// sortTuples orders tuples lexicographically in place.
+func sortTuples(ts [][]int) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for x := range a {
+			if x >= len(b) || a[x] != b[x] {
+				return x < len(b) && a[x] < b[x]
+			}
+		}
+		return false
+	})
 }
 
 // attrsByCap partitions attribute indices by their interface capability.

@@ -26,6 +26,7 @@ import (
 //     re-running the range-phase tree inside the cell (a tuple dominated
 //     within its cell is dominated globally, so the cell skyline suffices).
 func MQDBSky(db Interface, opt Options) (Result, error) {
+	db, opt = prepare(db, opt)
 	sqA, rqA, pqA := attrsByCap(db)
 	switch {
 	case len(pqA) == 0 && len(rqA) == 0:
@@ -37,6 +38,10 @@ func MQDBSky(db Interface, opt Options) (Result, error) {
 	}
 
 	c := newCtx(db, opt)
+	pool := c.newPool()
+	if pool != nil {
+		defer pool.Close()
+	}
 	rangeAttrs := append(append([]int(nil), sqA...), rqA...)
 	sort.Ints(rangeAttrs)
 	me := make([]bool, len(rangeAttrs))
@@ -46,12 +51,19 @@ func MQDBSky(db Interface, opt Options) (Result, error) {
 		anyRQ = anyRQ || me[j]
 	}
 
-	// Phase 1: range-attribute skyline (point attributes set to "*").
+	// Phase 1: range-attribute skyline (point attributes set to "*"). The
+	// pruning bound of phase 2 needs the complete phase-1 skyline, so the
+	// parallel run drains the pool (a barrier) before moving on.
 	w := newTreeWalker(c, nil, rangeAttrs, me, anyRQ)
-	if err := w.run(); err != nil {
+	if pool != nil {
+		w.runOn(pool)
+		if err := pool.Wait(); err != nil {
+			return c.result(err)
+		}
+	} else if err := w.run(); err != nil {
 		return c.result(err)
 	}
-	phase1 := append([][]int(nil), c.sky...)
+	phase1 := c.skySnapshot()
 	if len(phase1) == 0 {
 		return c.result(nil) // empty database
 	}
@@ -72,6 +84,12 @@ func MQDBSky(db Interface, opt Options) (Result, error) {
 	}
 
 	err := mqPointPhase(c, pruneP, pqA, rangeAttrs, me, anyRQ, phase1)
+	if pool != nil {
+		// The probe loop schedules cell trees asynchronously; drain them.
+		if werr := pool.Wait(); err == nil {
+			err = werr
+		}
+	}
 	return c.result(err)
 }
 
@@ -86,6 +104,11 @@ func mqPointPhase(c *ctx, pruneP query.Q, pqA, rangeAttrs []int, me []bool, anyR
 	rec = func(d int) error {
 		dom := c.domains[pqA[d]]
 		for v := dom.Lo; v <= dom.Hi; v++ {
+			if c.pool != nil {
+				if err := c.pool.Err(); err != nil {
+					return err // a cell tree hit the budget: stop probing
+				}
+			}
 			pfx := append(prefix, query.Predicate{Attr: pqA[d], Op: query.EQ, Value: v})
 			if d == len(pqA)-1 && mqSkippableCombo(pfx, pqA, phase1) {
 				continue
@@ -111,8 +134,14 @@ func mqPointPhase(c *ctx, pruneP query.Q, pqA, rangeAttrs []int, me []bool, anyR
 				continue // probe returned the whole cell
 			}
 			// Resolve the overflowing cell with the range-phase tree,
-			// reusing the probe answer as the root node's result.
+			// reusing the probe answer as the root node's result. Cells are
+			// independent, so the parallel run lets their trees resolve on
+			// the pool while probing continues.
 			w := newTreeWalker(c, probe, rangeAttrs, me, anyRQ)
+			if c.pool != nil {
+				w.runSeededOn(c.pool, res)
+				continue
+			}
 			if err := w.runSeeded(res); err != nil {
 				return err
 			}

@@ -13,7 +13,16 @@ import (
 // combinations of the remaining attributes in preferential order, and runs
 // the pruned-subspace routine PQ-2DSUB-SKY (Algorithm 4) on each plane.
 func PQDBSky(db Interface, opt Options) (Result, error) {
+	db, opt = prepare(db, opt)
 	c := newCtx(db, opt)
+	if p := c.newPool(); p != nil {
+		defer p.Close()
+		err := pqdbRun(c)
+		if werr := p.Wait(); err == nil {
+			err = werr
+		}
+		return c.result(err)
+	}
 	return c.result(pqdbRun(c))
 }
 
@@ -22,6 +31,8 @@ func pqdbRun(c *ctx) error {
 	case 1:
 		return pq1dRun(c)
 	case 2:
+		// One plane is one inherently sequential shorter-side sweep; the
+		// parallel executor gains nothing below three dimensions.
 		return pq2dRun(c)
 	}
 	res, err := c.issue(nil) // SELECT *
@@ -43,6 +54,23 @@ func pqdbRun(c *ctx) error {
 		if a != d1 && a != d2 {
 			others = append(others, a)
 		}
+	}
+	if c.pool != nil {
+		// Each 2D subspace is an independent branch of Algorithm 5: spawn
+		// one plane sweep per value combination of the pinned attributes.
+		// The rule-(b) pruning inside each sweep reads a snapshot of the
+		// shared candidate skyline — sound under any schedule, since every
+		// snapshot tuple is a real database tuple.
+		return enumerateCombos(c, others, func(vc []int) error {
+			if err := c.pool.Err(); err != nil {
+				return err // budget gone: stop scheduling doomed sweeps
+			}
+			vcc := append([]int(nil), vc...)
+			c.pool.Spawn(func() error {
+				return pqSubspaceRun(c, d1, d2, others, vcc, seed)
+			})
+			return nil
+		})
 	}
 	return enumerateCombos(c, others, func(vc []int) error {
 		return pqSubspaceRun(c, d1, d2, others, vc, seed)
@@ -145,7 +173,7 @@ func pqSubspaceRun(c *ctx, d1, d2 int, others []int, vc []int, seed [][]int) err
 			p.pruneEmptyRect(t[d1], t[d2])
 		}
 	}
-	for _, t := range c.sky {
+	for _, t := range c.skySnapshot() {
 		if leq(t) {
 			p.pruneDominatedRect(t[d1], t[d2])
 		}

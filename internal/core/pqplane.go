@@ -269,6 +269,7 @@ func (p *plane) run() error {
 // SELECT * answer seeds the two diagonal rectangles of Figure 7; the rest
 // is the shorter-side sweep.
 func PQ2DSky(db Interface, opt Options) (Result, error) {
+	db, opt = prepare(db, opt)
 	c := newCtx(db, opt)
 	if c.m != 2 {
 		return Result{}, errBadDims(c.m, 2)

@@ -76,6 +76,7 @@ func (s *Session) Resume(db Interface, opt Options) (Result, error) {
 	if db.NumAttrs() != s.Attrs {
 		return Result{}, fmt.Errorf("core: session has %d attributes, database %d", s.Attrs, db.NumAttrs())
 	}
+	db, opt = prepare(db, opt) // sessions honor the cache; the FIFO replay itself stays sequential
 	c := newCtx(db, opt)
 	for _, t := range s.Skyline {
 		c.merge(t)

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"sync"
+
+	"hiddensky/internal/engine"
 	"hiddensky/internal/hidden"
 	"hiddensky/internal/query"
-	"hiddensky/internal/skyline"
 )
 
 // treeWalker implements the divide-and-conquer query tree shared by
@@ -20,7 +22,8 @@ type treeWalker struct {
 	me    []bool  // me[j]: attrs[j] supports ">=" and participates in R(q)
 	rq    bool    // Algorithm 2 mode (Seen check + R(q)); false = Algorithm 1
 
-	seen     [][]int // every tuple returned so far (RQ mode), oldest first
+	mu       sync.Mutex // guards seen/seenKeys when sibling subtrees run in parallel
+	seen     [][]int    // every tuple returned so far (RQ mode), oldest first
 	seenKeys map[string]bool
 }
 
@@ -112,6 +115,8 @@ func (w *treeWalker) matchesQ(n node, t []int) bool {
 // tuples are checked first: a node's query space usually overlaps what its
 // recently-explored siblings returned, so the scan exits early in practice.
 func (w *treeWalker) anySeenMatches(n node) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	for i := len(w.seen) - 1; i >= 0; i-- {
 		if w.matchesQ(n, w.seen[i]) {
 			return true
@@ -202,11 +207,8 @@ func (w *treeWalker) walkRQ(n node) error {
 		}
 		t0 := res.Tuples[0]
 		branch = t0
-		for _, s := range w.c.sky {
-			if skyline.Dominates(s, t0) {
-				branch = s
-				break
-			}
+		if s := w.c.findDominator(t0); s != nil {
+			branch = s
 		}
 		w.noteSeen(res.Tuples)
 		w.c.mergeAll(res.Tuples)
@@ -222,10 +224,91 @@ func (w *treeWalker) walkRQ(n node) error {
 	return nil
 }
 
+// runOn schedules the whole traversal as tasks on the bounded worker pool
+// and returns immediately; the caller drains the pool with Wait. Sibling
+// subtrees are independent branches of the divide-and-conquer cascade, so
+// each becomes its own task. Correctness is schedule-independent: the
+// R(q)-empty early termination is a ground-truth statement about the
+// database (no tuple of q's region lies outside the sibling cover), and
+// the branch-tuple corner cut only ever removes tuples dominated by an
+// already-merged tuple — neither depends on which subtree finishes first.
+// Query counts may differ from the sequential run (the Seen set fills in a
+// different order) but the discovered skyline is the same set.
+func (w *treeWalker) runOn(p *engine.Pool) {
+	p.Spawn(w.task(p, w.root()))
+}
+
+// runSeededOn is runOn with the root node's answer already in hand (the
+// mixed algorithm's cell probe doubles as the cell tree's root query).
+func (w *treeWalker) runSeededOn(p *engine.Pool, root hidden.Result) {
+	n := w.root()
+	w.noteSeen(root.Tuples)
+	if !w.c.overflowed(root) {
+		return
+	}
+	for _, kid := range w.children(n, root.Tuples[0]) {
+		p.Spawn(w.task(p, kid))
+	}
+}
+
+// task returns the pool task processing one tree node: issue the node's
+// query (or its R(q) counterpart in RQ mode) and spawn one task per child
+// subtree. It mirrors runQueue's body (SQ mode) and walkRQ's body (RQ
+// mode) exactly, with recursion replaced by Spawn.
+func (w *treeWalker) task(p *engine.Pool, n node) func() error {
+	return func() error {
+		var branch []int
+		if !w.rq || !w.anySeenMatches(n) {
+			q := w.buildQ(n)
+			if w.c.opt.SkipProvablyEmpty && w.c.provablyEmpty(q) {
+				return nil
+			}
+			res, err := w.c.issue(q)
+			if err != nil {
+				return err
+			}
+			w.noteSeen(res.Tuples)
+			w.c.mergeAll(res.Tuples)
+			if !w.c.overflowed(res) {
+				return nil
+			}
+			branch = res.Tuples[0]
+		} else {
+			rq := w.buildR(n)
+			if w.c.opt.SkipProvablyEmpty && w.c.provablyEmpty(rq) {
+				return nil
+			}
+			res, err := w.c.issue(rq)
+			if err != nil {
+				return err
+			}
+			if len(res.Tuples) == 0 {
+				return nil // no undiscovered tuple below this subtree: abandon
+			}
+			t0 := res.Tuples[0]
+			branch = t0
+			if s := w.c.findDominator(t0); s != nil {
+				branch = s
+			}
+			w.noteSeen(res.Tuples)
+			w.c.mergeAll(res.Tuples)
+			if !w.c.overflowed(res) {
+				return nil
+			}
+		}
+		for _, kid := range w.children(n, branch) {
+			p.Spawn(w.task(p, kid))
+		}
+		return nil
+	}
+}
+
 func (w *treeWalker) noteSeen(ts [][]int) {
 	if !w.rq {
 		return
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	for _, t := range ts {
 		key := tupleKey(t)
 		if !w.seenKeys[key] {
@@ -248,9 +331,15 @@ func allAttrs(m int) []int {
 // interface — the paper's Algorithm 1. It also runs unchanged on RQ
 // interfaces (a strictly stronger capability).
 func SQDBSky(db Interface, opt Options) (Result, error) {
+	db, opt = prepare(db, opt)
 	c := newCtx(db, opt)
 	attrs := allAttrs(c.m)
 	w := newTreeWalker(c, nil, attrs, make([]bool, len(attrs)), false)
+	if p := c.newPool(); p != nil {
+		defer p.Close()
+		w.runOn(p)
+		return c.result(p.Wait())
+	}
 	return c.result(w.run())
 }
 
@@ -261,6 +350,7 @@ func SQDBSky(db Interface, opt Options) (Result, error) {
 // R(q), which keeps the traversal correct (R(q) only grows, so no subtree
 // is abandoned wrongly) at some loss of pruning power.
 func RQDBSky(db Interface, opt Options) (Result, error) {
+	db, opt = prepare(db, opt)
 	c := newCtx(db, opt)
 	attrs := allAttrs(c.m)
 	me := make([]bool, len(attrs))
@@ -268,5 +358,10 @@ func RQDBSky(db Interface, opt Options) (Result, error) {
 		me[j] = db.Cap(a) == hidden.RQ
 	}
 	w := newTreeWalker(c, nil, attrs, me, true)
+	if p := c.newPool(); p != nil {
+		defer p.Close()
+		w.runOn(p)
+		return c.result(p.Wait())
+	}
 	return c.result(w.run())
 }

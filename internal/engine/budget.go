@@ -1,0 +1,70 @@
+package engine
+
+import "sync"
+
+// Budget is a concurrency-safe shared query allowance. Many discovery runs
+// (or many goroutines of one parallel run) draw from the same Budget, so a
+// fleet of runs can be held to one global web-query total with exact
+// accounting: TryAcquire reserves a unit before the query is sent and
+// Release refunds it if the query failed, so Used counts successfully
+// answered queries only and never exceeds the limit.
+type Budget struct {
+	mu    sync.Mutex
+	limit int // <= 0: unlimited
+	used  int
+}
+
+// NewBudget returns a budget of `limit` queries; limit <= 0 is unlimited.
+func NewBudget(limit int) *Budget {
+	return &Budget{limit: limit}
+}
+
+// TryAcquire reserves one unit, reporting false when the budget is spent.
+func (b *Budget) TryAcquire() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.limit > 0 && b.used >= b.limit {
+		return false
+	}
+	b.used++
+	return true
+}
+
+// Release refunds one previously acquired unit (the query it paid for
+// failed and was not answered).
+func (b *Budget) Release() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.used > 0 {
+		b.used--
+	}
+}
+
+// Used returns the number of units currently consumed.
+func (b *Budget) Used() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Remaining returns the units left, or -1 when the budget is unlimited.
+func (b *Budget) Remaining() int {
+	if b == nil {
+		return -1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.limit <= 0 {
+		return -1
+	}
+	return b.limit - b.used
+}

@@ -1,0 +1,64 @@
+// Package engine is the execution layer beneath the discovery algorithms:
+// a bounded-worker task pool for running the independent branches of the
+// divide-and-conquer query cascades concurrently, a concurrency-safe
+// shared query budget for fleets of discovery runs, and a generic
+// bounded-fan-out helper for orchestrating many runs at once.
+//
+// The package deliberately knows nothing about the algorithms themselves:
+// internal/core decomposes its recursions into tasks and schedules them
+// here, and internal/federate uses Fleet + Budget to run many stores under
+// one global web-query allowance. Keeping engine algorithm-free is what
+// lets core depend on it without an import cycle.
+package engine
+
+import (
+	"fmt"
+
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+)
+
+// Backend is the querying surface the engine wraps and gates — structurally
+// identical to core.Interface (engine cannot import core, so the interface
+// is restated here; Go's structural typing makes the two interchangeable).
+type Backend interface {
+	// Query executes a top-k conjunctive query.
+	Query(q query.Q) (hidden.Result, error)
+	// NumAttrs returns the number of ranking attributes.
+	NumAttrs() int
+	// K returns the top-k output limit.
+	K() int
+	// Cap returns the predicate capability of attribute i.
+	Cap(i int) hidden.Capability
+	// Domain returns the advertised value range of attribute i.
+	Domain(i int) query.Interval
+}
+
+// limited gates every backend query through a shared Budget.
+type limited struct {
+	Backend
+	budget *Budget
+}
+
+// Limit wraps db so that every query consumes one unit of the shared
+// budget b. An exhausted budget surfaces as hidden.ErrRateLimited — exactly
+// what a real rate-limited service answers — which the discovery algorithms
+// already map to their anytime ErrBudget. Failed backend queries refund
+// their unit, so the budget counts successfully answered queries only.
+func Limit(db Backend, b *Budget) Backend {
+	if b == nil {
+		return db
+	}
+	return &limited{Backend: db, budget: b}
+}
+
+func (l *limited) Query(q query.Q) (hidden.Result, error) {
+	if !l.budget.TryAcquire() {
+		return hidden.Result{}, fmt.Errorf("%w: shared engine budget exhausted", hidden.ErrRateLimited)
+	}
+	res, err := l.Backend.Query(q)
+	if err != nil {
+		l.budget.Release()
+	}
+	return res, err
+}

@@ -1,0 +1,247 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+)
+
+func TestPoolRunsEverySpawnedTask(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var ran atomic.Int64
+	for i := 0; i < 100; i++ {
+		p.Spawn(func() error {
+			ran.Add(1)
+			return nil
+		})
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks", ran.Load())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	defer p.Close()
+	var cur, peak atomic.Int64
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		p.Spawn(func() error {
+			n := cur.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			if depth > 0 {
+				spawn(depth - 1)
+				spawn(depth - 1)
+			}
+			cur.Add(-1)
+			return nil
+		})
+	}
+	spawn(7) // 2^8-1 tasks via recursive spawning
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", got, workers)
+	}
+}
+
+func TestPoolFirstErrorWinsAndDropsQueuedTasks(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	boom := errors.New("boom")
+	var after atomic.Int64
+	p.Spawn(func() error { return boom })
+	for i := 0; i < 10; i++ {
+		p.Spawn(func() error {
+			after.Add(1)
+			return fmt.Errorf("later error %d", i)
+		})
+	}
+	if err := p.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+	if after.Load() != 0 {
+		t.Fatalf("%d tasks ran after the first error on a single worker", after.Load())
+	}
+	// Wait is a phase barrier: it hands the error to the caller and
+	// resets, so a handled failure doesn't poison the next phase.
+	if err := p.Err(); err != nil {
+		t.Fatalf("Err = %v after Wait, want nil (cleared)", err)
+	}
+	var recovered atomic.Int64
+	for i := 0; i < 5; i++ {
+		p.Spawn(func() error { recovered.Add(1); return nil })
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("recovery phase: %v", err)
+	}
+	if recovered.Load() != 5 {
+		t.Fatalf("recovery phase ran %d of 5 tasks", recovered.Load())
+	}
+}
+
+func TestPoolWaitIsAReusableBarrier(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var phase1, phase2 atomic.Int64
+	for i := 0; i < 10; i++ {
+		p.Spawn(func() error { phase1.Add(1); return nil })
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait 1: %v", err)
+	}
+	if phase1.Load() != 10 {
+		t.Fatalf("phase 1 ran %d of 10", phase1.Load())
+	}
+	for i := 0; i < 10; i++ {
+		p.Spawn(func() error { phase2.Add(1); return nil })
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait 2: %v", err)
+	}
+	if phase2.Load() != 10 {
+		t.Fatalf("phase 2 ran %d of 10", phase2.Load())
+	}
+}
+
+func TestBudgetExactUnderConcurrency(t *testing.T) {
+	const limit = 100
+	b := NewBudget(limit)
+	var granted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if b.TryAcquire() {
+					granted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if granted.Load() != limit {
+		t.Fatalf("granted %d units of a %d budget", granted.Load(), limit)
+	}
+	if b.Used() != limit || b.Remaining() != 0 {
+		t.Fatalf("used=%d remaining=%d, want %d/0", b.Used(), b.Remaining(), limit)
+	}
+	b.Release()
+	if !b.TryAcquire() {
+		t.Fatal("released unit was not re-acquirable")
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	b := NewBudget(0)
+	for i := 0; i < 1000; i++ {
+		if !b.TryAcquire() {
+			t.Fatal("unlimited budget refused a unit")
+		}
+	}
+	if b.Remaining() != -1 {
+		t.Fatalf("Remaining = %d, want -1 (unlimited)", b.Remaining())
+	}
+	var nilB *Budget
+	if !nilB.TryAcquire() || nilB.Used() != 0 {
+		t.Fatal("nil budget must behave as unlimited")
+	}
+}
+
+// fakeBackend answers every query with one fixed tuple.
+type fakeBackend struct {
+	queries atomic.Int64
+	fail    atomic.Bool
+}
+
+func (f *fakeBackend) Query(q query.Q) (hidden.Result, error) {
+	if f.fail.Load() {
+		return hidden.Result{}, errors.New("backend down")
+	}
+	f.queries.Add(1)
+	return hidden.Result{Tuples: [][]int{{1, 2}}}, nil
+}
+func (f *fakeBackend) NumAttrs() int               { return 2 }
+func (f *fakeBackend) K() int                      { return 10 }
+func (f *fakeBackend) Cap(i int) hidden.Capability { return hidden.RQ }
+func (f *fakeBackend) Domain(i int) query.Interval { return query.Interval{Lo: 0, Hi: 9} }
+
+func TestLimitGatesAndRefunds(t *testing.T) {
+	back := &fakeBackend{}
+	b := NewBudget(3)
+	db := Limit(back, b)
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query(nil); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if _, err := db.Query(nil); !errors.Is(err, hidden.ErrRateLimited) {
+		t.Fatalf("over-budget query = %v, want ErrRateLimited", err)
+	}
+	if back.queries.Load() != 3 {
+		t.Fatalf("backend served %d queries, want 3", back.queries.Load())
+	}
+
+	// A failed backend query must refund its unit.
+	back2 := &fakeBackend{}
+	back2.fail.Store(true)
+	b2 := NewBudget(1)
+	db2 := Limit(back2, b2)
+	if _, err := db2.Query(nil); err == nil {
+		t.Fatal("expected backend error")
+	}
+	if b2.Used() != 0 {
+		t.Fatalf("failed query consumed %d budget units", b2.Used())
+	}
+	back2.fail.Store(false)
+	if _, err := db2.Query(nil); err != nil {
+		t.Fatalf("refunded unit unusable: %v", err)
+	}
+}
+
+func TestFleetKeepsInputOrderAndBound(t *testing.T) {
+	var cur, peak atomic.Int64
+	jobs := make([]func() int, 20)
+	for i := range jobs {
+		jobs[i] = func() int {
+			n := cur.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			defer cur.Add(-1)
+			return i * i
+		}
+	}
+	out := Fleet(4, jobs)
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if peak.Load() > 4 {
+		t.Fatalf("observed %d concurrent jobs, bound is 4", peak.Load())
+	}
+	if got := Fleet(3, []func() string(nil)); len(got) != 0 {
+		t.Fatalf("empty fleet returned %d results", len(got))
+	}
+}

@@ -1,0 +1,33 @@
+package engine
+
+import "sync"
+
+// Fleet runs every job with at most `workers` in flight (all at once when
+// workers <= 0) and returns the results in input order. Unlike Pool it is
+// for static fan-out — a known list of independent jobs such as one
+// discovery run per database in a federation — and each job produces a
+// value instead of an error: a fleet member's failure is data to the
+// orchestrator (a partial frontier still merges), not a reason to abandon
+// the other members.
+func Fleet[T any](workers int, jobs []func() T) []T {
+	out := make([]T, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	if workers <= 0 || workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job func() T) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = job()
+		}(i, job)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,129 @@
+package engine
+
+import "sync"
+
+// Pool is a bounded-worker executor for dynamically spawned, mutually
+// independent tasks. It is built for tree recursions: a task may Spawn the
+// tasks for its subtrees and return without waiting for them, so workers
+// never block on each other and a bounded worker count cannot deadlock.
+//
+// Error handling follows the discovery algorithms' anytime contract: the
+// first task error is retained, every task not yet started is dropped
+// without running (its work would be wasted once the budget is gone), and
+// Wait returns the retained error after the in-flight tasks drain.
+//
+// A Pool is reusable: Wait is a barrier, not a shutdown, so multi-phase
+// algorithms can Spawn/Wait repeatedly. Close releases the idle workers
+// when the run is over.
+type Pool struct {
+	mu       sync.Mutex
+	taskCond *sync.Cond // signals workers: queue non-empty or closing
+	doneCond *sync.Cond // signals waiters: pending reached zero
+	queue    []func() error
+	max      int // worker cap
+	started  int // worker goroutines launched
+	idle     int // workers parked on taskCond
+	pending  int // tasks queued or executing
+	closed   bool
+	err      error
+}
+
+// NewPool returns a pool running at most `workers` tasks concurrently
+// (minimum 1). Workers are started lazily on demand.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{max: workers}
+	p.taskCond = sync.NewCond(&p.mu)
+	p.doneCond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.max }
+
+// Spawn schedules fn for execution. Safe for concurrent use, including
+// from inside running tasks. After the pool has recorded an error,
+// scheduled tasks are accounted for but never run.
+func (p *Pool) Spawn(fn func() error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("engine: Spawn on a closed Pool")
+	}
+	p.pending++
+	p.queue = append(p.queue, fn)
+	if p.idle == 0 && p.started < p.max {
+		p.started++
+		go p.worker()
+	}
+	p.taskCond.Signal()
+	p.mu.Unlock()
+}
+
+func (p *Pool) worker() {
+	p.mu.Lock()
+	for {
+		for len(p.queue) == 0 && !p.closed {
+			p.idle++
+			p.taskCond.Wait()
+			p.idle--
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return // closed and drained
+		}
+		fn := p.queue[0]
+		p.queue = p.queue[1:]
+		skip := p.err != nil
+		p.mu.Unlock()
+
+		var err error
+		if !skip {
+			err = fn()
+		}
+
+		p.mu.Lock()
+		if err != nil && p.err == nil {
+			p.err = err
+		}
+		p.pending--
+		if p.pending == 0 {
+			p.doneCond.Broadcast()
+		}
+	}
+}
+
+// Wait blocks until every spawned task (including tasks spawned while
+// waiting) has finished or been dropped, and returns the first task error.
+// The pool stays usable: Wait is a phase barrier, and it clears the
+// recorded error so a caller that handles a failed phase starts the next
+// one with a healthy pool (tasks of the failed phase have all finished or
+// been dropped by the time Wait returns).
+func (p *Pool) Wait() error {
+	p.mu.Lock()
+	for p.pending > 0 {
+		p.doneCond.Wait()
+	}
+	err := p.err
+	p.err = nil
+	p.mu.Unlock()
+	return err
+}
+
+// Err returns the first task error recorded so far (nil while healthy).
+// Tasks use it to stop scheduling doomed work early.
+func (p *Pool) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Close terminates the idle workers. The pool must not be used afterwards.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.taskCond.Broadcast()
+	p.mu.Unlock()
+}

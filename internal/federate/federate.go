@@ -17,9 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"hiddensky/internal/core"
+	"hiddensky/internal/engine"
+	"hiddensky/internal/qcache"
 	"hiddensky/internal/skyline"
 )
 
@@ -178,8 +179,37 @@ func (r Result) Best(score Scorer) (Offer, bool) {
 // DiscoverParallel is Discover with every store queried concurrently —
 // stores are independent services, so their rate limits and latencies
 // don't serialize. Results are merged identically to Discover; per-store
-// statistics keep the stores' input order.
+// statistics keep the stores' input order. It is DiscoverFleet with no
+// fleet bound, budget or cache.
 func DiscoverParallel(stores []Store, opt core.Options) (Result, error) {
+	return DiscoverFleet(stores, opt, FleetOptions{})
+}
+
+// FleetOptions tunes a federated fleet run beyond the per-store discovery
+// options.
+type FleetOptions struct {
+	// MaxStores bounds how many stores are discovered concurrently
+	// (<= 0: all at once).
+	MaxStores int
+	// GlobalBudget, when positive, is the total number of web queries the
+	// whole fleet may spend, shared atomically across stores. A store that
+	// hits the exhausted budget stops with its partial (anytime) skyline
+	// and the merged result is marked incomplete — exactly like a
+	// per-store budget, but fleet-wide. Cached answers consume none of it.
+	GlobalBudget int
+	// Cache, when non-nil, fronts every store with the shared memoizing
+	// query cache: repeated runs (and canonically equal queries inside one
+	// run) are answered without touching the stores. Per-store answers are
+	// keyed separately — stores never see each other's tuples.
+	Cache *qcache.Cache
+}
+
+// DiscoverFleet orchestrates a fleet of discovery runs across the stores
+// on the bounded engine executor: at most MaxStores discoveries in flight,
+// one shared global query budget, and one shared memoizing cache. Each
+// store's own run additionally honors opt.Parallelism, so a fleet of m
+// stores with per-run parallelism p keeps up to m*p queries in flight.
+func DiscoverFleet(stores []Store, opt core.Options, fleet FleetOptions) (Result, error) {
 	if len(stores) == 0 {
 		return Result{}, fmt.Errorf("federate: no stores")
 	}
@@ -190,21 +220,31 @@ func DiscoverParallel(stores []Store, opt core.Options) (Result, error) {
 				s.Name, s.DB.NumAttrs(), m)
 		}
 	}
+	budget := engine.NewBudget(fleet.GlobalBudget)
 	type outcome struct {
 		res core.Result
 		err error
 	}
-	outcomes := make([]outcome, len(stores))
-	var wg sync.WaitGroup
+	jobs := make([]func() outcome, len(stores))
 	for i, s := range stores {
-		wg.Add(1)
-		go func(i int, s Store) {
-			defer wg.Done()
-			res, err := core.Discover(s.DB, opt)
-			outcomes[i] = outcome{res: res, err: err}
-		}(i, s)
+		db := s.DB
+		if fleet.GlobalBudget > 0 {
+			// The budget gate sits below the cache so cached hits consume
+			// no budget; exhaustion surfaces as the rate-limit error the
+			// algorithms already map to their anytime ErrBudget.
+			db = engine.Limit(db, budget)
+		}
+		if fleet.Cache != nil {
+			// Keyed by the bare store (not the per-call gate) so one warm
+			// cache keeps serving the store across fleet runs.
+			db = fleet.Cache.WrapAs(s.DB, db)
+		}
+		jobs[i] = func() outcome {
+			res, err := core.Discover(db, opt)
+			return outcome{res: res, err: err}
+		}
 	}
-	wg.Wait()
+	outcomes := engine.Fleet(fleet.MaxStores, jobs)
 
 	out := Result{Complete: true}
 	var all []Offer

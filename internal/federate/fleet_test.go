@@ -1,0 +1,204 @@
+package federate
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hiddensky/internal/core"
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/qcache"
+	"hiddensky/internal/query"
+)
+
+// countingDB instruments a store backend with a mutating shared counter so
+// -race exercises the fleet's access pattern and tests can assert exact
+// accounting.
+type countingDB struct {
+	db core.Interface
+
+	mu     sync.Mutex
+	served int
+}
+
+func (c *countingDB) Query(q query.Q) (hidden.Result, error) {
+	res, err := c.db.Query(q)
+	if err == nil {
+		c.mu.Lock()
+		c.served++
+		c.mu.Unlock()
+	}
+	return res, err
+}
+func (c *countingDB) NumAttrs() int               { return c.db.NumAttrs() }
+func (c *countingDB) K() int                      { return c.db.K() }
+func (c *countingDB) Cap(i int) hidden.Capability { return c.db.Cap(i) }
+func (c *countingDB) Domain(i int) query.Interval { return c.db.Domain(i) }
+
+func (c *countingDB) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.served
+}
+
+func fleetStores(t *testing.T, seed int64, n int) ([]Store, []*countingDB) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var stores []Store
+	var counters []*countingDB
+	for s := 0; s < n; s++ {
+		data := make([][]int, 300)
+		for i := range data {
+			data[i] = []int{rng.Intn(50), rng.Intn(50), rng.Intn(50)}
+		}
+		db, err := hidden.New(hidden.Config{
+			Data: data,
+			Caps: []hidden.Capability{hidden.RQ, hidden.RQ, hidden.RQ},
+			K:    5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cdb := &countingDB{db: db}
+		counters = append(counters, cdb)
+		stores = append(stores, Store{Name: string(rune('A' + s)), DB: cdb})
+	}
+	return stores, counters
+}
+
+// TestFleetMatchesSequentialWithExactAccounting: the engine-orchestrated
+// fleet must produce the same frontier as the sequential Discover, with no
+// query lost or double-counted across stores — even with per-store
+// parallelism layered on top.
+func TestFleetMatchesSequentialWithExactAccounting(t *testing.T) {
+	seqStores, _ := fleetStores(t, 5, 4)
+	seq, err := Discover(seqStores, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stores, counters := fleetStores(t, 5, 4)
+	res, err := DiscoverFleet(stores, core.Options{Parallelism: 3}, FleetOptions{MaxStores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("fleet result not marked complete")
+	}
+	if len(res.Frontier) != len(seq.Frontier) {
+		t.Fatalf("fleet frontier has %d offers, sequential %d", len(res.Frontier), len(seq.Frontier))
+	}
+	want := map[string]bool{}
+	for _, o := range seq.Frontier {
+		want[o.Store+":"+fmt.Sprint(o.Tuple)] = true
+	}
+	for _, o := range res.Frontier {
+		if !want[o.Store+":"+fmt.Sprint(o.Tuple)] {
+			t.Fatalf("fleet frontier holds unexpected offer %v from %s", o.Tuple, o.Store)
+		}
+	}
+
+	total := 0
+	for i, c := range counters {
+		if got := res.PerStore[i].Queries; got != c.count() {
+			t.Fatalf("store %d reported %d queries, backend served %d", i, got, c.count())
+		}
+		total += c.count()
+	}
+	if res.Queries != total {
+		t.Fatalf("fleet reported %d total queries, backends served %d", res.Queries, total)
+	}
+}
+
+// TestFleetGlobalBudget: the shared budget is a fleet-wide cap with exact
+// accounting; stores that hit it contribute partial skylines (anytime).
+func TestFleetGlobalBudget(t *testing.T) {
+	// Establish the unbudgeted cost first.
+	stores, counters := fleetStores(t, 9, 3)
+	full, err := DiscoverFleet(stores, core.Options{}, FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := full.Queries / 2
+	if budget < 1 {
+		t.Skipf("workload too cheap to budget (%d queries)", full.Queries)
+	}
+	for _, c := range counters {
+		c.mu.Lock()
+		c.served = 0
+		c.mu.Unlock()
+	}
+
+	stores2, counters2 := fleetStores(t, 9, 3)
+	res, err := DiscoverFleet(stores2, core.Options{Parallelism: 2}, FleetOptions{GlobalBudget: budget})
+	if err != nil {
+		t.Fatalf("a budget stop must surface as an incomplete result, not an error: %v", err)
+	}
+	if res.Complete {
+		t.Fatalf("fleet completed under a budget of %d (full cost %d)", budget, full.Queries)
+	}
+	total := 0
+	for _, c := range counters2 {
+		total += c.count()
+	}
+	if total > budget {
+		t.Fatalf("backends served %d queries, global budget was %d", total, budget)
+	}
+	if res.Queries != total {
+		t.Fatalf("fleet reported %d queries, backends served %d", res.Queries, total)
+	}
+}
+
+// TestFleetSharedCache: one cache fronts every store; re-running the fleet
+// answers from memory (dedup ratio > 0) without changing the frontier, and
+// cached answers stay per-store.
+func TestFleetSharedCache(t *testing.T) {
+	stores, counters := fleetStores(t, 13, 3)
+	cache := qcache.New(qcache.Config{})
+	first, err := DiscoverFleet(stores, core.Options{}, FleetOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make([]int, len(counters))
+	for i, c := range counters {
+		served[i] = c.count()
+	}
+	second, err := DiscoverFleet(stores, core.Options{}, FleetOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Frontier) != len(first.Frontier) {
+		t.Fatalf("cached re-run changed the frontier: %d vs %d offers", len(second.Frontier), len(first.Frontier))
+	}
+	if s := cache.Stats(); s.DedupRatio() <= 0 {
+		t.Fatalf("shared cache never deduplicated: %+v", s)
+	}
+	for i, c := range counters {
+		if c.count() != served[i] {
+			// Re-wrapping a store reuses its keyspace only when the fleet
+			// passes the same backend value; countingDB pointers are stable
+			// here, so the second run must be fully cached.
+			t.Fatalf("store %d re-paid %d backend queries on a warm cache", i, c.count()-served[i])
+		}
+	}
+}
+
+// TestFleetBudgetBelowCacheIsNotChargedForHits: with a warm shared cache,
+// a tiny global budget still lets the fleet finish — cached answers are
+// free, which is the whole point of putting the budget gate beneath the
+// cache.
+func TestFleetBudgetBelowCacheIsNotChargedForHits(t *testing.T) {
+	stores, _ := fleetStores(t, 17, 2)
+	cache := qcache.New(qcache.Config{})
+	if _, err := DiscoverFleet(stores, core.Options{}, FleetOptions{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := DiscoverFleet(stores, core.Options{}, FleetOptions{Cache: cache, GlobalBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("warm-cache fleet run should complete without touching the 1-query budget")
+	}
+}

@@ -1,0 +1,353 @@
+// Package qcache is a concurrency-safe memoizing front for hidden-database
+// interfaces. Discovery cascades re-ask the same top-k question in many
+// syntactic guises — across sibling subtrees, across algorithm phases,
+// across repeated runs, and across the members of a federated fleet — and
+// every duplicate costs a real (rate-limited, network-priced) web query.
+// The cache removes that cost three ways:
+//
+//   - canonicalization: each conjunctive query is reduced to its canonical
+//     box under the backend's advertised domains (multiple predicates per
+//     attribute intersect, "A0 < 5" and "A0 <= 4" coincide, predicate order
+//     is irrelevant), so syntactically different but semantically identical
+//     queries share one cache entry;
+//   - memoization: answered boxes are kept in an LRU-bounded store and
+//     served back without touching the backend — a cached hit consumes no
+//     rate-limit budget;
+//   - in-flight deduplication (singleflight): concurrent askers of one box
+//     share a single backend query, so a parallel discovery run never pays
+//     for the same answer twice even before it is cached.
+//
+// One Cache may front many backends (a fleet shares one store and one
+// entry budget); answers are keyed per backend, so distinct databases
+// never cross-contaminate.
+package qcache
+
+import (
+	"strconv"
+	"sync"
+
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+)
+
+// Backend is the minimal querying surface the cache wraps — structurally
+// identical to core.Interface (restated here so core can depend on qcache
+// without an import cycle).
+type Backend interface {
+	Query(q query.Q) (hidden.Result, error)
+	NumAttrs() int
+	K() int
+	Cap(i int) hidden.Capability
+	Domain(i int) query.Interval
+}
+
+// Config tunes a Cache.
+type Config struct {
+	// MaxEntries bounds the number of memoized answers across all wrapped
+	// backends; the least recently used entry is evicted beyond it.
+	// Zero picks DefaultMaxEntries; negative means unbounded.
+	MaxEntries int
+}
+
+// DefaultMaxEntries is the entry bound used when Config.MaxEntries is 0.
+const DefaultMaxEntries = 1 << 16
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	// Lookups counts every Query served through the cache.
+	Lookups int
+	// Hits counts lookups answered from the memo store.
+	Hits int
+	// Coalesced counts lookups that shared another caller's in-flight
+	// backend query (the singleflight dedup).
+	Coalesced int
+	// Misses counts lookups that paid a backend query (Lookups - Hits -
+	// Coalesced); this is what the backend actually served.
+	Misses int
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int
+}
+
+// DedupRatio is the fraction of lookups answered without a backend query.
+func (s Stats) DedupRatio() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(s.Lookups)
+}
+
+// entry is one memoized answer, on the LRU list.
+type entry struct {
+	key        string
+	res        hidden.Result
+	prev, next *entry
+}
+
+// call is one in-flight backend query being shared.
+type call struct {
+	done chan struct{}
+	res  hidden.Result
+	err  error
+}
+
+// Cache is the shared memo store. Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[string]*entry
+	inflight map[string]*call
+	head     *entry // most recently used
+	tail     *entry // least recently used
+	stats    Stats
+
+	bindings []binding
+	nextID   uint64
+}
+
+// binding ties a wrapped backend to its keyspace id so that re-wrapping
+// the same backend reuses its cached answers.
+type binding struct {
+	db Backend
+	id uint64
+}
+
+// New returns an empty cache.
+func New(cfg Config) *Cache {
+	max := cfg.MaxEntries
+	if max == 0 {
+		max = DefaultMaxEntries
+	}
+	return &Cache{
+		max:      max,
+		entries:  map[string]*entry{},
+		inflight: map[string]*call{},
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of memoized answers currently held.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Wrap returns a view of db that serves repeated queries from the cache.
+// Wrapping the same backend again reuses its keyspace, so answers survive
+// across discovery runs; distinct backends never share answers.
+func (c *Cache) Wrap(db Backend) *DB { return c.WrapAs(db, db) }
+
+// WrapAs is Wrap with an explicit identity: answers are keyed by identity
+// while queries are executed through db. Fleets use it to keep a stable
+// keyspace for a store whose querying path is re-wrapped per run (e.g. a
+// fresh budget gate each fleet call): identity is the bare store, db the
+// gated view. The caller must guarantee db answers exactly as identity
+// does (gates and instrumentation are answer-transparent; a different
+// database is not).
+// maxBindings bounds the remembered backend→keyspace identities. Beyond
+// it the oldest binding is forgotten (FIFO): its entries become
+// unreachable and age out of the LRU, and re-wrapping that backend simply
+// starts a fresh keyspace. This keeps a long-lived shared Cache from
+// leaking when it fronts a stream of ephemeral wrappers (e.g. one
+// filtered view per request).
+const maxBindings = 1024
+
+func (c *Cache) WrapAs(identity, db Backend) *DB {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, b := range c.bindings {
+		if comparable_(b.db) && b.db == identity {
+			return c.bind(b.id, db)
+		}
+	}
+	c.nextID++
+	c.bindings = append(c.bindings, binding{db: identity, id: c.nextID})
+	if len(c.bindings) > maxBindings {
+		c.bindings = append(c.bindings[:0:0], c.bindings[1:]...)
+	}
+	return c.bind(c.nextID, db)
+}
+
+// comparable_ reports whether the interface value supports ==. Backends
+// are normally pointers (always comparable); exotic non-comparable
+// implementations just forgo cross-run reuse.
+func comparable_(db Backend) bool {
+	switch db.(type) {
+	case nil:
+		return false
+	}
+	defer func() { _ = recover() }()
+	type probe struct{ b Backend }
+	return probe{db} == probe{db}
+}
+
+func (c *Cache) bind(id uint64, db Backend) *DB {
+	m := db.NumAttrs()
+	domains := make([]query.Interval, m)
+	for i := 0; i < m; i++ {
+		domains[i] = db.Domain(i)
+	}
+	return &DB{cache: c, id: id, db: db, domains: domains}
+}
+
+// lruFront moves e to the most-recently-used position.
+func (c *Cache) lruFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	// unlink
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	// push front
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// store memoizes res under key, evicting the LRU entry beyond the bound.
+func (c *Cache) store(key string, res hidden.Result) {
+	if e, ok := c.entries[key]; ok {
+		e.res = res
+		c.lruFront(e)
+		return
+	}
+	e := &entry{key: key, res: res}
+	c.entries[key] = e
+	c.lruFront(e)
+	if c.max > 0 && len(c.entries) > c.max {
+		lru := c.tail
+		if lru != nil {
+			if lru.prev != nil {
+				lru.prev.next = nil
+			}
+			c.tail = lru.prev
+			if c.head == lru {
+				c.head = nil
+			}
+			delete(c.entries, lru.key)
+			c.stats.Evictions++
+		}
+	}
+}
+
+// DB is one backend's cached view; it implements the same interface as the
+// backend it wraps, so discovery algorithms use it unchanged.
+type DB struct {
+	cache   *Cache
+	id      uint64
+	db      Backend
+	domains []query.Interval
+}
+
+// Unwrap returns the backend beneath the cache.
+func (d *DB) Unwrap() Backend { return d.db }
+
+// Cache returns the shared store this view draws from.
+func (d *DB) Cache() *Cache { return d.cache }
+
+// key renders the query's canonical box in d's keyspace. The box under the
+// advertised domains is a complete invariant of the query's semantics on
+// this backend (integer attributes), which is what makes memoization safe
+// across every capability mixture.
+func (d *DB) key(q query.Q) string {
+	box := q.Canonicalize(d.domains)
+	buf := make([]byte, 0, 16+12*len(box.Dims))
+	buf = strconv.AppendUint(buf, d.id, 36)
+	for _, iv := range box.Dims {
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, int64(iv.Lo), 36)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(iv.Hi), 36)
+	}
+	return string(buf)
+}
+
+// Query implements the hidden-database interface with memoization and
+// in-flight deduplication. Cached and coalesced answers never reach the
+// backend, so they consume no rate-limit budget.
+func (d *DB) Query(q query.Q) (hidden.Result, error) {
+	key := d.key(q)
+	c := d.cache
+
+	c.mu.Lock()
+	c.stats.Lookups++
+	if e, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		c.lruFront(e)
+		res := copyResult(e.res)
+		c.mu.Unlock()
+		return res, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return hidden.Result{}, fl.err
+		}
+		return copyResult(fl.res), nil
+	}
+	fl := &call{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	fl.res, fl.err = d.db.Query(q)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil {
+		c.store(key, fl.res)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+
+	if fl.err != nil {
+		return hidden.Result{}, fl.err
+	}
+	return copyResult(fl.res), nil
+}
+
+// NumAttrs implements the hidden-database interface.
+func (d *DB) NumAttrs() int { return d.db.NumAttrs() }
+
+// K implements the hidden-database interface.
+func (d *DB) K() int { return d.db.K() }
+
+// Cap implements the hidden-database interface.
+func (d *DB) Cap(i int) hidden.Capability { return d.db.Cap(i) }
+
+// Domain implements the hidden-database interface.
+func (d *DB) Domain(i int) query.Interval { return d.domains[i] }
+
+// copyResult deep-copies the tuples so concurrent callers can never alias
+// each other's (or the cache's) answer.
+func copyResult(r hidden.Result) hidden.Result {
+	out := hidden.Result{Overflow: r.Overflow}
+	if r.Tuples != nil {
+		out.Tuples = make([][]int, len(r.Tuples))
+		for i, t := range r.Tuples {
+			out.Tuples[i] = append([]int(nil), t...)
+		}
+	}
+	return out
+}

@@ -6,16 +6,46 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"hiddensky/internal/hidden"
 	"hiddensky/internal/query"
 )
 
+// DefaultRetryBackoff is how long Query waits before its single retry of a
+// 429 answer when the server sends no Retry-After header.
+const DefaultRetryBackoff = 250 * time.Millisecond
+
+// maxRetryAfter caps how long Query honors a server-provided Retry-After.
+const maxRetryAfter = 5 * time.Second
+
+// RateLimitError reports that the remote endpoint rate-limited the client
+// even after the single backoff-and-retry. It unwraps to
+// hidden.ErrRateLimited, so errors.Is(err, hiddensky.ErrRateLimited) holds
+// and the discovery algorithms treat it as their anytime budget stop.
+type RateLimitError struct {
+	// RetryAfter is the server-suggested wait (zero when not advertised).
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("web: remote answered 429 twice (retry after %v)", e.RetryAfter)
+	}
+	return "web: remote answered 429 twice"
+}
+
+func (e *RateLimitError) Unwrap() error { return hidden.ErrRateLimited }
+
 // Client implements core.Interface against a remote hidden-database
 // endpoint served by Server. The discovery algorithms run against it
 // unchanged — every Query is one HTTP round trip, mirroring what a real
-// third-party service pays per search request.
+// third-party service pays per search request. A Client is safe for
+// concurrent use: the parallel executor and federated fleets may share
+// one, reusing its keep-alive connections.
 type Client struct {
 	base string
 	http *http.Client
@@ -24,7 +54,8 @@ type Client struct {
 	caps    []hidden.Capability
 	domains []query.Interval
 	names   []string
-	queries int
+	queries atomic.Int64
+	backoff atomic.Int64 // nanoseconds; 0 = DefaultRetryBackoff
 }
 
 // Dial fetches the remote schema and returns a ready client. httpClient
@@ -62,7 +93,17 @@ func Dial(baseURL string, httpClient *http.Client) (*Client, error) {
 	return c, nil
 }
 
-// Query implements core.Interface with one HTTP search request.
+// SetRetryBackoff overrides the wait before the single 429 retry
+// (DefaultRetryBackoff when unset; a server Retry-After still wins).
+func (c *Client) SetRetryBackoff(d time.Duration) { c.backoff.Store(int64(d)) }
+
+// Query implements core.Interface with one HTTP search request. A 429
+// answer is retried once after a backoff (the server's Retry-After when
+// advertised, SetRetryBackoff/DefaultRetryBackoff otherwise) — transient
+// rate limits are the norm mid-discovery and a raw error would abort an
+// otherwise healthy run. A second 429 returns a *RateLimitError, which
+// errors.Is-matches hiddensky.ErrRateLimited so discovery degrades to its
+// anytime partial result.
 func (c *Client) Query(q query.Q) (hidden.Result, error) {
 	req := SearchRequest{}
 	for _, p := range q {
@@ -72,27 +113,77 @@ func (c *Client) Query(q query.Q) (hidden.Result, error) {
 	if err != nil {
 		return hidden.Result{}, err
 	}
+	res, retryAfter, err := c.search(body)
+	if err == nil || !isRateLimited(err) {
+		return res, err
+	}
+	wait := retryAfter
+	if wait <= 0 {
+		wait = time.Duration(c.backoff.Load())
+	}
+	if wait <= 0 {
+		wait = DefaultRetryBackoff
+	}
+	time.Sleep(wait)
+	res, retryAfter, err = c.search(body)
+	if err != nil && isRateLimited(err) {
+		return hidden.Result{}, &RateLimitError{RetryAfter: retryAfter}
+	}
+	return res, err
+}
+
+// errRemoteRateLimited marks a single 429 answer internally.
+var errRemoteRateLimited = fmt.Errorf("%w: remote answered 429", hidden.ErrRateLimited)
+
+func isRateLimited(err error) bool {
+	return err == errRemoteRateLimited
+}
+
+// search performs one POST /v1/search round trip. The response body is
+// always drained so the keep-alive connection can be reused by the next
+// (possibly concurrent) query.
+func (c *Client) search(body []byte) (hidden.Result, time.Duration, error) {
 	resp, err := c.http.Post(c.base+"/v1/search", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return hidden.Result{}, fmt.Errorf("web: search request: %w", err)
+		return hidden.Result{}, 0, fmt.Errorf("web: search request: %w", err)
 	}
-	defer resp.Body.Close()
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusTooManyRequests:
-		return hidden.Result{}, fmt.Errorf("%w: remote answered 429", hidden.ErrRateLimited)
+		return hidden.Result{}, parseRetryAfter(resp.Header.Get("Retry-After")), errRemoteRateLimited
 	case http.StatusBadRequest:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return hidden.Result{}, fmt.Errorf("%w: %s", hidden.ErrUnsupportedPredicate, strings.TrimSpace(string(msg)))
+		return hidden.Result{}, 0, fmt.Errorf("%w: %s", hidden.ErrUnsupportedPredicate, strings.TrimSpace(string(msg)))
 	default:
-		return hidden.Result{}, fmt.Errorf("web: search answered %s", resp.Status)
+		return hidden.Result{}, 0, fmt.Errorf("web: search answered %s", resp.Status)
 	}
 	var sr SearchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return hidden.Result{}, fmt.Errorf("web: decoding search response: %w", err)
+		return hidden.Result{}, 0, fmt.Errorf("web: decoding search response: %w", err)
 	}
-	c.queries++
-	return hidden.Result{Tuples: sr.Tuples, Overflow: sr.Overflow}, nil
+	c.queries.Add(1)
+	return hidden.Result{Tuples: sr.Tuples, Overflow: sr.Overflow}, 0, nil
+}
+
+// parseRetryAfter reads a seconds-valued Retry-After header, capped to
+// keep a misbehaving server from stalling discovery.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
 }
 
 // NumAttrs implements core.Interface.
@@ -111,7 +202,7 @@ func (c *Client) Domain(i int) query.Interval { return c.domains[i] }
 func (c *Client) AttrName(i int) string { return c.names[i] }
 
 // QueriesIssued counts successful search requests sent by this client.
-func (c *Client) QueriesIssued() int { return c.queries }
+func (c *Client) QueriesIssued() int { return int(c.queries.Load()) }
 
 func parseCap(s string) (hidden.Capability, error) {
 	switch strings.ToUpper(strings.TrimSpace(s)) {

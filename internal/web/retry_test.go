@@ -1,0 +1,186 @@
+package web
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hiddensky/internal/core"
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+)
+
+// flakyServer answers /v1/meta normally and rate-limits the first
+// `limit429` search requests before serving, emulating a transient burst
+// limit.
+func flakyServer(t *testing.T, db *hidden.DB, limit429 int32) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	inner := NewServer(db, nil)
+	var rejected atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/meta", inner.ServeHTTP)
+	mux.HandleFunc("/v1/search", func(w http.ResponseWriter, r *http.Request) {
+		if rejected.Add(1) <= limit429 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "burst limit"})
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	return httptest.NewServer(mux), &rejected
+}
+
+// TestClientRetriesOnceOn429: one transient 429 is absorbed by the single
+// backoff-and-retry instead of aborting the discovery mid-run.
+func TestClientRetriesOnceOn429(t *testing.T) {
+	db := testDB(t, 60, 2, 12, 5, capsAll(2, hidden.RQ), 0)
+	srv, _ := flakyServer(t, db, 1)
+	defer srv.Close()
+
+	c, err := Dial(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryBackoff(time.Millisecond)
+	res, err := c.Query(query.Q{{Attr: 0, Op: query.LT, Value: 9}})
+	if err != nil {
+		t.Fatalf("a single 429 must be retried away, got %v", err)
+	}
+	want, _ := db.Query(query.Q{{Attr: 0, Op: query.LT, Value: 9}})
+	if len(res.Tuples) != len(want.Tuples) {
+		t.Fatalf("retried answer has %d tuples, want %d", len(res.Tuples), len(want.Tuples))
+	}
+	if c.QueriesIssued() != 1 {
+		t.Fatalf("QueriesIssued = %d, want 1 (the rejected attempt does not count)", c.QueriesIssued())
+	}
+}
+
+// TestClientReturnsTypedErrorOnPersistent429: a second 429 surfaces as
+// *RateLimitError, which errors.Is-matches ErrRateLimited (the facade's
+// hiddensky.ErrRateLimited) so discovery degrades to its anytime result.
+func TestClientReturnsTypedErrorOnPersistent429(t *testing.T) {
+	db := testDB(t, 60, 2, 12, 5, capsAll(2, hidden.RQ), 0)
+	srv, rejected := flakyServer(t, db, 1<<30)
+	defer srv.Close()
+
+	c, err := Dial(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryBackoff(time.Millisecond)
+	_, err = c.Query(nil)
+	var rle *RateLimitError
+	if !errors.As(err, &rle) {
+		t.Fatalf("err = %v (%T), want *RateLimitError", err, err)
+	}
+	if !errors.Is(err, hidden.ErrRateLimited) {
+		t.Fatal("typed error must errors.Is-match ErrRateLimited")
+	}
+	if got := rejected.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want exactly 2 (one retry)", got)
+	}
+}
+
+// TestClientHonorsRetryAfterHeader: the server's Retry-After is used as
+// the backoff and reported in the typed error.
+func TestClientHonorsRetryAfterHeader(t *testing.T) {
+	var hits atomic.Int32
+	mux := http.NewServeMux()
+	db := testDB(t, 20, 2, 8, 5, capsAll(2, hidden.RQ), 0)
+	inner := NewServer(db, nil)
+	mux.HandleFunc("/v1/meta", inner.ServeHTTP)
+	mux.HandleFunc("/v1/search", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c, err := Dial(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Query(nil)
+	elapsed := time.Since(start)
+	var rle *RateLimitError
+	if !errors.As(err, &rle) {
+		t.Fatalf("err = %v, want *RateLimitError", err)
+	}
+	if rle.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s from the header", rle.RetryAfter)
+	}
+	if elapsed < time.Second {
+		t.Fatalf("client waited only %v before retrying, Retry-After said 1s", elapsed)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d attempts, want 2", hits.Load())
+	}
+}
+
+// TestClientSafeForConcurrentUse: one shared client under a parallel
+// discovery run — the scenario Options.Parallelism creates — must be
+// race-free with exact query accounting.
+func TestClientSafeForConcurrentUse(t *testing.T) {
+	db := testDB(t, 400, 3, 30, 5, capsAll(3, hidden.RQ), 0)
+	srv := httptest.NewServer(NewServer(db, nil))
+	defer srv.Close()
+
+	c, err := Dial(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Discover(c, core.Options{Parallelism: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("parallel remote discovery not complete")
+	}
+	if c.QueriesIssued() != res.Queries {
+		t.Fatalf("client counted %d queries, discovery reported %d", c.QueriesIssued(), res.Queries)
+	}
+	seq, err := core.Discover(c, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, tup := range res.Skyline {
+		got[key(tup)] = true
+	}
+	for _, tup := range seq.Skyline {
+		if !got[key(tup)] {
+			t.Fatalf("parallel remote skyline misses %v", tup)
+		}
+	}
+	if len(res.Skyline) != len(seq.Skyline) {
+		t.Fatalf("parallel remote skyline has %d tuples, sequential %d", len(res.Skyline), len(seq.Skyline))
+	}
+
+	// Raw concurrent queries through one client.
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Query(query.Q{{Attr: 0, Op: query.LE, Value: i}}); err != nil {
+				t.Errorf("concurrent query %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func key(t []int) string {
+	b := make([]byte, 0, len(t)*4)
+	for _, v := range t {
+		b = append(b, byte(v), byte(v>>8), ',')
+	}
+	return string(b)
+}

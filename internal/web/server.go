@@ -120,6 +120,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	res, filters, err := s.db.QueryFull(q)
 	switch {
 	case errors.Is(err, hidden.ErrRateLimited):
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 		return
 	case errors.Is(err, hidden.ErrUnsupportedPredicate), errors.Is(err, hidden.ErrBadQuery):
