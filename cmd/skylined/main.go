@@ -1,0 +1,176 @@
+// Command skylined is the discovery job daemon: a long-running HTTP
+// service that accepts skyline-discovery jobs against named stores,
+// runs them behind a max-concurrent-jobs FIFO gate, streams progress
+// over polling and SSE endpoints, and checkpoints resumable jobs into a
+// snapshot directory — kill the daemon mid-job and the restarted
+// process resumes every in-flight job without repeating a counted
+// query.
+//
+// Stores are named targets: a remote skyserve endpoint (http:// URL) or
+// a local CSV dataset served through the in-process simulator.
+//
+// Usage:
+//
+//	skylined -addr 127.0.0.1:8090 -snapshots ./snapshots -max-jobs 4 \
+//	         -store diamonds=http://127.0.0.1:8080 -store autos=autos.csv
+//
+// Submit and watch jobs with the HTTP API (see internal/service):
+//
+//	curl -XPOST localhost:8090/v1/jobs -d '{"store":"diamonds","resumable":true}'
+//	curl localhost:8090/v1/jobs/j000001
+//	curl -N localhost:8090/v1/jobs/j000001/events
+package main
+
+import (
+	"context"
+
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hiddensky/internal/core"
+	"hiddensky/internal/datagen"
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/service"
+	"hiddensky/internal/web"
+)
+
+// storeFlags collects repeated -store name=target flags.
+type storeFlags []string
+
+func (s *storeFlags) String() string { return strings.Join(*s, ",") }
+
+func (s *storeFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8090", "listen address")
+	snapshots := flag.String("snapshots", "", "snapshot directory (empty = no persistence, jobs die with the daemon)")
+	maxJobs := flag.Int("max-jobs", 2, "max concurrently running jobs; further jobs queue FIFO")
+	cacheSize := flag.Int("cache", 4096, "shared query-cache entries (0 = no cache, -1 = unbounded)")
+	checkpointEvery := flag.Int("checkpoint-every", 8, "queries between snapshot writes for resumable jobs")
+	k := flag.Int("k", 10, "top-k limit for CSV-backed stores")
+	rankName := flag.String("rank", "sum", "ranking for CSV-backed stores: sum | attrN | lex | random")
+	var stores storeFlags
+	flag.Var(&stores, "store", "name=target store (repeatable); target is a skyserve URL (http://...) or a CSV path")
+	flag.Parse()
+
+	if len(stores) == 0 {
+		fmt.Fprintln(os.Stderr, "skylined: at least one -store is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	mgr, err := service.NewManager(service.Config{
+		MaxConcurrent:   *maxJobs,
+		SnapshotDir:     *snapshots,
+		CacheSize:       *cacheSize,
+		CheckpointEvery: *checkpointEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, s := range stores {
+		name, target, ok := strings.Cut(s, "=")
+		if !ok || name == "" || target == "" {
+			fatal(fmt.Errorf("bad -store %q (want name=target)", s))
+		}
+		db, desc, err := openStore(target, *k, *rankName)
+		if err != nil {
+			fatal(fmt.Errorf("store %q: %w", name, err))
+		}
+		if err := mgr.AddStore(name, db); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "skylined: store %q = %s\n", name, desc)
+	}
+	resumed, err := mgr.Recover()
+	if err != nil {
+		fatal(err)
+	}
+	if resumed > 0 {
+		fmt.Fprintf(os.Stderr, "skylined: resumed %d unfinished job(s) from %s\n", resumed, *snapshots)
+	}
+
+	// Requests inherit baseCtx so open SSE streams (which otherwise live
+	// until their job is terminal) end when shutdown begins — without
+	// that, srv.Shutdown would wait its full timeout on every watcher.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     service.NewHandler(mgr),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "skylined: serving %d store(s) on http://%s (max-jobs=%d, snapshots=%q)\n",
+		len(stores), *addr, *maxJobs, *snapshots)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "skylined: shutting down (checkpointing jobs, draining connections)")
+	// Park and checkpoint the jobs first — their budget should not be
+	// shared with (or starved by) the HTTP drain.
+	closeCtx, cancelClose := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelClose()
+	if err := mgr.Close(closeCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "skylined: manager shutdown: %v\n", err)
+	}
+	baseCancel() // end the SSE streams so the drain below is quick
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "skylined: http shutdown: %v\n", err)
+	}
+}
+
+// openStore resolves a -store target: a URL dials a remote skyserve, a
+// path loads a CSV dataset into the in-process simulator.
+func openStore(target string, k int, rankName string) (db core.Interface, desc string, err error) {
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		client, err := web.Dial(target, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		return client, fmt.Sprintf("remote %s (%d attrs, k=%d)", target, client.NumAttrs(), client.K()), nil
+	}
+	f, err := os.Open(target)
+	if err != nil {
+		return nil, "", err
+	}
+	d, err := datagen.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return nil, "", err
+	}
+	rank, err := hidden.ParseRanking(rankName)
+	if err != nil {
+		return nil, "", err
+	}
+	hdb, err := hidden.New(d.Config(k, rank))
+	if err != nil {
+		return nil, "", err
+	}
+	return hdb, fmt.Sprintf("local %s (%d tuples, %d attrs, k=%d)", target, hdb.Size(), hdb.NumAttrs(), k), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "skylined: %v\n", err)
+	os.Exit(1)
+}

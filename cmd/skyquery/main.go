@@ -17,6 +17,14 @@
 // equal and concurrent duplicate queries are answered once) and prints the
 // cache's dedup statistics after the run.
 //
+// -resume FILE makes the run checkpointable (the paper's per-day-quota
+// reality, §8): discovery runs as a serializable session, and when the
+// budget (local -budget or the site's own rate limit) interrupts it the
+// session is saved to FILE; rerunning with the same -resume continues
+// exactly where it stopped, repeating no counted query. The file is
+// removed once the skyline is complete. Requires an interface whose
+// attributes support one-ended ranges (SQ/RQ).
+//
 // The CSV format is the one cmd/datagen emits: a name header row, a
 // capability row (SQ/RQ/PQ per ranking attribute, "-" for #filter
 // columns), then data rows.
@@ -49,6 +57,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "run independent discovery branches on this many workers (1 = the paper's sequential execution)")
 	cacheSize := flag.Int("cache", 0, "memoize up to this many query answers in the shared query cache (0 = no cache, -1 = unbounded)")
 	baseline := flag.Bool("baseline", false, "also run the crawling BASELINE for comparison (needs an all-RQ interface)")
+	resume := flag.String("resume", "", "session checkpoint file: save on budget exhaustion, continue on the next run")
 	where := flag.String("where", "", "conjunctive filter, e.g. \"A0<500,A2>=3\": discover the skyline of the matching subset only")
 	showTuples := flag.Bool("tuples", true, "print the discovered tuples")
 	flag.Parse()
@@ -77,7 +86,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rank, err := parseRank(*rankName)
+		rank, err := hidden.ParseRanking(*rankName)
 		if err != nil {
 			fatal(err)
 		}
@@ -108,6 +117,16 @@ func main() {
 				s.Lookups, s.Hits, s.Coalesced, s.Misses, s.DedupRatio())
 		}
 	}()
+	if *resume != "" {
+		if *band > 1 || *baseline || *where != "" {
+			fatal(fmt.Errorf("-resume is incompatible with -band, -baseline and -where"))
+		}
+		if a := strings.ToLower(*algo); a != "auto" && a != "sq" {
+			fatal(fmt.Errorf("-resume runs the checkpointable SQ session walk; -algo %s is not resumable", *algo))
+		}
+		runResume(db, *resume, opt, names, *showTuples)
+		return
+	}
 	if *band > 1 {
 		runBand(db, *band, opt, names, *showTuples)
 		return
@@ -142,6 +161,64 @@ func main() {
 
 	if *baseline {
 		runBaseline(db, *budget)
+	}
+}
+
+// runResume drives a checkpointable discovery session: load (or start)
+// the session in path, spend this run's budget, and either finish the
+// skyline or save the checkpoint for the next invocation.
+func runResume(db core.Interface, path string, opt core.Options, names []string, show bool) {
+	var s *core.Session
+	if f, err := os.Open(path); err == nil {
+		s, err = core.ReadSession(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "skyquery: continuing session %s (%d queries spent, %d nodes pending)\n",
+			path, s.Queries, len(s.Pending))
+	} else if os.IsNotExist(err) {
+		s = core.NewSession(db)
+	} else {
+		fatal(err)
+	}
+
+	res, rerr := s.Resume(db, opt)
+	if rerr != nil && !errors.Is(rerr, core.ErrBudget) {
+		// Even a hard failure (network blip, server restart) leaves the
+		// session consistent: save it so the queries this slice already
+		// paid for are not re-issued on the next run.
+		saveSession(s, path)
+		fatal(rerr)
+	}
+	if show {
+		printTuples(names, res.Skyline)
+	}
+	fmt.Printf("skyline tuples: %d\nqueries issued: %d\ncomplete: %v\n",
+		len(res.Skyline), res.Queries, res.Complete)
+
+	if res.Complete {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "skyquery: session complete, checkpoint %s removed\n", path)
+		return
+	}
+	saveSession(s, path)
+	fmt.Fprintf(os.Stderr, "skyquery: budget exhausted, session saved to %s — rerun with -resume %s to continue\n", path, path)
+}
+
+func saveSession(s *core.Session, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 
@@ -187,24 +264,6 @@ func runBand(db core.Interface, band int, opt core.Options, names []string, show
 	}
 	fmt.Printf("%d-skyband tuples: %d\nqueries issued: %d\ncomplete: %v\n",
 		band, len(res.Tuples), res.Queries, res.Complete)
-}
-
-func parseRank(name string) (hidden.Ranking, error) {
-	switch {
-	case name == "sum":
-		return hidden.SumRank{}, nil
-	case name == "lex":
-		return hidden.LexRank{}, nil
-	case name == "random":
-		return hidden.RandomWeightRank{Seed: 42}, nil
-	case strings.HasPrefix(name, "attr"):
-		var a int
-		if _, err := fmt.Sscanf(name, "attr%d", &a); err != nil {
-			return nil, fmt.Errorf("bad rank %q", name)
-		}
-		return hidden.AttrRank{Attr: a}, nil
-	}
-	return nil, fmt.Errorf("unknown ranking %q", name)
 }
 
 func printTuples(names []string, tuples [][]int) {

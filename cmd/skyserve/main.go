@@ -11,11 +11,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
-	"strings"
+	"os/signal"
+
+	"syscall"
+	"time"
 
 	"hiddensky/internal/datagen"
 	"hiddensky/internal/hidden"
@@ -44,7 +49,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rank, err := parseRank(*rankName)
+	rank, err := hidden.ParseRanking(*rankName)
 	if err != nil {
 		fatal(err)
 	}
@@ -58,30 +63,32 @@ func main() {
 	for i, a := range d.Attrs {
 		names[i] = a.Name
 	}
-	srv := web.NewServer(db, names)
+	handler := web.NewServer(db, names)
 	fmt.Fprintf(os.Stderr, "skyserve: serving %d tuples x %d attributes on http://%s (k=%d, limit=%d)\n",
 		db.Size(), db.NumAttrs(), *addr, *k, *limit)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests instead
+	// of dying mid-response: discovery clients see complete answers (or
+	// clean connection refusals), never truncated JSON.
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "skyserve: shutting down (draining connections)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
 		fatal(err)
 	}
-}
-
-func parseRank(name string) (hidden.Ranking, error) {
-	switch {
-	case name == "sum":
-		return hidden.SumRank{}, nil
-	case name == "lex":
-		return hidden.LexRank{}, nil
-	case name == "random":
-		return hidden.RandomWeightRank{Seed: 42}, nil
-	case strings.HasPrefix(name, "attr"):
-		var a int
-		if _, err := fmt.Sscanf(name, "attr%d", &a); err != nil {
-			return nil, fmt.Errorf("bad rank %q", name)
-		}
-		return hidden.AttrRank{Attr: a}, nil
-	}
-	return nil, fmt.Errorf("unknown ranking %q", name)
 }
 
 func fatal(err error) {

@@ -12,6 +12,9 @@
 //   - the discovery algorithms (SQDBSky, RQDBSky, PQ2DSky, PQDBSky,
 //     MQDBSky / Discover, and the K-skyband variants),
 //   - the crawling baseline (Crawl, CrawlSkyline),
+//   - the serving layer (JobManager, the HTTP job API behind
+//     cmd/skylined, and its Go client) for long-running, resumable,
+//     checkpointed discovery jobs,
 //   - local skyline computation, data generators, the closed-form cost
 //     analysis, and the benchmark harness regenerating every figure of the
 //     paper's evaluation.
@@ -36,6 +39,7 @@ import (
 	"hiddensky/internal/hidden"
 	"hiddensky/internal/qcache"
 	"hiddensky/internal/query"
+	"hiddensky/internal/service"
 	"hiddensky/internal/skyline"
 	"hiddensky/internal/web"
 )
@@ -234,6 +238,52 @@ var (
 	NewWebServer = web.NewServer
 	// DialWeb connects to a remote hidden-database endpoint.
 	DialWeb = web.Dial
+)
+
+// Serving layer: the discovery job manager behind cmd/skylined —
+// long-running, resumable, progress-streaming discovery jobs over named
+// stores, with a max-concurrent-jobs FIFO gate and a file-backed
+// snapshot store that survives daemon restarts.
+type (
+	// JobManager runs discovery jobs against named stores.
+	JobManager = service.Manager
+	// JobManagerConfig tunes a JobManager (concurrency gate, snapshot
+	// directory, shared cache, checkpoint interval).
+	JobManagerConfig = service.Config
+	// JobSpec describes one discovery job (store(s), algorithm, budget,
+	// parallelism, cache, resumability).
+	JobSpec = service.JobSpec
+	// JobStatus is a job's externally visible state.
+	JobStatus = service.JobStatus
+	// JobState is a job's lifecycle state.
+	JobState = service.JobState
+	// ServiceHandler serves a JobManager over HTTP (the skylined API).
+	ServiceHandler = service.Handler
+	// ServiceClient is the Go client for a skylined daemon.
+	ServiceClient = service.Client
+	// ServiceHealth is the daemon's health summary.
+	ServiceHealth = service.Health
+	// DiscoveryProgress is one live progress event of a discovery run
+	// (Options.Progress).
+	DiscoveryProgress = core.ProgressEvent
+)
+
+// Job lifecycle states.
+const (
+	JobQueued    = service.StateQueued
+	JobRunning   = service.StateRunning
+	JobDone      = service.StateDone
+	JobFailed    = service.StateFailed
+	JobCancelled = service.StateCancelled
+)
+
+var (
+	// NewJobManager builds a discovery job manager.
+	NewJobManager = service.NewManager
+	// NewServiceHandler wraps a JobManager in the HTTP job API.
+	NewServiceHandler = service.NewHandler
+	// DialService connects to a running skylined daemon.
+	DialService = service.Dial
 )
 
 // Federated multi-store meta-search (the paper's motivating application).

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/skyline"
+)
+
+// TestDiscoverContextCancellation: cancelling Options.Ctx mid-run stops
+// further queries promptly and surfaces a sound partial result whose
+// error matches both ErrBudget (the anytime contract) and the context
+// error (the cause).
+func TestDiscoverContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	data := randData(rng, 2000, 4, 30)
+	truth := tupleSet(skyline.ComputeTuples(data))
+
+	for _, par := range []int{1, 4} {
+		db := mkDB(t, data, capsAll(4, hidden.RQ), 5, hidden.SumRank{})
+		ctx, cancel := context.WithCancel(context.Background())
+		const stopAt = 10
+		var events atomic.Int64
+		opt := Options{
+			Parallelism: par,
+			Ctx:         ctx,
+			Progress: func(ev ProgressEvent) {
+				if events.Add(1) == stopAt {
+					cancel()
+				}
+			},
+		}
+		res, err := Discover(db, opt)
+		cancel()
+		if !errors.Is(err, ErrBudget) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallel=%d: err = %v, want ErrBudget wrapping context.Canceled", par, err)
+		}
+		if res.Complete {
+			t.Fatalf("parallel=%d: cancelled run claims completion", par)
+		}
+		// At most the in-flight queries finish after the cancel.
+		if res.Queries > stopAt+par {
+			t.Fatalf("parallel=%d: %d queries issued after cancelling at %d", par, res.Queries, stopAt)
+		}
+		for _, tup := range res.Skyline {
+			if !truth[fmt.Sprint(tup)] {
+				t.Fatalf("parallel=%d: non-skyline tuple %v in partial result", par, tup)
+			}
+		}
+	}
+}
+
+// TestDiscoverProgressEvents: the Progress hook sees one event per
+// counted query, ending at the run's final accounting.
+func TestDiscoverProgressEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	data := randData(rng, 400, 3, 12)
+	db := mkDB(t, data, capsAll(3, hidden.SQ), 3, hidden.SumRank{})
+	var events, last atomic.Int64
+	res, err := SQDBSky(db, Options{Progress: func(ev ProgressEvent) {
+		events.Add(1)
+		last.Store(int64(ev.Queries))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(events.Load()) != res.Queries {
+		t.Fatalf("%d progress events for %d queries", events.Load(), res.Queries)
+	}
+	if int(last.Load()) != res.Queries {
+		t.Fatalf("last event reported %d queries, run counted %d", last.Load(), res.Queries)
+	}
+}

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -91,6 +92,32 @@ type Options struct {
 	// algorithm's own query cost). The same Cache may be shared across
 	// runs and across databases.
 	Cache *qcache.Cache
+	// Ctx, when non-nil, aborts discovery when the context is cancelled:
+	// no further interface queries are issued (the check happens before
+	// every query, and parallel runs additionally drop their unstarted
+	// pool tasks), and the run returns its partial anytime result with an
+	// error that errors.Is-matches both ErrBudget and the context's error.
+	// A cancelled job therefore stops hitting the upstream service
+	// promptly but still surfaces everything it discovered.
+	Ctx context.Context
+	// Progress, when non-nil, is invoked after every counted query with
+	// the run's live cost and candidate-skyline size — the hook a serving
+	// layer uses to stream job progress. Under Parallelism > 1 it is
+	// called concurrently from worker goroutines and must be
+	// concurrency-safe; events may then arrive out of order (consumers
+	// publishing a live counter should drop stale events). It must not
+	// call back into the running discovery.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is a live snapshot of a discovery run, delivered through
+// Options.Progress.
+type ProgressEvent struct {
+	// Queries is the number of queries counted so far in this run (for a
+	// Session.Resume call: in this slice).
+	Queries int
+	// Skyline is the current candidate-skyline size.
+	Skyline int
 }
 
 // TraceEvent records that Tuple joined the candidate skyline after Queries
@@ -163,7 +190,11 @@ func (c *ctx) newPool() *engine.Pool {
 	if c.opt.Parallelism <= 1 {
 		return nil
 	}
-	c.pool = engine.NewPool(c.opt.Parallelism)
+	if c.opt.Ctx != nil {
+		c.pool = engine.NewPoolContext(c.opt.Ctx, c.opt.Parallelism)
+	} else {
+		c.pool = engine.NewPool(c.opt.Parallelism)
+	}
 	return c.pool
 }
 
@@ -174,6 +205,11 @@ func (c *ctx) newPool() *engine.Pool {
 // MaxQueries backend queries are ever issued and every success is counted
 // exactly once.
 func (c *ctx) issue(q query.Q) (hidden.Result, error) {
+	if c.opt.Ctx != nil {
+		if cerr := c.opt.Ctx.Err(); cerr != nil {
+			return hidden.Result{}, fmt.Errorf("%w: %w", ErrBudget, cerr)
+		}
+	}
 	c.mu.Lock()
 	if c.opt.MaxQueries > 0 && c.queries+c.inflight >= c.opt.MaxQueries {
 		c.mu.Unlock()
@@ -186,14 +222,22 @@ func (c *ctx) issue(q query.Q) (hidden.Result, error) {
 
 	c.mu.Lock()
 	c.inflight--
+	var prog ProgressEvent
 	if err == nil {
 		c.queries++
+		prog = ProgressEvent{Queries: c.queries, Skyline: len(c.sky)}
 	}
 	c.mu.Unlock()
+	if err == nil && c.opt.Progress != nil {
+		c.opt.Progress(prog)
+	}
 
 	if err != nil {
 		if errors.Is(err, hidden.ErrRateLimited) {
-			return hidden.Result{}, fmt.Errorf("%w: %v", ErrBudget, err)
+			// Both conditions stay matchable: ErrBudget for the anytime
+			// contract, ErrRateLimited so a serving layer can tell an
+			// upstream quota from a caller-requested budget stop.
+			return hidden.Result{}, fmt.Errorf("%w: %w", ErrBudget, err)
 		}
 		return hidden.Result{}, err
 	}
@@ -299,6 +343,14 @@ func (c *ctx) mergeAll(ts [][]int) {
 // nondeterministic, and a deterministic merge order is part of the
 // parallel contract; sequential runs keep the paper's discovery order.
 func (c *ctx) result(err error) (Result, error) {
+	// Normalize cancellation (a dropped pool task's raw context error, or
+	// a context-bound backend aborted mid-request) to the anytime budget
+	// shape: callers see a partial result plus an error matching both
+	// ErrBudget and the context error.
+	if err != nil && !errors.Is(err, ErrBudget) &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		err = fmt.Errorf("%w: %w", ErrBudget, err)
+	}
 	res := Result{
 		Skyline:  append([][]int(nil), c.sky...),
 		Queries:  c.queries,

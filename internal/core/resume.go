@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,6 +29,20 @@ type Session struct {
 	Queries int `json:"queries"`
 	// Attrs pins the schema for sanity checks at resume time.
 	Attrs int `json:"attrs"`
+
+	// OnCheckpoint, when non-nil, is invoked during Resume — after every
+	// CheckpointEvery completed queries, and once more before Resume
+	// returns — with the session synchronized to a consistent,
+	// serializable state (Pending, Skyline and Queries all reflect
+	// exactly the queries answered so far). A daemon installs a hook that
+	// persists the session so a crash between Resume calls loses at most
+	// CheckpointEvery-1 queries of work. A hook error aborts the Resume
+	// call; the session stays consistent and resumable. The hook is not
+	// serialized and must be re-installed after ReadSession.
+	OnCheckpoint func(*Session) error `json:"-"`
+	// CheckpointEvery is the number of completed queries between
+	// OnCheckpoint invocations; values <= 0 mean after every query.
+	CheckpointEvery int `json:"-"`
 }
 
 // NewSession starts a fresh checkpointable run for db.
@@ -83,6 +98,13 @@ func (s *Session) Resume(db Interface, opt Options) (Result, error) {
 	}
 	c.trace = nil // seeding is not discovery
 
+	base := s.Queries // cost of previous sessions; c.queries counts this slice
+	every := s.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	sinceCheckpoint := 0
+
 	budgetErr := error(nil)
 	for len(s.Pending) > 0 {
 		ub := s.Pending[0]
@@ -97,7 +119,21 @@ func (s *Session) Resume(db Interface, opt Options) (Result, error) {
 			break // the node stays pending for the next session
 		}
 		if err != nil {
-			return s.snapshot(c, err), err
+			// A cancellation that surfaced from the backend itself (e.g.
+			// an aborted in-flight HTTP request) is normalized to the
+			// same anytime shape as the pre-query ctx check: the node
+			// stays pending and the session remains resumable.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				budgetErr = fmt.Errorf("%w: %w", ErrBudget, err)
+				break
+			}
+			out := s.snapshot(c, base, err)
+			if s.OnCheckpoint != nil { // the promised final hook, even on hard failures
+				if herr := s.OnCheckpoint(s); herr != nil {
+					err = errors.Join(fmt.Errorf("core: checkpoint hook: %w", herr), err)
+				}
+			}
+			return out, err
 		}
 		s.Pending = s.Pending[1:]
 		c.mergeAll(res.Tuples)
@@ -111,16 +147,41 @@ func (s *Session) Resume(db Interface, opt Options) (Result, error) {
 				s.Pending = append(s.Pending, kid)
 			}
 		}
+		if s.OnCheckpoint != nil {
+			if sinceCheckpoint++; sinceCheckpoint >= every {
+				sinceCheckpoint = 0
+				s.sync(c, base)
+				if err := s.OnCheckpoint(s); err != nil {
+					herr := fmt.Errorf("core: checkpoint hook: %w", err)
+					return s.snapshot(c, base, herr), herr
+				}
+			}
+		}
 	}
-	out := s.snapshot(c, budgetErr)
+	out := s.snapshot(c, base, budgetErr)
+	if s.OnCheckpoint != nil {
+		if err := s.OnCheckpoint(s); err != nil {
+			// Surface the failed final checkpoint even on a budget stop —
+			// the caller must not believe the tail of the run was
+			// persisted. errors.Join keeps both conditions matchable.
+			return out, errors.Join(fmt.Errorf("core: checkpoint hook: %w", err), budgetErr)
+		}
+	}
 	return out, budgetErr
 }
 
-// snapshot folds the context back into the session and builds the
-// cumulative result.
-func (s *Session) snapshot(c *ctx, err error) Result {
-	s.Skyline = append([][]int(nil), c.sky...)
-	s.Queries += c.queries
+// sync folds the context back into the session: after it returns the
+// session is a consistent, serializable checkpoint of the run so far.
+// It is idempotent (Queries is recomputed from the slice base, not
+// accumulated), so mid-run checkpoints and the final fold compose.
+func (s *Session) sync(c *ctx, base int) {
+	s.Skyline = c.skySnapshot()
+	s.Queries = base + c.queries
+}
+
+// snapshot is sync plus the cumulative Result.
+func (s *Session) snapshot(c *ctx, base int, err error) Result {
+	s.sync(c, base)
 	return Result{
 		Skyline:  append([][]int(nil), s.Skyline...),
 		Queries:  s.Queries,

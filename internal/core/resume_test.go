@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"hiddensky/internal/hidden"
+	"hiddensky/internal/qcache"
 	"hiddensky/internal/skyline"
 )
 
@@ -151,5 +152,124 @@ func TestSessionWorksOnRateLimitedInterface(t *testing.T) {
 	want := skyline.ComputeTuples(data)
 	if ok, diff := sameTupleSet(last.Skyline, want); !ok {
 		t.Fatal(diff)
+	}
+}
+
+// TestSessionResumeWithParallelismAndCache: sessions accept the full
+// Options surface — Parallelism > 1 (the FIFO replay itself stays
+// sequential, so the checkpoint stays exact) and a shared Cache — and
+// still reproduce the uninterrupted run's skyline and exact query
+// accounting across save/resume round-trips.
+func TestSessionResumeWithParallelismAndCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for trial := 0; trial < 5; trial++ {
+		data := randData(rng, 150+rng.Intn(250), 3, 10)
+		k := 1 + rng.Intn(4)
+		mk := func() *hidden.DB { return mkDB(t, data, capsAll(3, hidden.SQ), k, hidden.SumRank{}) }
+
+		oneShot, err := SQDBSky(mk(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cache := qcache.New(qcache.Config{MaxEntries: 256})
+		s := NewSession(mk())
+		var last Result
+		for rounds := 0; !s.Done(); rounds++ {
+			if rounds > 10000 {
+				t.Fatal("resume does not converge")
+			}
+			// Serialize and reload between every slice: the options must
+			// not leak unserializable state into the checkpoint.
+			var buf bytes.Buffer
+			if err := s.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if s, err = ReadSession(&buf); err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Resume(mk(), Options{MaxQueries: 9, Parallelism: 4, Cache: cache})
+			if err != nil && !errors.Is(err, ErrBudget) {
+				t.Fatal(err)
+			}
+			last = res
+		}
+		if !last.Complete {
+			t.Fatal("finished session not complete")
+		}
+		if ok, diff := sameTupleSet(last.Skyline, oneShot.Skyline); !ok {
+			t.Fatalf("trial %d: resumed skyline differs: %s", trial, diff)
+		}
+		if last.Queries != oneShot.Queries {
+			t.Fatalf("trial %d: resumed cost %d, one-shot %d (exact accounting required)",
+				trial, last.Queries, oneShot.Queries)
+		}
+	}
+}
+
+// TestSessionCheckpointHook: the hook fires on its interval with the
+// session in a consistent, serializable state — a checkpoint taken
+// mid-run restores into a session that finishes with the one-shot
+// skyline and exact cumulative query count.
+func TestSessionCheckpointHook(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	data := randData(rng, 800, 4, 40)
+	mk := func() *hidden.DB { return mkDB(t, data, capsAll(4, hidden.SQ), 1, hidden.SumRank{}) }
+
+	oneShot, err := SQDBSky(mk(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stopAt = 25
+	if oneShot.Queries <= stopAt+5 {
+		t.Fatalf("dataset too easy for the test: one-shot cost %d", oneShot.Queries)
+	}
+
+	errStop := errors.New("simulated crash")
+	s := NewSession(mk())
+	s.CheckpointEvery = 1
+	var hookCalls int
+	var lastCkpt []byte
+	s.OnCheckpoint = func(sess *Session) error {
+		hookCalls++
+		var buf bytes.Buffer
+		if err := sess.Save(&buf); err != nil {
+			return err
+		}
+		lastCkpt = buf.Bytes()
+		if hookCalls == stopAt {
+			return errStop
+		}
+		return nil
+	}
+	if _, err := s.Resume(mk(), Options{}); !errors.Is(err, errStop) {
+		t.Fatalf("Resume = %v, want the hook's error", err)
+	}
+	if hookCalls != stopAt {
+		t.Fatalf("hook fired %d times, want %d", hookCalls, stopAt)
+	}
+
+	restored, err := ReadSession(bytes.NewReader(lastCkpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Queries != stopAt {
+		t.Fatalf("checkpoint recorded %d queries, want %d (every=1)", restored.Queries, stopAt)
+	}
+	var fired int
+	restored.CheckpointEvery = 10
+	restored.OnCheckpoint = func(*Session) error { fired++; return nil }
+	last, err := restored.Resume(mk(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired == 0 {
+		t.Fatal("re-installed hook never fired")
+	}
+	if ok, diff := sameTupleSet(last.Skyline, oneShot.Skyline); !ok {
+		t.Fatal(diff)
+	}
+	if last.Queries != oneShot.Queries {
+		t.Fatalf("crash-restored cost %d, one-shot %d", last.Queries, oneShot.Queries)
 	}
 }

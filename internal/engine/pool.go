@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Pool is a bounded-worker executor for dynamically spawned, mutually
 // independent tasks. It is built for tree recursions: a task may Spawn the
@@ -16,6 +19,8 @@ import "sync"
 // algorithms can Spawn/Wait repeatedly. Close releases the idle workers
 // when the run is over.
 type Pool struct {
+	ctx context.Context // nil: never cancelled (see NewPoolContext)
+
 	mu       sync.Mutex
 	taskCond *sync.Cond // signals workers: queue non-empty or closing
 	doneCond *sync.Cond // signals waiters: pending reached zero
@@ -37,6 +42,18 @@ func NewPool(workers int) *Pool {
 	p := &Pool{max: workers}
 	p.taskCond = sync.NewCond(&p.mu)
 	p.doneCond = sync.NewCond(&p.mu)
+	return p
+}
+
+// NewPoolContext is NewPool with a cancellation context: once ctx is
+// cancelled, tasks that have not started yet are dropped without running
+// (they are still accounted for, so Wait does not hang) and the context's
+// error is recorded as the pool error. Tasks already executing are not
+// interrupted — they observe the same context through their own work
+// (e.g. a discovery task checks it before every query) and drain promptly.
+func NewPoolContext(ctx context.Context, workers int) *Pool {
+	p := NewPool(workers)
+	p.ctx = ctx
 	return p
 }
 
@@ -77,6 +94,12 @@ func (p *Pool) worker() {
 		fn := p.queue[0]
 		p.queue = p.queue[1:]
 		skip := p.err != nil
+		if !skip && p.ctx != nil {
+			if cerr := p.ctx.Err(); cerr != nil {
+				p.err = cerr
+				skip = true
+			}
+		}
 		p.mu.Unlock()
 
 		var err error

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolContextDropsUnstartedTasks: once the context is cancelled,
+// queued tasks are accounted for but never executed, and Wait reports
+// the context error.
+func TestPoolContextDropsUnstartedTasks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := NewPoolContext(ctx, 2)
+	defer p.Close()
+
+	var started atomic.Int64
+	release := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		p.Spawn(func() error {
+			started.Add(1)
+			<-release
+			return nil
+		})
+	}
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		p.Spawn(func() error {
+			ran.Add(1)
+			return nil
+		})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for started.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never picked up the blocking tasks")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+
+	if err := p.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d queued tasks ran after cancellation", n)
+	}
+}
+
+// TestPoolContextHealthyRun: an un-cancelled context changes nothing.
+func TestPoolContextHealthyRun(t *testing.T) {
+	p := NewPoolContext(context.Background(), 4)
+	defer p.Close()
+	var ran atomic.Int64
+	for i := 0; i < 100; i++ {
+		p.Spawn(func() error { ran.Add(1); return nil })
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d of 100 tasks", ran.Load())
+	}
+}

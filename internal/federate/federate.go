@@ -202,6 +202,13 @@ type FleetOptions struct {
 	// run) are answered without touching the stores. Per-store answers are
 	// keyed separately — stores never see each other's tuples.
 	Cache *qcache.Cache
+	// OnStoreDone, when non-nil, is invoked as each store's discovery
+	// finishes (cleanly or with its anytime partial result) with the
+	// store's input index and stats — the hook a serving layer uses to
+	// stream fleet-job progress. Calls come from concurrent fleet workers
+	// (never two for the same store) and must be concurrency-safe. Stores
+	// that fail hard do not report.
+	OnStoreDone func(i int, st StoreStats)
 }
 
 // DiscoverFleet orchestrates a fleet of discovery runs across the stores
@@ -241,6 +248,14 @@ func DiscoverFleet(stores []Store, opt core.Options, fleet FleetOptions) (Result
 		}
 		jobs[i] = func() outcome {
 			res, err := core.Discover(db, opt)
+			if fleet.OnStoreDone != nil && (err == nil || errors.Is(err, core.ErrBudget)) {
+				fleet.OnStoreDone(i, StoreStats{
+					Store:    stores[i].Name,
+					Skyline:  len(res.Skyline),
+					Queries:  res.Queries,
+					Complete: res.Complete,
+				})
+			}
 			return outcome{res: res, err: err}
 		}
 	}

@@ -202,3 +202,34 @@ func TestFleetBudgetBelowCacheIsNotChargedForHits(t *testing.T) {
 		t.Fatal("warm-cache fleet run should complete without touching the 1-query budget")
 	}
 }
+
+// TestFleetOnStoreDone: the per-store completion hook fires exactly once
+// per store, from concurrent workers, with the store's own stats.
+func TestFleetOnStoreDone(t *testing.T) {
+	stores, _ := fleetStores(t, 9, 4)
+	var mu sync.Mutex
+	got := map[int]StoreStats{}
+	res, err := DiscoverFleet(stores, core.Options{}, FleetOptions{
+		MaxStores: 2,
+		OnStoreDone: func(i int, st StoreStats) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := got[i]; dup {
+				t.Errorf("store %d reported twice", i)
+			}
+			got[i] = st
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(stores) {
+		t.Fatalf("%d stores reported, want %d", len(got), len(stores))
+	}
+	for i, ps := range res.PerStore {
+		st := got[i]
+		if st.Store != ps.Store || st.Queries != ps.Queries || st.Skyline != ps.Skyline || st.Complete != ps.Complete {
+			t.Fatalf("store %d hook stats %+v differ from result stats %+v", i, st, ps)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"hiddensky/internal/skyline"
 )
@@ -271,4 +272,24 @@ func peelOrder(data [][]int, pick func(candidates []int, rng *rand.Rand) int, se
 		return nil, fmt.Errorf("hidden: dominance order has a cycle (data corrupted)")
 	}
 	return order, nil
+}
+
+// ParseRanking resolves the CLI ranking names shared by the commands:
+// "sum", "lex", "random", or "attrN" (e.g. "attr0").
+func ParseRanking(name string) (Ranking, error) {
+	switch {
+	case name == "sum":
+		return SumRank{}, nil
+	case name == "lex":
+		return LexRank{}, nil
+	case name == "random":
+		return RandomWeightRank{Seed: 42}, nil
+	case strings.HasPrefix(name, "attr"):
+		var a int
+		if _, err := fmt.Sscanf(name, "attr%d", &a); err != nil {
+			return nil, fmt.Errorf("hidden: bad rank %q", name)
+		}
+		return AttrRank{Attr: a}, nil
+	}
+	return nil, fmt.Errorf("hidden: unknown ranking %q", name)
 }

@@ -1,0 +1,195 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the Go client for a skylined job service.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Dial checks the daemon's health endpoint and returns a ready client.
+// httpClient may be nil (http.DefaultClient).
+func Dial(baseURL string, httpClient *http.Client) (*Client, error) {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	var h Health
+	if err := c.do(context.Background(), http.MethodGet, "/v1/health", nil, &h); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Submit enqueues a job.
+func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(context.Background(), http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Jobs lists every job the daemon knows.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	var resp JobsResponse
+	err := c.do(context.Background(), http.MethodGet, "/v1/jobs", nil, &resp)
+	return resp.Jobs, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(context.Background(), http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel aborts a job.
+func (c *Client) Cancel(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(context.Background(), http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Result fetches a terminal job's skyline tuples.
+func (c *Client) Result(id string) ([][]int, error) {
+	var resp ResultResponse
+	err := c.do(context.Background(), http.MethodGet, "/v1/jobs/"+id+"/result", nil, &resp)
+	return resp.Tuples, err
+}
+
+// Health fetches the daemon's health summary.
+func (c *Client) Health() (Health, error) {
+	var h Health
+	err := c.do(context.Background(), http.MethodGet, "/v1/health", nil, &h)
+	return h, err
+}
+
+// Wait polls the job every interval until it reaches a terminal state
+// (or ctx ends) and returns the final status.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (JobStatus, error) {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		var st JobStatus
+		// The poll itself runs under ctx, so a wedged daemon cannot make
+		// Wait outlive the caller's deadline.
+		err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Watch subscribes to the job's SSE stream, invoking fn (when non-nil)
+// on every update, and returns the final status once the job is
+// terminal. If the stream drops mid-job, Watch falls back to one status
+// poll so callers still learn the latest state.
+func (c *Client) Watch(ctx context.Context, id string, fn func(JobStatus)) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: events request: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, fmt.Errorf("service: events endpoint answered %s", resp.Status)
+	}
+	var last JobStatus
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+		case line == "" && len(data) > 0:
+			var st JobStatus
+			if err := json.Unmarshal(data, &st); err != nil {
+				return last, fmt.Errorf("service: decoding event: %w", err)
+			}
+			data = data[:0]
+			last = st
+			if fn != nil {
+				fn(st)
+			}
+			if st.State.Terminal() {
+				return st, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() != nil {
+		return last, ctx.Err()
+	}
+	// Stream ended without a terminal event: fetch the latest status.
+	return c.Job(id)
+}
+
+// do performs one JSON round trip. Non-2xx answers surface the server's
+// error envelope.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("service: %s %s: %w", method, path, err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e errorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("service: %s %s: %s (%s)", method, path, e.Error, resp.Status)
+		}
+		return fmt.Errorf("service: %s %s answered %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("service: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}

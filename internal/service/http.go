@@ -1,0 +1,193 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// HTTP API (versioned under /v1), served by cmd/skylined:
+//
+//	GET    /v1/health            -> {stores, jobs, running, queued}
+//	POST   /v1/jobs  {JobSpec}   -> JobStatus (201)
+//	GET    /v1/jobs              -> {jobs: [JobStatus]}
+//	GET    /v1/jobs/{id}         -> JobStatus
+//	DELETE /v1/jobs/{id}         -> JobStatus (cancels the job)
+//	GET    /v1/jobs/{id}/result  -> {tuples: [[...]]} (terminal jobs)
+//	GET    /v1/jobs/{id}/events  -> SSE stream of JobStatus updates:
+//	                                "progress" events while the job
+//	                                runs, one final "done" event.
+
+// JobsResponse is the body of GET /v1/jobs.
+type JobsResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// ResultResponse is the body of GET /v1/jobs/{id}/result.
+type ResultResponse struct {
+	Tuples [][]int `json:"tuples"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler serves a Manager over HTTP.
+type Handler struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewHandler wraps the manager in the /v1 job API.
+func NewHandler(m *Manager) *Handler {
+	h := &Handler{m: m, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /v1/health", h.handleHealth)
+	h.mux.HandleFunc("POST /v1/jobs", h.handleSubmit)
+	h.mux.HandleFunc("GET /v1/jobs", h.handleList)
+	h.mux.HandleFunc("GET /v1/jobs/{id}", h.handleGet)
+	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.handleCancel)
+	h.mux.HandleFunc("GET /v1/jobs/{id}/result", h.handleResult)
+	h.mux.HandleFunc("GET /v1/jobs/{id}/events", h.handleEvents)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.m.Stats())
+}
+
+func (h *Handler) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed job spec: " + err.Error()})
+		return
+	}
+	st, err := h.m.Submit(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (h *Handler) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := h.m.List()
+	if jobs == nil {
+		jobs = []JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, JobsResponse{Jobs: jobs})
+}
+
+func (h *Handler) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := h.m.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (h *Handler) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := h.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (h *Handler) handleResult(w http.ResponseWriter, r *http.Request) {
+	tuples, err := h.m.Result(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrNotFinished):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	if tuples == nil {
+		tuples = [][]int{}
+	}
+	writeJSON(w, http.StatusOK, ResultResponse{Tuples: tuples})
+}
+
+// handleEvents streams job status updates as server-sent events until
+// the job is terminal or the client disconnects.
+func (h *Handler) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, stop, err := h.m.Watch(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	defer stop()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	send := func(event string, st JobStatus) bool {
+		data, err := json.Marshal(st)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case st, open := <-ch:
+			if !open {
+				// Terminal updates can outrun a full buffer; the final
+				// status is always available from the manager. A closed
+				// channel can also mean the job was parked by a manager
+				// shutdown — that is not "done", so label honestly.
+				if final, found := h.m.Get(id); found {
+					event := "progress"
+					if final.State.Terminal() {
+						event = "done"
+					}
+					send(event, final)
+				}
+				return
+			}
+			event := "progress"
+			if st.State.Terminal() {
+				event = "done"
+			}
+			if !send(event, st) || event == "done" {
+				return
+			}
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

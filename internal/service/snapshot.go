@@ -1,0 +1,92 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hiddensky/internal/core"
+)
+
+// jobSnapshot is the persisted form of one job: its externally visible
+// status plus, for resumable jobs, the checkpointed discovery session.
+type jobSnapshot struct {
+	Status  JobStatus     `json:"status"`
+	Session *core.Session `json:"session,omitempty"`
+}
+
+// snapshotStore is the file-backed snapshot store: one JSON file per
+// job, written atomically (temp file + rename) so a crash mid-write
+// leaves the previous checkpoint intact.
+type snapshotStore struct {
+	dir string
+}
+
+func newSnapshotStore(dir string) (*snapshotStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating snapshot dir: %w", err)
+	}
+	return &snapshotStore{dir: dir}, nil
+}
+
+func (s *snapshotStore) path(id string) string {
+	return filepath.Join(s.dir, id+".json")
+}
+
+// save atomically writes the snapshot.
+func (s *snapshotStore) save(snap jobSnapshot) error {
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("service: encoding snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, snap.Status.ID+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("service: snapshot temp file: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: writing snapshot: %w", errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), s.path(snap.Status.ID)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: committing snapshot: %w", err)
+	}
+	return nil
+}
+
+// load reads every job snapshot, in id order. Unreadable files are
+// skipped (a crash can leave stray temp files behind) — recovery should
+// resurrect everything it can rather than refuse to start.
+func (s *snapshotStore) load() ([]jobSnapshot, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: reading snapshot dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	var out []jobSnapshot
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		var snap jobSnapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			continue
+		}
+		out = append(out, snap)
+	}
+	return out, nil
+}

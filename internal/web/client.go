@@ -2,6 +2,7 @@ package web
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -49,13 +50,14 @@ func (e *RateLimitError) Unwrap() error { return hidden.ErrRateLimited }
 type Client struct {
 	base string
 	http *http.Client
+	ctx  context.Context // nil: requests are not bound to a context
 
 	k       int
 	caps    []hidden.Capability
 	domains []query.Interval
 	names   []string
-	queries atomic.Int64
-	backoff atomic.Int64 // nanoseconds; 0 = DefaultRetryBackoff
+	queries *atomic.Int64
+	backoff *atomic.Int64 // nanoseconds; 0 = DefaultRetryBackoff
 }
 
 // Dial fetches the remote schema and returns a ready client. httpClient
@@ -64,7 +66,12 @@ func Dial(baseURL string, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	c := &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		http:    httpClient,
+		queries: new(atomic.Int64),
+		backoff: new(atomic.Int64),
+	}
 	resp, err := c.http.Get(c.base + "/v1/meta")
 	if err != nil {
 		return nil, fmt.Errorf("web: fetching meta: %w", err)
@@ -97,6 +104,26 @@ func Dial(baseURL string, httpClient *http.Client) (*Client, error) {
 // (DefaultRetryBackoff when unset; a server Retry-After still wins).
 func (c *Client) SetRetryBackoff(d time.Duration) { c.backoff.Store(int64(d)) }
 
+// WithContext returns a view of the client whose requests (and 429
+// backoff waits) are aborted when ctx is cancelled. The view shares the
+// underlying HTTP client, schema and query counter, so a long-lived
+// client can hand each job its own cancellable handle — exactly what a
+// discovery service needs to stop a killed job from issuing further
+// upstream queries.
+func (c *Client) WithContext(ctx context.Context) *Client {
+	d := *c
+	d.ctx = ctx
+	return &d
+}
+
+// reqCtx is the context requests are issued under.
+func (c *Client) reqCtx() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
+}
+
 // Query implements core.Interface with one HTTP search request. A 429
 // answer is retried once after a backoff (the server's Retry-After when
 // advertised, SetRetryBackoff/DefaultRetryBackoff otherwise) — transient
@@ -124,7 +151,9 @@ func (c *Client) Query(q query.Q) (hidden.Result, error) {
 	if wait <= 0 {
 		wait = DefaultRetryBackoff
 	}
-	time.Sleep(wait)
+	if err := sleepCtx(c.ctx, wait); err != nil {
+		return hidden.Result{}, fmt.Errorf("web: aborted while backing off: %w", err)
+	}
 	res, retryAfter, err = c.search(body)
 	if err != nil && isRateLimited(err) {
 		return hidden.Result{}, &RateLimitError{RetryAfter: retryAfter}
@@ -143,7 +172,12 @@ func isRateLimited(err error) bool {
 // always drained so the keep-alive connection can be reused by the next
 // (possibly concurrent) query.
 func (c *Client) search(body []byte) (hidden.Result, time.Duration, error) {
-	resp, err := c.http.Post(c.base+"/v1/search", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(c.reqCtx(), http.MethodPost, c.base+"/v1/search", bytes.NewReader(body))
+	if err != nil {
+		return hidden.Result{}, 0, fmt.Errorf("web: building search request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return hidden.Result{}, 0, fmt.Errorf("web: search request: %w", err)
 	}
@@ -167,6 +201,23 @@ func (c *Client) search(body []byte) (hidden.Result, time.Duration, error) {
 	}
 	c.queries.Add(1)
 	return hidden.Result{Tuples: sr.Tuples, Overflow: sr.Overflow}, 0, nil
+}
+
+// sleepCtx waits for d or until ctx (when non-nil) is cancelled,
+// returning the context's error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // parseRetryAfter reads a seconds-valued Retry-After header, capped to

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# End-to-end smoke: build every command, boot skyserve + skylined,
+# submit a job over HTTP, poll it to completion, and verify the result
+# endpoint answers. Also exercises skyquery's -resume checkpoint path
+# against the same server.
+set -euo pipefail
+
+SERVE_ADDR=127.0.0.1:18080
+DAEMON_ADDR=127.0.0.1:18090
+WORK=$(mktemp -d)
+BIN="$WORK/bin"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+say() { echo "smoke: $*"; }
+
+say "building commands"
+go build -o "$BIN/" ./cmd/...
+
+say "generating dataset"
+"$BIN/datagen" -dataset anticorrelated -n 800 -m 3 -domain 50 -o "$WORK/data.csv"
+
+say "booting skyserve on $SERVE_ADDR"
+"$BIN/skyserve" -in "$WORK/data.csv" -k 5 -addr "$SERVE_ADDR" &
+PIDS+=($!)
+
+wait_http() {
+  local url=$1
+  for _ in $(seq 1 100); do
+    if curl -sf "$url" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "smoke: $url never came up" >&2
+  return 1
+}
+wait_http "http://$SERVE_ADDR/v1/meta"
+
+say "booting skylined on $DAEMON_ADDR"
+"$BIN/skylined" -addr "$DAEMON_ADDR" -snapshots "$WORK/snapshots" \
+  -max-jobs 2 -checkpoint-every 4 -store smoke="http://$SERVE_ADDR" &
+PIDS+=($!)
+wait_http "http://$DAEMON_ADDR/v1/health"
+
+say "submitting a resumable job"
+created=$(curl -sf -XPOST "http://$DAEMON_ADDR/v1/jobs" \
+  -H 'Content-Type: application/json' \
+  -d '{"store":"smoke","resumable":true,"use_cache":true}')
+job=$(echo "$created" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$job" ] || { echo "smoke: no job id in: $created" >&2; exit 1; }
+say "job $job submitted"
+
+say "polling $job to completion"
+for i in $(seq 1 300); do
+  status=$(curl -sf "http://$DAEMON_ADDR/v1/jobs/$job")
+  state=$(echo "$status" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  case "$state" in
+    done)
+      echo "$status" | grep -q '"complete":true' || {
+        echo "smoke: job finished incomplete: $status" >&2; exit 1; }
+      break
+      ;;
+    failed|cancelled)
+      echo "smoke: job ended $state: $status" >&2; exit 1
+      ;;
+  esac
+  sleep 0.2
+  [ "$i" -lt 300 ] || { echo "smoke: job never finished: $status" >&2; exit 1; }
+done
+say "job done: $(echo "$status" | sed -n 's/.*"queries":\([0-9]*\).*/queries=\1/p')"
+
+curl -sf "http://$DAEMON_ADDR/v1/jobs/$job/result" | grep -q '"tuples"' || {
+  echo "smoke: result endpoint gave no tuples" >&2; exit 1; }
+
+say "exercising skyquery -resume against the same server"
+set +e
+"$BIN/skyquery" -url "http://$SERVE_ADDR" -budget 25 -resume "$WORK/session.json" -tuples=false
+set -e
+[ -f "$WORK/session.json" ] || { echo "smoke: no checkpoint written" >&2; exit 1; }
+for _ in $(seq 1 200); do
+  [ -f "$WORK/session.json" ] || break
+  "$BIN/skyquery" -url "http://$SERVE_ADDR" -budget 200 -resume "$WORK/session.json" -tuples=false
+done
+[ ! -f "$WORK/session.json" ] || { echo "smoke: session never completed" >&2; exit 1; }
+
+say "OK"
