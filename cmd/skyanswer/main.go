@@ -1,0 +1,234 @@
+// Command skyanswer queries a skylined daemon's materialized answer
+// indexes: the read path of the system. Where skyquery spends upstream
+// queries to *discover* a skyline, skyanswer spends none — it asks the
+// daemon's answer store, built from a completed discovery job, for
+// personalized top-k rankings, subspace skylines and dominance
+// verdicts at memory speed.
+//
+// Usage:
+//
+//	skyanswer -url http://127.0.0.1:8090 -list
+//	skyanswer -url http://127.0.0.1:8090 -store diamonds -topk -w 1,0.5,2 -k 10
+//	skyanswer -url http://127.0.0.1:8090 -store diamonds -topk -w 1,1,1 -normalized \
+//	          -where "A0<=500,A2>=3"
+//	skyanswer -url http://127.0.0.1:8090 -store diamonds -skyline -attrs 0,2
+//	skyanswer -url http://127.0.0.1:8090 -store diamonds -dominates -tuple 320,4,7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hiddensky/internal/query"
+	"hiddensky/internal/service"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8090", "skylined daemon base URL")
+	store := flag.String("store", "", "store whose answer index to query")
+	list := flag.Bool("list", false, "list the daemon's answer indexes")
+	topk := flag.Bool("topk", false, "top-k under a weight vector (-w, -k)")
+	skylineQ := flag.Bool("skyline", false, "(subspace) skyline (-attrs)")
+	dominates := flag.Bool("dominates", false, "dominance test for -tuple")
+	weights := flag.String("w", "", "comma-separated non-negative weights, one per attribute")
+	k := flag.Int("k", 10, "how many tuples to return")
+	normalized := flag.Bool("normalized", false, "score unit-scaled columns instead of raw values")
+	where := flag.String("where", "", "range filter like \"A0<=500,A2>=3\" (best-effort: answers are never exact under a filter)")
+	attrs := flag.String("attrs", "", "comma-separated attribute subspace for -skyline (empty = all)")
+	tuple := flag.String("tuple", "", "comma-separated candidate tuple for -dominates")
+	asJSON := flag.Bool("json", false, "print the raw JSON response")
+	flag.Parse()
+
+	c, err := service.Dial(*url, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	modes := 0
+	for _, b := range []bool{*list, *topk, *skylineQ, *dominates} {
+		if b {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fatal(fmt.Errorf("pick exactly one of -list, -topk, -skyline, -dominates"))
+	}
+	if !*list && *store == "" {
+		fatal(fmt.Errorf("-store is required"))
+	}
+
+	switch {
+	case *list:
+		answers, err := c.Answers()
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			emit(service.AnswersResponse{Answers: answers})
+			return
+		}
+		names := make([]string, 0, len(answers))
+		for n := range answers {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			st := answers[n]
+			if !st.Loaded {
+				fmt.Printf("%-16s (no answer index yet — run a discovery job)\n", n)
+				continue
+			}
+			fmt.Printf("%-16s %d tuples, %d attrs, band K=%d, %d skyline levels (job %s)\n",
+				n, st.Info.Tuples, st.Info.Attrs, st.Info.BandK, st.Info.Levels, st.Job)
+		}
+
+	case *topk:
+		w, err := parseFloats(*weights)
+		if err != nil {
+			fatal(fmt.Errorf("-w: %w", err))
+		}
+		filter, err := parseWhere(*where)
+		if err != nil {
+			fatal(fmt.Errorf("-where: %w", err))
+		}
+		resp, err := c.AnswerTopK(service.AnswerTopKRequest{
+			Store: *store, Weights: w, K: *k, Normalized: *normalized, Filter: filter,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			emit(resp)
+			return
+		}
+		exactness := fmt.Sprintf("exact (band K=%d)", resp.BandK)
+		if !resp.Exact {
+			exactness = fmt.Sprintf("best-effort over the band (K=%d)", resp.BandK)
+		}
+		fmt.Printf("top-%d of %q, %s:\n", resp.K, *store, exactness)
+		for i, tu := range resp.Tuples {
+			fmt.Printf("%3d. %v  score=%g  level=%d\n", i+1, tu, resp.Scores[i], resp.Levels[i])
+		}
+
+	case *skylineQ:
+		as, err := parseInts(*attrs)
+		if err != nil {
+			fatal(fmt.Errorf("-attrs: %w", err))
+		}
+		resp, err := c.AnswerSkyline(service.AnswerSkylineRequest{Store: *store, Attrs: as})
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			emit(resp)
+			return
+		}
+		scope := "full-space"
+		if len(as) > 0 {
+			scope = fmt.Sprintf("subspace %v", as)
+		}
+		fmt.Printf("%s skyline of %q: %d tuples\n", scope, *store, len(resp.Tuples))
+		for _, tu := range resp.Tuples {
+			fmt.Printf("  %v\n", tu)
+		}
+
+	case *dominates:
+		tu, err := parseInts(*tuple)
+		if err != nil || len(tu) == 0 {
+			fatal(fmt.Errorf("-tuple: want comma-separated integers, got %q", *tuple))
+		}
+		resp, err := c.AnswerDominates(service.AnswerDominatesRequest{Store: *store, Tuple: tu})
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			emit(resp)
+			return
+		}
+		if resp.Dominated {
+			fmt.Printf("%v is dominated by discovered tuple %v\n", tu, resp.Witness)
+		} else {
+			fmt.Printf("%v is not dominated: it would join the skyline\n", tu)
+		}
+	}
+}
+
+// parseWhere converts a textual filter ("A0<=500,A2>=3") into wire
+// ranges, translating strict comparisons into closed integer bounds.
+func parseWhere(s string) ([]service.AnswerRange, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	q, err := query.Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	var out []service.AnswerRange
+	for _, p := range q {
+		r := service.AnswerRange{Attr: p.Attr}
+		v := p.Value
+		switch p.Op {
+		case query.LT:
+			hi := v - 1
+			r.Hi = &hi
+		case query.LE:
+			r.Hi = &v
+		case query.EQ:
+			lo, hi := v, v
+			r.Lo, r.Hi = &lo, &hi
+		case query.GE:
+			r.Lo = &v
+		case query.GT:
+			lo := v + 1
+			r.Lo = &lo
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty weight vector")
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func emit(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "skyanswer: %v\n", err)
+	os.Exit(1)
+}

@@ -15,6 +15,11 @@
 //   - the serving layer (JobManager, the HTTP job API behind
 //     cmd/skylined, and its Go client) for long-running, resumable,
 //     checkpointed discovery jobs,
+//   - the answer read path (AnswerStore / BuildAnswerStore, hot-swapped
+//     per store by the job manager and queried through cmd/skyanswer):
+//     a materialized skyline/K-skyband index answering top-k under any
+//     client weight vector, subspace skylines and dominance tests
+//     without touching the upstream database,
 //   - local skyline computation, data generators, the closed-form cost
 //     analysis, and the benchmark harness regenerating every figure of the
 //     paper's evaluation.
@@ -30,6 +35,7 @@ package hiddensky
 
 import (
 	"hiddensky/internal/analysis"
+	"hiddensky/internal/answer"
 	"hiddensky/internal/bench"
 	"hiddensky/internal/core"
 	"hiddensky/internal/crawl"
@@ -284,6 +290,36 @@ var (
 	NewServiceHandler = service.NewHandler
 	// DialService connects to a running skylined daemon.
 	DialService = service.Dial
+)
+
+// Answer serving: the materialized read path built from a discovered
+// skyline or K-skyband. A store answers every user's monotone ranking
+// without spending one upstream query; a Handle hot-swaps fresh indexes
+// under live traffic (lock-free readers).
+type (
+	// AnswerStore is the immutable materialized answer index.
+	AnswerStore = answer.Store
+	// AnswerOptions tunes BuildAnswerStore (band level, shard size).
+	AnswerOptions = answer.Options
+	// AnswerHandle is the atomic hot-swap publication point of a store.
+	AnswerHandle = answer.Handle
+	// AnswerInfo summarizes a store (tuples, attrs, band level, levels).
+	AnswerInfo = answer.Info
+	// AnswerTopKQuery is one top-k request (weights, k, filter).
+	AnswerTopKQuery = answer.TopKQuery
+	// AnswerTopKResult is a top-k answer with its exactness verdict.
+	AnswerTopKResult = answer.TopKResult
+	// AnswerRanked is one answered tuple with score and skyline level.
+	AnswerRanked = answer.Ranked
+	// AnswerRange is one per-attribute constraint of a filtered request.
+	AnswerRange = answer.Range
+)
+
+var (
+	// BuildAnswerStore materializes an answer index from tuples.
+	BuildAnswerStore = answer.Build
+	// ErrNoAnswer: a store has no materialized answer index yet.
+	ErrNoAnswer = service.ErrNoAnswer
 )
 
 // Federated multi-store meta-search (the paper's motivating application).

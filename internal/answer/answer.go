@@ -1,0 +1,536 @@
+// Package answer is the read side of the repository: a materialized,
+// immutable answer store built from a discovered skyline or K-skyband.
+//
+// The write side (discovery, packages core and service) spends upstream
+// queries to extract the band from a hidden web database; this package
+// spends none. Build precomputes everything a serving layer needs to
+// answer user rankings at memory speed:
+//
+//   - layered skyline levels (level 0 = the skyline of the stored
+//     tuples, level i = the skyline of what remains after peeling
+//     levels < i), so a top-k request under any monotone score only
+//     scores the first k layers,
+//   - per-attribute sorted projections, so range-constrained requests
+//     scan the most selective attribute's slice instead of the store,
+//   - normalized columns, so clients may express weights over
+//     unit-scaled attributes without knowing the raw domains,
+//   - contiguous shards, so large candidate scans fan out across
+//     goroutines with a deterministic merge.
+//
+// A Store is immutable after Build; every method is safe for unbounded
+// concurrent use. Handle adds the lock-free hot-swap used by skylined:
+// readers atomically load the current store while a completed discovery
+// job swaps in a fresh one.
+//
+// Exactness: the top-k of any monotone scoring function over the full
+// hidden database lies inside its K-skyband (Gong et al., the identity
+// skyline.TopKMonotone is built on). A store materialized from a
+// complete K-skyband therefore answers unfiltered top-k requests with
+// k <= BandK exactly as a brute-force scan of the original data would;
+// larger k and range-filtered requests are answered best-effort over
+// the materialized tuples and reported with Exact=false.
+//
+// The contract lives at value level — the paper's general positioning
+// of distinct value combinations, which band discovery itself assumes
+// (see core.BandResult): tuples with identical ranking-attribute
+// values are indistinguishable through a top-k value interface, so
+// Build deduplicates and a value combination appears at most once in
+// an answer. A database with duplicate rows has its duplicates
+// collapsed on both the discovery and the answer side.
+package answer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"hiddensky/internal/skyline"
+)
+
+// Errors returned by Build and the query methods.
+var (
+	// ErrEmpty: Build was handed no tuples.
+	ErrEmpty = errors.New("answer: no tuples to materialize")
+	// ErrBadQuery: the request is malformed (weight length, negative
+	// weights, attribute out of range, ...).
+	ErrBadQuery = errors.New("answer: bad query")
+)
+
+// Options tunes Build.
+type Options struct {
+	// BandK is the skyband level of the source tuples: the store was
+	// built from (at least) the K-skyband of the original data. It is
+	// the largest k for which unfiltered top-k answers are exact.
+	// <= 0 means 1 (a plain skyline).
+	BandK int
+	// ShardSize bounds how many tuples one goroutine scores during a
+	// scan (<= 0: a default of 2048). Candidate sets smaller than one
+	// shard are scored inline.
+	ShardSize int
+}
+
+// Store is the immutable materialized answer index.
+type Store struct {
+	tuples [][]int // deduplicated, copied; never mutated after Build
+	m      int
+	bandK  int
+	shard  int
+
+	level  []int   // level[i] = skyline layer of tuples[i]
+	levels [][]int // levels[l] = tuple indices on layer l
+	proj   [][]int // proj[a] = indices sorted ascending by attribute a
+	lo, hi []int   // per-attribute value range over the stored tuples
+	norm   [][]float64
+}
+
+// Info summarizes a store for health/listing endpoints.
+type Info struct {
+	Tuples int `json:"tuples"`
+	Attrs  int `json:"attrs"`
+	BandK  int `json:"band_k"`
+	Levels int `json:"levels"`
+}
+
+// Build materializes the answer index. Tuples must be non-empty and of
+// uniform width; duplicates are dropped. Build is O(L·n²) dominance
+// work in the worst case (L layers of skyline peeling) — it runs once
+// per discovery, off the read path.
+func Build(tuples [][]int, opt Options) (*Store, error) {
+	if len(tuples) == 0 {
+		return nil, ErrEmpty
+	}
+	m := len(tuples[0])
+	if m == 0 {
+		return nil, fmt.Errorf("%w: zero-width tuples", ErrBadQuery)
+	}
+	seen := map[string]bool{}
+	data := make([][]int, 0, len(tuples))
+	for _, t := range tuples {
+		if len(t) != m {
+			return nil, fmt.Errorf("%w: ragged tuple widths (%d vs %d)", ErrBadQuery, len(t), m)
+		}
+		key := fmt.Sprint(t)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		data = append(data, append([]int(nil), t...))
+	}
+	s := &Store{tuples: data, m: m, bandK: opt.BandK, shard: opt.ShardSize}
+	if s.bandK <= 0 {
+		s.bandK = 1
+	}
+	if s.shard <= 0 {
+		s.shard = 2048
+	}
+	s.buildLevels()
+	s.buildProjections()
+	s.buildColumns()
+	return s, nil
+}
+
+// buildLevels peels the stored tuples into skyline layers.
+func (s *Store) buildLevels() {
+	s.level = make([]int, len(s.tuples))
+	remaining := make([]int, len(s.tuples))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for l := 0; len(remaining) > 0; l++ {
+		sub := make([][]int, len(remaining))
+		for i, j := range remaining {
+			sub[i] = s.tuples[j]
+		}
+		var layer []int
+		next := remaining[:0]
+		for _, li := range skyline.Compute(sub) {
+			layer = append(layer, remaining[li])
+		}
+		onLayer := map[int]bool{}
+		for _, j := range layer {
+			onLayer[j] = true
+			s.level[j] = l
+		}
+		for _, j := range remaining {
+			if !onLayer[j] {
+				next = append(next, j)
+			}
+		}
+		s.levels = append(s.levels, layer)
+		remaining = next
+	}
+}
+
+func (s *Store) buildProjections() {
+	s.proj = make([][]int, s.m)
+	s.lo = make([]int, s.m)
+	s.hi = make([]int, s.m)
+	for a := 0; a < s.m; a++ {
+		idx := make([]int, len(s.tuples))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(x, y int) bool {
+			vx, vy := s.tuples[idx[x]][a], s.tuples[idx[y]][a]
+			if vx != vy {
+				return vx < vy
+			}
+			return idx[x] < idx[y]
+		})
+		s.proj[a] = idx
+		s.lo[a] = s.tuples[idx[0]][a]
+		s.hi[a] = s.tuples[idx[len(idx)-1]][a]
+	}
+}
+
+func (s *Store) buildColumns() {
+	s.norm = make([][]float64, s.m)
+	for a := 0; a < s.m; a++ {
+		col := make([]float64, len(s.tuples))
+		span := float64(s.hi[a] - s.lo[a])
+		for i, t := range s.tuples {
+			if span > 0 {
+				col[i] = float64(t[a]-s.lo[a]) / span
+			}
+		}
+		s.norm[a] = col
+	}
+}
+
+// Len returns the number of materialized tuples.
+func (s *Store) Len() int { return len(s.tuples) }
+
+// NumAttrs returns the tuple width.
+func (s *Store) NumAttrs() int { return s.m }
+
+// BandK returns the skyband level the store was built from.
+func (s *Store) BandK() int { return s.bandK }
+
+// Stats returns the store summary.
+func (s *Store) Stats() Info {
+	return Info{Tuples: len(s.tuples), Attrs: s.m, BandK: s.bandK, Levels: len(s.levels)}
+}
+
+// Skyline returns the store's level-0 tuples (the skyline of the
+// materialized set, which for a complete discovery is the skyline of
+// the original database).
+func (s *Store) Skyline() [][]int {
+	out := make([][]int, len(s.levels[0]))
+	for i, j := range s.levels[0] {
+		out[i] = s.tuples[j]
+	}
+	return out
+}
+
+// Range is one closed per-attribute constraint of a filtered request.
+// Lo/Hi bounds beyond the stored value range are equivalent to
+// math.MinInt / math.MaxInt (unbounded on that side).
+type Range struct {
+	Attr int
+	Lo   int
+	Hi   int
+}
+
+// Unbounded builds a Range matching every value of the attribute.
+func Unbounded(attr int) Range { return Range{Attr: attr, Lo: math.MinInt, Hi: math.MaxInt} }
+
+// TopKQuery is one top-k request.
+type TopKQuery struct {
+	// Weights is the client's linear ranking: score(t) = Σ w[a]·t[a],
+	// lower is better. Weights must be non-negative (the monotonicity
+	// the skyband identity needs) and at least one must be positive.
+	Weights []float64
+	// K is how many tuples to return.
+	K int
+	// Normalized scores unit-scaled columns instead of raw values:
+	// score(t) = Σ w[a]·(t[a]-lo[a])/(hi[a]-lo[a]). Normalization is a
+	// per-attribute increasing map, so monotonicity (and the band
+	// identity) is preserved.
+	Normalized bool
+	// Filter restricts the request to tuples inside every Range.
+	// Filtered answers are best-effort over the materialized band (a
+	// constraint can exclude a tuple's dominators from the band while
+	// the true filtered top-k lies outside it) and are never marked
+	// Exact.
+	Filter []Range
+}
+
+// Ranked is one answered tuple.
+type Ranked struct {
+	Tuple []int   `json:"tuple"`
+	Score float64 `json:"score"`
+	// Level is the tuple's skyline layer in the store (0 = skyline).
+	Level int `json:"level"`
+}
+
+// TopKResult is a top-k answer.
+type TopKResult struct {
+	Items []Ranked
+	// Exact reports that the answer provably equals brute-force top-k
+	// over the original database (at value level: duplicate rows are
+	// collapsed, see the package comment): the request was unfiltered
+	// and asked for at most BandK tuples of a band-complete store.
+	Exact bool
+}
+
+// TopK answers a top-k request. Ties are broken by tuple values
+// (lexicographically) for determinism regardless of sharding.
+func (s *Store) TopK(q TopKQuery) (TopKResult, error) {
+	if err := s.checkWeights(q.Weights); err != nil {
+		return TopKResult{}, err
+	}
+	if q.K <= 0 {
+		return TopKResult{}, fmt.Errorf("%w: k must be >= 1, got %d", ErrBadQuery, q.K)
+	}
+	for _, r := range q.Filter {
+		if r.Attr < 0 || r.Attr >= s.m {
+			return TopKResult{}, fmt.Errorf("%w: filter attribute %d out of range [0,%d)", ErrBadQuery, r.Attr, s.m)
+		}
+		if r.Lo > r.Hi {
+			return TopKResult{}, fmt.Errorf("%w: filter on attribute %d has lo %d > hi %d", ErrBadQuery, r.Attr, r.Lo, r.Hi)
+		}
+	}
+	var cand []int
+	if len(q.Filter) == 0 {
+		// The top-k of a monotone score lies in the first k layers: every
+		// layer-l tuple is dominated by a chain of l strictly better ones.
+		for l := 0; l < len(s.levels) && l < q.K; l++ {
+			cand = append(cand, s.levels[l]...)
+		}
+	} else {
+		cand = s.filtered(q.Filter)
+	}
+	items := s.selectTopK(cand, q, q.K)
+	exact := len(q.Filter) == 0 && q.K <= s.bandK
+	return TopKResult{Items: items, Exact: exact}, nil
+}
+
+func (s *Store) checkWeights(w []float64) error {
+	if len(w) != s.m {
+		return fmt.Errorf("%w: %d weights for %d attributes", ErrBadQuery, len(w), s.m)
+	}
+	positive := false
+	for a, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("%w: weight %v on attribute %d (want finite, >= 0)", ErrBadQuery, v, a)
+		}
+		if v > 0 {
+			positive = true
+		}
+	}
+	if !positive {
+		return fmt.Errorf("%w: at least one weight must be positive", ErrBadQuery)
+	}
+	return nil
+}
+
+// score computes the request's score of tuple i.
+func (s *Store) score(q *TopKQuery, i int) float64 {
+	sum := 0.0
+	if q.Normalized {
+		for a, w := range q.Weights {
+			sum += w * s.norm[a][i]
+		}
+		return sum
+	}
+	t := s.tuples[i]
+	for a, w := range q.Weights {
+		sum += w * float64(t[a])
+	}
+	return sum
+}
+
+// filtered returns the candidate indices matching every range. It scans
+// the most selective constrained attribute's sorted projection slice
+// (found by binary search) and checks the remaining constraints there.
+func (s *Store) filtered(filter []Range) []int {
+	bestAttr, bestFrom, bestTo := -1, 0, len(s.tuples)
+	for _, r := range filter {
+		p := s.proj[r.Attr]
+		from := sort.Search(len(p), func(i int) bool { return s.tuples[p[i]][r.Attr] >= r.Lo })
+		to := sort.Search(len(p), func(i int) bool { return s.tuples[p[i]][r.Attr] > r.Hi })
+		if bestAttr < 0 || to-from < bestTo-bestFrom {
+			bestAttr, bestFrom, bestTo = r.Attr, from, to
+		}
+	}
+	var out []int
+	for _, i := range s.proj[bestAttr][bestFrom:bestTo] {
+		ok := true
+		for _, r := range filter {
+			if v := s.tuples[i][r.Attr]; v < r.Lo || v > r.Hi {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// selectTopK scores the candidates and keeps the best k, fanning large
+// candidate sets out across shard goroutines. The merge is
+// deterministic: ties are broken by tuple value, then index.
+func (s *Store) selectTopK(cand []int, q TopKQuery, k int) []Ranked {
+	if len(cand) == 0 {
+		return nil
+	}
+	if k > len(cand) {
+		k = len(cand)
+	}
+	if len(cand) <= s.shard {
+		return s.rank(s.localTopK(cand, &q, k), &q)
+	}
+	shards := (len(cand) + s.shard - 1) / s.shard
+	locals := make([][]int, shards)
+	var wg sync.WaitGroup
+	for sh := 0; sh < shards; sh++ {
+		from := sh * s.shard
+		to := from + s.shard
+		if to > len(cand) {
+			to = len(cand)
+		}
+		wg.Add(1)
+		go func(sh int, part []int) {
+			defer wg.Done()
+			locals[sh] = s.localTopK(part, &q, k)
+		}(sh, cand[from:to])
+	}
+	wg.Wait()
+	var merged []int
+	for _, l := range locals {
+		merged = append(merged, l...)
+	}
+	return s.rank(s.localTopK(merged, &q, k), &q)
+}
+
+// localTopK returns the (up to) k best candidate indices by insertion
+// into a small ordered window — O(n·k) with k tiny, no allocation per
+// candidate.
+func (s *Store) localTopK(cand []int, q *TopKQuery, k int) []int {
+	best := make([]int, 0, k)
+	scores := make([]float64, 0, k)
+	for _, i := range cand {
+		sc := s.score(q, i)
+		if len(best) == k && !s.better(sc, i, scores[k-1], best[k-1], q) {
+			continue
+		}
+		pos := len(best)
+		for pos > 0 && s.better(sc, i, scores[pos-1], best[pos-1], q) {
+			pos--
+		}
+		if len(best) < k {
+			best = append(best, 0)
+			scores = append(scores, 0)
+		}
+		copy(best[pos+1:], best[pos:])
+		copy(scores[pos+1:], scores[pos:])
+		best[pos], scores[pos] = i, sc
+	}
+	return best
+}
+
+// better reports whether candidate (sc, i) outranks (so, j): smaller
+// score first, then lexicographically smaller tuple, then index.
+func (s *Store) better(sc float64, i int, so float64, j int, q *TopKQuery) bool {
+	if sc != so {
+		return sc < so
+	}
+	a, b := s.tuples[i], s.tuples[j]
+	for x := range a {
+		if a[x] != b[x] {
+			return a[x] < b[x]
+		}
+	}
+	return i < j
+}
+
+func (s *Store) rank(idx []int, q *TopKQuery) []Ranked {
+	out := make([]Ranked, len(idx))
+	for x, i := range idx {
+		out[x] = Ranked{Tuple: s.tuples[i], Score: s.score(q, i), Level: s.level[i]}
+	}
+	return out
+}
+
+// SubspaceSkyline returns the tuples whose projection onto attrs is not
+// strictly dominated by any other stored tuple's projection. attrs must
+// be distinct and in range; an empty attrs means every attribute (the
+// full skyline). Tuples are returned in full width, sorted by the
+// projected values for determinism. Every layer is scanned: a tuple off
+// the full-space skyline can survive in a subspace by tying its
+// dominator there.
+func (s *Store) SubspaceSkyline(attrs []int) ([][]int, error) {
+	if len(attrs) == 0 {
+		return s.Skyline(), nil
+	}
+	seen := map[int]bool{}
+	for _, a := range attrs {
+		if a < 0 || a >= s.m {
+			return nil, fmt.Errorf("%w: attribute %d out of range [0,%d)", ErrBadQuery, a, s.m)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("%w: duplicate attribute %d", ErrBadQuery, a)
+		}
+		seen[a] = true
+	}
+	// SFS over the projection: in ascending projected-sum order a tuple
+	// can only be dominated by an already-kept one.
+	order := make([]int, len(s.tuples))
+	sums := make([]int, len(s.tuples))
+	for i := range order {
+		order[i] = i
+		for _, a := range attrs {
+			sums[i] += s.tuples[i][a]
+		}
+	}
+	sort.SliceStable(order, func(x, y int) bool { return sums[order[x]] < sums[order[y]] })
+	var keep []int
+	for _, i := range order {
+		dominated := false
+		for _, j := range keep {
+			if sums[j] >= sums[i] {
+				break // kept in sum order; equal sums cannot dominate
+			}
+			if skyline.DominatesOnSubset(s.tuples[j], s.tuples[i], attrs) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			keep = append(keep, i)
+		}
+	}
+	sort.Slice(keep, func(x, y int) bool {
+		a, b := s.tuples[keep[x]], s.tuples[keep[y]]
+		for _, at := range attrs {
+			if a[at] != b[at] {
+				return a[at] < b[at]
+			}
+		}
+		return keep[x] < keep[y]
+	})
+	out := make([][]int, len(keep))
+	for x, i := range keep {
+		out[x] = s.tuples[i]
+	}
+	return out, nil
+}
+
+// Dominates reports whether any stored tuple dominates t, returning one
+// witness. Only level 0 is scanned: by transitivity, a dominator on a
+// deeper layer implies one on the skyline.
+func (s *Store) Dominates(t []int) (bool, []int, error) {
+	if len(t) != s.m {
+		return false, nil, fmt.Errorf("%w: tuple width %d, store has %d attributes", ErrBadQuery, len(t), s.m)
+	}
+	for _, i := range s.levels[0] {
+		if skyline.Dominates(s.tuples[i], t) {
+			return true, append([]int(nil), s.tuples[i]...), nil
+		}
+	}
+	return false, nil, nil
+}

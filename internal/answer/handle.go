@@ -1,0 +1,20 @@
+package answer
+
+import "sync/atomic"
+
+// Handle is the lock-free publication point of a store: readers Load
+// the current immutable snapshot (nil until the first Swap) while a
+// writer atomically swaps in a freshly built one. This is how skylined
+// hot-swaps a store's answer index the moment a discovery job
+// completes — in-flight requests finish against the snapshot they
+// loaded; new requests see the new index.
+type Handle struct {
+	p atomic.Pointer[Store]
+}
+
+// Load returns the current store, or nil when none has been published.
+func (h *Handle) Load() *Store { return h.p.Load() }
+
+// Swap publishes s (which must not be mutated afterwards) and returns
+// the previous store, if any.
+func (h *Handle) Swap(s *Store) *Store { return h.p.Swap(s) }

@@ -203,6 +203,7 @@ func All() []Runner {
 		{"fig23", "Online: Google Flights", Fig23},
 		{"fig24", "Online: Yahoo! Autos (MQ vs BASELINE)", Fig24},
 		{"engine", "Parallel engine speedup and query-cache dedup (not in the paper)", FigEngine},
+		{"answer", "Answer store: band-serving vs full-scan top-k (not in the paper)", FigAnswer},
 	}
 }
 

@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// FigAnswer self-verifies every answer against the full scan; the test
+// runs the quick configuration and sanity-checks the series shape.
+func TestFigAnswerQuick(t *testing.T) {
+	fig, err := FigAnswer(Config{Quick: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "answer" || len(fig.Series) != 4 {
+		t.Fatalf("figure shape: id=%q, %d series", fig.ID, len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("series %q has non-positive sample at n=%v", s.Name, p.X)
+			}
+		}
+	}
+	if len(fig.Notes) == 0 {
+		t.Fatal("figure notes missing")
+	}
+	if _, ok := ByID("answer"); !ok {
+		t.Fatal("answer figure not registered")
+	}
+}
+
+func BenchmarkAnswerFigure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := FigAnswer(Config{Quick: true, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

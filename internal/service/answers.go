@@ -1,0 +1,356 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hiddensky/internal/answer"
+	"hiddensky/internal/core"
+	"hiddensky/internal/hidden"
+)
+
+// The answer side of the manager: every registered store owns an
+// answer.Handle — a lock-free publication point for the materialized
+// answer index built from the store's most recent complete discovery.
+// The moment a single-store job finishes complete, its skyline (or
+// K-skyband, for jobs with Band > 0) is compiled into an immutable
+// answer.Store and hot-swapped in; queries in flight keep the snapshot
+// they loaded. Recover republishes the latest complete result per
+// store from the snapshot directory, so a restarted daemon serves
+// answers again without issuing a single upstream query.
+
+// ErrNoAnswer: the store exists but no completed discovery has
+// materialized an answer index for it yet.
+var ErrNoAnswer = errors.New("service: no answer index for store yet")
+
+// answerEntry is one store's publication point: the hot-swapped index
+// plus the id of the job it was built from. The two are swapped inside
+// the job's terminal critical section, so observers that see a job
+// done see its answers (and attribution) live.
+type answerEntry struct {
+	handle answer.Handle
+	job    atomic.Value // string: source job id (mirrors jobID for readers)
+
+	mu    sync.Mutex // serializes publish; jobID is guarded by it
+	jobID string
+}
+
+// publish swaps s in unless a newer job (higher id) already published —
+// with concurrent jobs against one store, a slow older job must not
+// overwrite a newer result it lost the race to (Recover applies the
+// same highest-id-wins policy). Reports whether s was installed.
+func (e *answerEntry) publish(s *answer.Store, jobID string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.jobID != "" && jobSeq(jobID) < jobSeq(e.jobID) {
+		return false
+	}
+	e.jobID = jobID
+	e.job.Store(jobID)
+	e.handle.Swap(s)
+	return true
+}
+
+// jobSeq extracts the numeric sequence of a "jNNNNNN" job id (-1 when
+// unparseable).
+func jobSeq(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// AnswerStore returns the store's current answer index.
+func (m *Manager) AnswerStore(name string) (*answer.Store, error) {
+	m.mu.Lock()
+	e := m.answers[name]
+	m.mu.Unlock()
+	if e == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStore, name)
+	}
+	s := e.handle.Load()
+	if s == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoAnswer, name)
+	}
+	return s, nil
+}
+
+// AnswerStatus describes one store's answer index for listings.
+type AnswerStatus struct {
+	Loaded bool         `json:"loaded"`
+	Info   *answer.Info `json:"info,omitempty"`
+	// Job is the id of the discovery job the index was built from.
+	Job string `json:"job,omitempty"`
+}
+
+// Answers summarizes every store's answer index.
+func (m *Manager) Answers() map[string]AnswerStatus {
+	m.mu.Lock()
+	entries := make(map[string]*answerEntry, len(m.answers))
+	for n, e := range m.answers {
+		entries[n] = e
+	}
+	m.mu.Unlock()
+	out := make(map[string]AnswerStatus, len(entries))
+	for n, e := range entries {
+		st := AnswerStatus{}
+		if s := e.handle.Load(); s != nil {
+			info := s.Stats()
+			st.Loaded = true
+			st.Info = &info
+			st.Job, _ = e.job.Load().(string)
+		}
+		out[n] = st
+	}
+	return out
+}
+
+// answerSource reports whether a terminal job status is a publishable
+// answer source: a single-store job that finished done and complete
+// with tuples.
+func answerSource(st JobStatus) bool {
+	return st.State == StateDone && st.Complete && st.Spec.Store != "" && len(st.Tuples) > 0
+}
+
+// rebuildAnswers republishes answer indexes from recovered terminal
+// jobs: for each store, the latest (highest job id) complete result
+// wins. Callers hold m.mu.
+func (m *Manager) rebuildAnswersLocked() {
+	latest := map[string]*job{}
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if j == nil {
+			continue
+		}
+		st := j.status
+		if answerSource(st) && m.answers[st.Spec.Store] != nil {
+			latest[st.Spec.Store] = j
+		}
+	}
+	for store, j := range latest {
+		spec := j.status.Spec
+		bandK := spec.Band
+		if bandK <= 0 {
+			bandK = 1
+		}
+		if s, err := answer.Build(j.status.Tuples, answer.Options{BandK: bandK}); err == nil {
+			m.answers[store].publish(s, j.status.ID)
+		}
+	}
+}
+
+// bandAlgo resolves the K-skyband discovery routine for a band job:
+// an explicit algo picks its band variant; auto dispatches on the
+// interface mixture the way core.Discover does for skylines.
+func bandAlgo(db core.Interface, algo string) (func(core.Interface, int, core.Options) (core.BandResult, error), error) {
+	switch strings.ToLower(algo) {
+	case "rq":
+		return core.RQBandSky, nil
+	case "pq":
+		return core.PQBandSky, nil
+	case "sq":
+		return core.SQBandSky, nil
+	case "", "auto":
+	default:
+		return nil, fmt.Errorf("service: algo %q has no K-skyband variant", algo)
+	}
+	allRQ, allPQ, allRanged := true, true, true
+	for i := 0; i < db.NumAttrs(); i++ {
+		switch db.Cap(i) {
+		case hidden.RQ:
+			allPQ = false
+		case hidden.SQ:
+			allRQ, allPQ = false, false
+		case hidden.PQ:
+			allRQ, allRanged = false, false
+		}
+	}
+	switch {
+	case allRQ:
+		return core.RQBandSky, nil
+	case allPQ:
+		return core.PQBandSky, nil
+	case allRanged:
+		return core.SQBandSky, nil
+	}
+	return nil, fmt.Errorf("service: mixed point/range interfaces have no K-skyband algorithm")
+}
+
+// executeBand runs a K-skyband discovery job (JobSpec.Band > 0).
+func (m *Manager) executeBand(j *job, db core.Interface, spec JobSpec, opt core.Options) outcome {
+	fn, err := bandAlgo(db, spec.Algo)
+	if err != nil {
+		return outcome{err: err}
+	}
+	opt.MaxQueries = spec.Budget
+	opt.Progress = progressSink(j, 0)
+	res, err := fn(db, spec.Band, opt)
+	return outcome{tuples: res.Tuples, queries: res.Queries, complete: res.Complete, band: spec.Band, err: err}
+}
+
+// --- wire types of the /v1/answer endpoints ---
+
+// AnswerRange is one per-attribute constraint of a filtered top-k
+// request; a nil bound is unbounded on that side.
+type AnswerRange struct {
+	Attr int  `json:"attr"`
+	Lo   *int `json:"lo,omitempty"`
+	Hi   *int `json:"hi,omitempty"`
+}
+
+func (r AnswerRange) toRange() answer.Range {
+	out := answer.Range{Attr: r.Attr, Lo: math.MinInt, Hi: math.MaxInt}
+	if r.Lo != nil {
+		out.Lo = *r.Lo
+	}
+	if r.Hi != nil {
+		out.Hi = *r.Hi
+	}
+	return out
+}
+
+// AnswerTopKRequest is the body of POST /v1/answer/topk.
+type AnswerTopKRequest struct {
+	Store string `json:"store"`
+	// Weights is the client's ranking: score(t) = Σ weights[a]·t[a],
+	// lower is better; non-negative, at least one positive.
+	Weights []float64 `json:"weights"`
+	K       int       `json:"k"`
+	// Normalized scores unit-scaled attribute columns instead of raw
+	// values.
+	Normalized bool `json:"normalized,omitempty"`
+	// Filter restricts the answer to tuples inside every range
+	// (best-effort over the materialized band; never marked exact).
+	Filter []AnswerRange `json:"filter,omitempty"`
+}
+
+// AnswerTopKResponse is the matching answer: parallel tuple/score/level
+// slices in ranking order (best first).
+type AnswerTopKResponse struct {
+	Store string `json:"store"`
+	K     int    `json:"k"`
+	// Exact reports the answer provably equals brute-force top-k over
+	// the original database (unfiltered, k <= the band level the index
+	// was built from; at value level — duplicate rows collapse, as they
+	// do through any top-k value interface).
+	Exact  bool      `json:"exact"`
+	BandK  int       `json:"band_k"`
+	Tuples [][]int   `json:"tuples"`
+	Scores []float64 `json:"scores"`
+	Levels []int     `json:"levels"`
+}
+
+// AnswerTopK answers a top-k request from the store's materialized
+// index, without issuing any upstream query.
+func (m *Manager) AnswerTopK(req AnswerTopKRequest) (AnswerTopKResponse, error) {
+	s, err := m.AnswerStore(req.Store)
+	if err != nil {
+		return AnswerTopKResponse{}, err
+	}
+	q := answer.TopKQuery{Weights: req.Weights, K: req.K, Normalized: req.Normalized}
+	for _, r := range req.Filter {
+		q.Filter = append(q.Filter, r.toRange())
+	}
+	res, err := s.TopK(q)
+	if err != nil {
+		return AnswerTopKResponse{}, err
+	}
+	resp := AnswerTopKResponse{
+		Store:  req.Store,
+		K:      req.K,
+		Exact:  res.Exact,
+		BandK:  s.BandK(),
+		Tuples: [][]int{},
+		Scores: []float64{},
+		Levels: []int{},
+	}
+	for _, it := range res.Items {
+		resp.Tuples = append(resp.Tuples, it.Tuple)
+		resp.Scores = append(resp.Scores, it.Score)
+		resp.Levels = append(resp.Levels, it.Level)
+	}
+	return resp, nil
+}
+
+// AnswerSkylineRequest is the body of POST /v1/answer/skyline: the
+// skyline of the store's materialized tuples restricted to the given
+// attribute subspace (empty = every attribute).
+type AnswerSkylineRequest struct {
+	Store string `json:"store"`
+	Attrs []int  `json:"attrs,omitempty"`
+}
+
+// AnswerSkylineResponse is the subspace skyline.
+type AnswerSkylineResponse struct {
+	Store  string  `json:"store"`
+	Attrs  []int   `json:"attrs,omitempty"`
+	Tuples [][]int `json:"tuples"`
+}
+
+// AnswerSkyline answers a subspace-skyline request from the index.
+func (m *Manager) AnswerSkyline(req AnswerSkylineRequest) (AnswerSkylineResponse, error) {
+	s, err := m.AnswerStore(req.Store)
+	if err != nil {
+		return AnswerSkylineResponse{}, err
+	}
+	tuples, err := s.SubspaceSkyline(req.Attrs)
+	if err != nil {
+		return AnswerSkylineResponse{}, err
+	}
+	if tuples == nil {
+		tuples = [][]int{}
+	}
+	return AnswerSkylineResponse{Store: req.Store, Attrs: req.Attrs, Tuples: tuples}, nil
+}
+
+// AnswerDominatesRequest is the body of POST /v1/answer/dominates: "is
+// my candidate tuple dominated by anything already discovered?"
+type AnswerDominatesRequest struct {
+	Store string `json:"store"`
+	Tuple []int  `json:"tuple"`
+}
+
+// AnswerDominatesResponse carries the verdict and, when dominated, one
+// dominating witness tuple.
+type AnswerDominatesResponse struct {
+	Store     string `json:"store"`
+	Dominated bool   `json:"dominated"`
+	Witness   []int  `json:"witness,omitempty"`
+}
+
+// AnswerDominates answers a dominance test from the index.
+func (m *Manager) AnswerDominates(req AnswerDominatesRequest) (AnswerDominatesResponse, error) {
+	s, err := m.AnswerStore(req.Store)
+	if err != nil {
+		return AnswerDominatesResponse{}, err
+	}
+	dominated, witness, err := s.Dominates(req.Tuple)
+	if err != nil {
+		return AnswerDominatesResponse{}, err
+	}
+	return AnswerDominatesResponse{Store: req.Store, Dominated: dominated, Witness: witness}, nil
+}
+
+// AnswersResponse is the body of GET /v1/answer.
+type AnswersResponse struct {
+	Answers map[string]AnswerStatus `json:"answers"`
+}
+
+// answerNames lists stores with a loaded answer index, sorted.
+func (m *Manager) answerNames() []string {
+	names := []string{}
+	for n, st := range m.Answers() {
+		if st.Loaded {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

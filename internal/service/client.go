@@ -74,6 +74,36 @@ func (c *Client) Health() (Health, error) {
 	return h, err
 }
 
+// Answers lists every store's answer-index status.
+func (c *Client) Answers() (map[string]AnswerStatus, error) {
+	var resp AnswersResponse
+	err := c.do(context.Background(), http.MethodGet, "/v1/answer", nil, &resp)
+	return resp.Answers, err
+}
+
+// AnswerTopK asks the daemon's materialized answer index for the top-k
+// tuples under the request's weight vector. No upstream query is spent.
+func (c *Client) AnswerTopK(req AnswerTopKRequest) (AnswerTopKResponse, error) {
+	var resp AnswerTopKResponse
+	err := c.do(context.Background(), http.MethodPost, "/v1/answer/topk", req, &resp)
+	return resp, err
+}
+
+// AnswerSkyline asks the answer index for a (subspace) skyline.
+func (c *Client) AnswerSkyline(req AnswerSkylineRequest) (AnswerSkylineResponse, error) {
+	var resp AnswerSkylineResponse
+	err := c.do(context.Background(), http.MethodPost, "/v1/answer/skyline", req, &resp)
+	return resp, err
+}
+
+// AnswerDominates asks the answer index whether a candidate tuple is
+// dominated by anything already discovered.
+func (c *Client) AnswerDominates(req AnswerDominatesRequest) (AnswerDominatesResponse, error) {
+	var resp AnswerDominatesResponse
+	err := c.do(context.Background(), http.MethodPost, "/v1/answer/dominates", req, &resp)
+	return resp, err
+}
+
 // Wait polls the job every interval until it reaches a terminal state
 // (or ctx ends) and returns the final status.
 func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (JobStatus, error) {

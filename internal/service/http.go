@@ -18,6 +18,15 @@ import (
 //	GET    /v1/jobs/{id}/events  -> SSE stream of JobStatus updates:
 //	                                "progress" events while the job
 //	                                runs, one final "done" event.
+//
+// The answer read path (served from the per-store materialized answer
+// index, no upstream queries; 409 until a discovery job has completed
+// for the store):
+//
+//	GET  /v1/answer                     -> {answers: {store: {loaded, info, job}}}
+//	POST /v1/answer/topk      {AnswerTopKRequest}      -> AnswerTopKResponse
+//	POST /v1/answer/skyline   {AnswerSkylineRequest}   -> AnswerSkylineResponse
+//	POST /v1/answer/dominates {AnswerDominatesRequest} -> AnswerDominatesResponse
 
 // JobsResponse is the body of GET /v1/jobs.
 type JobsResponse struct {
@@ -50,6 +59,10 @@ func NewHandler(m *Manager) *Handler {
 	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.handleCancel)
 	h.mux.HandleFunc("GET /v1/jobs/{id}/result", h.handleResult)
 	h.mux.HandleFunc("GET /v1/jobs/{id}/events", h.handleEvents)
+	h.mux.HandleFunc("GET /v1/answer", h.handleAnswers)
+	h.mux.HandleFunc("POST /v1/answer/topk", answerEndpoint(h.m.AnswerTopK))
+	h.mux.HandleFunc("POST /v1/answer/skyline", answerEndpoint(h.m.AnswerSkyline))
+	h.mux.HandleFunc("POST /v1/answer/dominates", answerEndpoint(h.m.AnswerDominates))
 	return h
 }
 
@@ -182,6 +195,34 @@ func (h *Handler) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !send(event, st) || event == "done" {
 				return
 			}
+		}
+	}
+}
+
+func (h *Handler) handleAnswers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, AnswersResponse{Answers: h.m.Answers()})
+}
+
+// answerEndpoint adapts one manager answer method into an HTTP handler:
+// decode the request, map errors (unknown store 404, index not built
+// yet 409, bad query 400), encode the answer.
+func answerEndpoint[Req, Resp any](fn func(Req) (Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request: " + err.Error()})
+			return
+		}
+		resp, err := fn(req)
+		switch {
+		case errors.Is(err, ErrUnknownStore):
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		case errors.Is(err, ErrNoAnswer):
+			writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		case err != nil:
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusOK, resp)
 		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"hiddensky/internal/answer"
 	"hiddensky/internal/core"
 	"hiddensky/internal/engine"
 	"hiddensky/internal/federate"
@@ -102,6 +103,12 @@ type JobSpec struct {
 	// CheckpointEvery overrides the manager's checkpoint interval for
 	// this job (<= 0: manager default).
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Band, when > 0, discovers the K-skyband instead of the skyline
+	// (§7.2): the job's answer index then serves exact top-k for any
+	// monotone user ranking up to k = Band. Band jobs are single-store
+	// and not resumable; Algo picks the band variant ("auto" dispatches
+	// on the interface mixture).
+	Band int `json:"band,omitempty"`
 }
 
 // JobState is a job's lifecycle state.
@@ -231,6 +238,7 @@ type Manager struct {
 
 	mu      sync.Mutex
 	stores  map[string]core.Interface
+	answers map[string]*answerEntry // per-store hot-swapped answer index
 	jobs    map[string]*job
 	order   []string // listing order (ids, ascending)
 	queue   []string // FIFO of queued job ids
@@ -245,9 +253,10 @@ type Manager struct {
 // re-enqueue what a previous process left behind.
 func NewManager(cfg Config) (*Manager, error) {
 	m := &Manager{
-		cfg:    cfg,
-		stores: map[string]core.Interface{},
-		jobs:   map[string]*job{},
+		cfg:     cfg,
+		stores:  map[string]core.Interface{},
+		answers: map[string]*answerEntry{},
+		jobs:    map[string]*job{},
 	}
 	if cfg.CacheSize != 0 {
 		m.cache = qcache.New(qcache.Config{MaxEntries: cfg.CacheSize})
@@ -291,6 +300,7 @@ func (m *Manager) AddStore(name string, db core.Interface) error {
 		return fmt.Errorf("service: store %q already registered", name)
 	}
 	m.stores[name] = db
+	m.answers[name] = &answerEntry{}
 	return nil
 }
 
@@ -365,8 +375,19 @@ func (m *Manager) validate(spec *JobSpec) error {
 	default:
 		return fmt.Errorf("service: unknown algorithm %q", spec.Algo)
 	}
-	if spec.Budget < 0 || spec.Parallelism < 0 {
-		return fmt.Errorf("service: budget and parallelism must be >= 0")
+	if spec.Budget < 0 || spec.Parallelism < 0 || spec.Band < 0 {
+		return fmt.Errorf("service: budget, parallelism and band must be >= 0")
+	}
+	if spec.Band > 0 {
+		if spec.Resumable {
+			return fmt.Errorf("service: band jobs are not resumable")
+		}
+		if len(spec.Stores) > 0 {
+			return fmt.Errorf("service: band jobs target a single store")
+		}
+		if a := strings.ToLower(spec.Algo); a == "mq" {
+			return fmt.Errorf("service: algo %q has no K-skyband variant", spec.Algo)
+		}
 	}
 	names := spec.Stores
 	if spec.Store != "" {
@@ -555,7 +576,9 @@ type outcome struct {
 	tuples   [][]int
 	queries  int
 	complete bool
-	err      error
+	// band is the skyband level of tuples (0 or 1: a plain skyline).
+	band int
+	err  error
 }
 
 // execute runs the job's discovery. While a job is running, only its
@@ -583,6 +606,9 @@ func (m *Manager) execute(ctx context.Context, j *job) outcome {
 	opt := core.Options{Parallelism: spec.Parallelism, Ctx: ctx}
 	if spec.Resumable {
 		return m.executeSession(j, db, spec, opt)
+	}
+	if spec.Band > 0 {
+		return m.executeBand(j, db, spec, opt)
 	}
 	opt.MaxQueries = spec.Budget
 	opt.Progress = progressSink(j, 0)
@@ -720,6 +746,28 @@ const maxNoProgressRetries = 5
 // finish folds an execution outcome into the job's terminal (or parked)
 // state and persists it.
 func (m *Manager) finish(j *job, oc outcome) {
+	// Compile the answer index before the job turns terminal and swap it
+	// in inside the same critical section that publishes the terminal
+	// state: any observer that sees the job done sees its answers live.
+	// (The handle is fetched under m.mu first — m.mu is never taken
+	// while holding j.mu.)
+	var built *answer.Store
+	var entry *answerEntry
+	if spec := j.snapshotStatus().Spec; oc.err == nil && oc.complete &&
+		spec.Store != "" && len(oc.tuples) > 0 {
+		bandK := oc.band
+		if bandK <= 0 {
+			bandK = 1
+		}
+		// Building is best-effort: a failure leaves the previous index
+		// serving.
+		if s, err := answer.Build(oc.tuples, answer.Options{BandK: bandK}); err == nil {
+			built = s
+			m.mu.Lock()
+			entry = m.answers[spec.Store]
+			m.mu.Unlock()
+		}
+	}
 	j.mu.Lock()
 	j.cancel = nil
 	st := &j.status
@@ -772,6 +820,9 @@ func (m *Manager) finish(j *job, oc outcome) {
 		st.State = StateFailed
 		st.Tuples = oc.tuples
 		st.Error = oc.err.Error()
+	}
+	if built != nil && entry != nil && st.State == StateDone {
+		entry.publish(built, st.ID)
 	}
 	out := j.status.clone()
 	j.mu.Unlock()
@@ -883,6 +934,9 @@ func (m *Manager) Recover() (int, error) {
 		resumed++
 	}
 	sort.Strings(m.order)
+	// Serve answers again before any re-enqueued job runs: the latest
+	// complete result per store is compiled straight from its snapshot.
+	m.rebuildAnswersLocked()
 	m.schedule()
 	m.mu.Unlock()
 	return resumed, nil
@@ -890,7 +944,9 @@ func (m *Manager) Recover() (int, error) {
 
 // Health summarizes the manager for monitoring.
 type Health struct {
-	Stores  []string `json:"stores"`
+	Stores []string `json:"stores"`
+	// Answers lists the stores whose answer index is loaded and serving.
+	Answers []string `json:"answers"`
 	Jobs    int      `json:"jobs"`
 	Running int      `json:"running"`
 	Queued  int      `json:"queued"`
@@ -899,10 +955,12 @@ type Health struct {
 // Stats returns a health snapshot.
 func (m *Manager) Stats() Health {
 	names := m.StoreNames()
+	answers := m.answerNames()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Health{
 		Stores:  names,
+		Answers: answers,
 		Jobs:    len(m.jobs),
 		Running: m.running,
 		Queued:  len(m.queue),

@@ -37,27 +37,21 @@ func BNL(data [][]int) []int {
 // SFS computes the skyline with sort-filter-skyline (Chomicki et al.):
 // tuples are scanned in ascending order of attribute sum (a topological
 // order of the dominance partial order), so every scanned tuple is either
-// dominated by an already-kept tuple or is itself on the skyline.
+// dominated by an already-kept tuple or is itself on the skyline. Since
+// kept tuples are appended in that same order, the inner scan stops at
+// the first kept tuple whose sum is not strictly smaller — a dominator
+// must win strictly on at least one attribute and lose on none, so its
+// sum is strictly smaller than its victim's.
 func SFS(data [][]int) []int {
-	order := make([]int, len(data))
-	for i := range order {
-		order[i] = i
-	}
-	sums := make([]int, len(data))
-	for i, t := range data {
-		s := 0
-		for _, v := range t {
-			s += v
-		}
-		sums[i] = s
-	}
-	sort.SliceStable(order, func(a, b int) bool { return sums[order[a]] < sums[order[b]] })
-
+	order, sums := sumOrder(data)
 	var sky []int
 	for _, i := range order {
 		t := data[i]
 		dominated := false
 		for _, j := range sky {
+			if sums[j] >= sums[i] {
+				break
+			}
 			if Dominates(data[j], t) {
 				dominated = true
 				break
@@ -69,6 +63,25 @@ func SFS(data [][]int) []int {
 	}
 	sort.Ints(sky)
 	return sky
+}
+
+// sumOrder returns the tuple indices sorted ascending by attribute sum,
+// plus the per-tuple sums — the shared presort of SFS and Skyband.
+func sumOrder(data [][]int) (order, sums []int) {
+	order = make([]int, len(data))
+	for i := range order {
+		order[i] = i
+	}
+	sums = make([]int, len(data))
+	for i, t := range data {
+		s := 0
+		for _, v := range t {
+			s += v
+		}
+		sums[i] = s
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sums[order[a]] < sums[order[b]] })
+	return order, sums
 }
 
 // Compute is the default skyline routine (SFS).
@@ -159,17 +172,37 @@ func filterLocal(data [][]int, idx []int) []int {
 
 // Skyband returns the indices of tuples dominated by fewer than kBand other
 // tuples (the K-skyband). Skyband(data, 1) equals the skyline.
+//
+// Candidates are presorted by attribute sum: a dominator's sum is strictly
+// smaller than its victim's, so each tuple's dominators are confined to the
+// strictly-smaller-sum prefix of the order, and counting early-terminates
+// the moment kBand dominators are found — replacing the all-pairs
+// DominationCount scan. On band-friendly data (small bands, large n) the
+// prefix scan stops after a handful of comparisons per excluded tuple.
 func Skyband(data [][]int, kBand int) []int {
 	if kBand < 1 {
 		return nil
 	}
-	counts := DominationCount(data)
+	order, sums := sumOrder(data)
 	var out []int
-	for i, c := range counts {
-		if c < kBand {
+	for pos, i := range order {
+		count := 0
+		for _, j := range order[:pos] {
+			if sums[j] >= sums[i] {
+				break // the rest of the prefix ties on sum: no dominators there
+			}
+			if Dominates(data[j], data[i]) {
+				count++
+				if count >= kBand {
+					break
+				}
+			}
+		}
+		if count < kBand {
 			out = append(out, i)
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 

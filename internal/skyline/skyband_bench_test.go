@@ -1,0 +1,91 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchData generates the workload shared by the skyline/skyband
+// benchmarks: independent 4-attribute tuples, the regime the presorted
+// early-terminating scans are built for.
+func benchData(n int) [][]int {
+	rng := rand.New(rand.NewSource(99))
+	data := make([][]int, n)
+	for i := range data {
+		data[i] = []int{rng.Intn(1000), rng.Intn(1000), rng.Intn(1000), rng.Intn(1000)}
+	}
+	return data
+}
+
+// skybandAllPairs is the pre-optimization reference implementation
+// (full DominationCount scan), kept here to quantify the presort +
+// early-termination win: compare BenchmarkSkyband with
+// BenchmarkSkybandAllPairs.
+func skybandAllPairs(data [][]int, kBand int) []int {
+	if kBand < 1 {
+		return nil
+	}
+	counts := DominationCount(data)
+	var out []int
+	for i, c := range counts {
+		if c < kBand {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func BenchmarkSkyline(b *testing.B) {
+	data := benchData(8000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(data)
+	}
+}
+
+func BenchmarkSkyband(b *testing.B) {
+	data := benchData(8000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Skyband(data, 10)
+	}
+}
+
+func BenchmarkSkybandAllPairs(b *testing.B) {
+	data := benchData(8000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		skybandAllPairs(data, 10)
+	}
+}
+
+// The optimized Skyband must agree with the all-pairs reference on
+// random inputs (including heavy value ties).
+func TestSkybandMatchesAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(300)
+		m := 1 + rng.Intn(4)
+		domain := 2 + rng.Intn(12) // small domains: many equal sums
+		data := make([][]int, n)
+		for i := range data {
+			tup := make([]int, m)
+			for j := range tup {
+				tup[j] = rng.Intn(domain)
+			}
+			data[i] = tup
+		}
+		for _, kBand := range []int{1, 2, 5, 11} {
+			got := Skyband(data, kBand)
+			want := skybandAllPairs(data, kBand)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d K=%d: %d vs %d members", trial, kBand, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d K=%d: index %d differs (%d vs %d)", trial, kBand, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

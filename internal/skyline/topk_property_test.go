@@ -1,0 +1,79 @@
+package skyline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property (Gong et al., the identity the answer store is built on):
+// for any monotone weight vector, restricting top-k scoring to the
+// K-skyband loses nothing — the score sequence equals brute-force
+// top-k over the full data. Randomized over datasets, weights and k
+// with testing/quick; tuples are deduplicated (the paper's general
+// positioning of distinct value combinations).
+func TestBandTopKIdentityProperty(t *testing.T) {
+	type seedArgs struct {
+		Seed int64
+		N    uint16
+		K    uint8
+	}
+	f := func(a seedArgs) bool {
+		rng := rand.New(rand.NewSource(a.Seed))
+		n := 2 + int(a.N%400)
+		m := 2 + rng.Intn(3)
+		domain := 2 + rng.Intn(30)
+		seen := map[string]bool{}
+		var data [][]int
+		for i := 0; i < n; i++ {
+			tup := make([]int, m)
+			for j := range tup {
+				tup[j] = rng.Intn(domain)
+			}
+			if key := fmt.Sprint(tup); !seen[key] {
+				seen[key] = true
+				data = append(data, tup)
+			}
+		}
+		k := 1 + int(a.K%10)
+		w := make([]float64, m)
+		for j := range w {
+			w[j] = rng.Float64() * 4
+		}
+		w[rng.Intn(m)] += 0.05 // monotone, not identically zero
+		score := func(tup []int) float64 {
+			s := 0.0
+			for j, v := range tup {
+				s += w[j] * float64(v)
+			}
+			return s
+		}
+
+		// Band side: score only K-skyband members (TopKMonotone).
+		band := TopKMonotone(data, score, k)
+		// Brute-force side: score everything.
+		all := make([]float64, len(data))
+		for i, tup := range data {
+			all[i] = score(tup)
+		}
+		sort.Float64s(all)
+		want := all
+		if k < len(want) {
+			want = want[:k]
+		}
+		if len(band) != len(want) {
+			return false
+		}
+		for i, idx := range band {
+			if diff := score(data[idx]) - want[i]; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}

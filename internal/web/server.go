@@ -84,6 +84,24 @@ func NewServer(db *hidden.DB, names []string) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/meta", s.handleMeta)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	// Errors outside the handlers answer the same JSON envelope as
+	// 400/429 — API clients should never have to parse a plain-text
+	// body. A method-less pattern ranks below the method-qualified one
+	// for the right verb, so it catches exactly the wrong-method
+	// requests (405, keeping the Allow header the mux would have sent);
+	// the "/" fallback catches unknown paths (404).
+	methodNotAllowed := func(allow string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", allow)
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{
+				Error: fmt.Sprintf("web: method %s not allowed on %s (allow: %s)", r.Method, r.URL.Path, allow)})
+		}
+	}
+	s.mux.HandleFunc("/v1/meta", methodNotAllowed("GET, HEAD"))
+	s.mux.HandleFunc("/v1/search", methodNotAllowed("POST"))
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("web: no such endpoint %s %s", r.Method, r.URL.Path)})
+	})
 	return s
 }
 

@@ -256,3 +256,107 @@ func TestOpRoundTrip(t *testing.T) {
 		t.Fatal("junk op parsed")
 	}
 }
+
+// Every error the server emits — 400 (malformed body, bad operator,
+// unsupported predicate), 429 (rate limit) and 404 (unknown path) —
+// must carry the structured JSON envelope {"error": "..."} with
+// Content-Type: application/json, never plain text.
+func TestErrorsAreStructuredJSON(t *testing.T) {
+	db := testDB(t, 30, 2, 8, 2, []hidden.Capability{hidden.SQ, hidden.PQ}, 3)
+	srv := httptest.NewServer(NewServer(db, nil))
+	defer srv.Close()
+
+	checkEnvelope := func(t *testing.T, resp *http.Response, wantStatus int) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("status %d, want %d", resp.StatusCode, wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type %q, want application/json", ct)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("error body is not JSON: %v", err)
+		}
+		if e.Error == "" {
+			t.Fatal("error envelope has an empty message")
+		}
+	}
+
+	post := func(body string) *http.Response {
+		resp, err := http.Post(srv.URL+"/v1/search", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	t.Run("malformed body 400", func(t *testing.T) {
+		checkEnvelope(t, post(`{not json`), http.StatusBadRequest)
+	})
+	t.Run("unknown operator 400", func(t *testing.T) {
+		checkEnvelope(t, post(`{"preds":[{"attr":0,"op":"!","value":1}]}`), http.StatusBadRequest)
+	})
+	t.Run("unsupported predicate 400", func(t *testing.T) {
+		// attr 1 is PQ: range operators are rejected by the capability.
+		checkEnvelope(t, post(`{"preds":[{"attr":1,"op":"<","value":3}]}`), http.StatusBadRequest)
+	})
+	t.Run("rate limited 429", func(t *testing.T) {
+		for i := 0; i < 3; i++ {
+			resp := post(`{"preds":[]}`)
+			resp.Body.Close()
+		}
+		resp := post(`{"preds":[]}`)
+		if resp.Header.Get("Retry-After") == "" {
+			t.Error("429 should advertise Retry-After")
+		}
+		checkEnvelope(t, resp, http.StatusTooManyRequests)
+	})
+	t.Run("unknown path 404", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/v2/nothing")
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEnvelope(t, resp, http.StatusNotFound)
+	})
+}
+
+// A wrong method on an existing endpoint keeps its 405 + Allow header
+// (the catch-all 404 must not swallow it) and carries the JSON
+// envelope.
+func TestMethodNotAllowedIsStructuredJSON(t *testing.T) {
+	db := testDB(t, 10, 2, 8, 2, capsAll(2, hidden.RQ), 0)
+	srv := httptest.NewServer(NewServer(db, nil))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/meta", "application/json", bytes.NewBufferString("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/meta answered %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow == "" {
+		t.Fatal("405 lost its Allow header")
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("405 body not a JSON envelope: %v %q", err, e.Error)
+	}
+	resp2, err := http.Get(srv.URL + "/v1/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/search answered %d, want 405", resp2.StatusCode)
+	}
+}

@@ -79,6 +79,23 @@ say "job done: $(echo "$status" | sed -n 's/.*"queries":\([0-9]*\).*/queries=\1/
 curl -sf "http://$DAEMON_ADDR/v1/jobs/$job/result" | grep -q '"tuples"' || {
   echo "smoke: result endpoint gave no tuples" >&2; exit 1; }
 
+say "querying the answer index materialized from $job"
+answer=$(curl -sf -XPOST "http://$DAEMON_ADDR/v1/answer/topk" \
+  -H 'Content-Type: application/json' \
+  -d '{"store":"smoke","weights":[1,0.5,2],"k":5}')
+echo "$answer" | grep -q '"tuples":\[\[' || {
+  echo "smoke: answer topk gave no tuples: $answer" >&2; exit 1; }
+# Scores must come back best-first (non-decreasing).
+echo "$answer" | sed -n 's/.*"scores":\[\([^]]*\)\].*/\1/p' | tr ',' '\n' | \
+  awk 'NR > 1 && $1 < prev { exit 1 } { prev = $1 }' || {
+  echo "smoke: answer scores out of order: $answer" >&2; exit 1; }
+say "answer topk ordered: $(echo "$answer" | sed -n 's/.*"scores":\[\([^]]*\)\].*/scores=[\1]/p')"
+
+"$BIN/skyanswer" -url "http://$DAEMON_ADDR" -list | grep -q smoke || {
+  echo "smoke: skyanswer -list does not show the store" >&2; exit 1; }
+"$BIN/skyanswer" -url "http://$DAEMON_ADDR" -store smoke -topk -w 1,1,1 -k 3 | \
+  grep -q "top-3" || { echo "smoke: skyanswer -topk failed" >&2; exit 1; }
+
 say "exercising skyquery -resume against the same server"
 set +e
 "$BIN/skyquery" -url "http://$SERVE_ADDR" -budget 25 -resume "$WORK/session.json" -tuples=false
