@@ -14,9 +14,13 @@
 //	skylined -addr 127.0.0.1:8090 -snapshots ./snapshots -max-jobs 4 \
 //	         -store diamonds=http://127.0.0.1:8080 -store autos=autos.csv
 //
-// Submit and watch jobs with the HTTP API (see internal/service):
+// Submit and watch jobs with the HTTP API (see internal/service). A
+// job spec composes algo, band, a "where" filter and resumability
+// freely; combinations the store's interface cannot satisfy are
+// rejected at submit with the planner's reason:
 //
 //	curl -XPOST localhost:8090/v1/jobs -d '{"store":"diamonds","resumable":true}'
+//	curl -XPOST localhost:8090/v1/jobs -d '{"store":"diamonds","algo":"sq","where":"A0<500"}'
 //	curl localhost:8090/v1/jobs/j000001
 //	curl -N localhost:8090/v1/jobs/j000001/events
 package main

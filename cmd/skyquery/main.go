@@ -25,6 +25,12 @@
 // removed once the skyline is complete. Requires an interface whose
 // attributes support one-ended ranges (SQ/RQ).
 //
+// Every flag combination routes through one core.Run call: -where
+// composes with -band, with an explicit -algo, and with -resume (pass
+// the same -where on every resumed run). Combinations the interface
+// cannot satisfy (e.g. -algo mq -band 2) fail up front with the
+// planner's explanation instead of being silently dropped.
+//
 // The CSV format is the one cmd/datagen emits: a name header row, a
 // capability row (SQ/RQ/PQ per ranking attribute, "-" for #filter
 // columns), then data rows.
@@ -117,57 +123,70 @@ func main() {
 				s.Lookups, s.Hits, s.Coalesced, s.Misses, s.DedupRatio())
 		}
 	}()
-	if *resume != "" {
-		if *band > 1 || *baseline || *where != "" {
-			fatal(fmt.Errorf("-resume is incompatible with -band, -baseline and -where"))
-		}
-		if a := strings.ToLower(*algo); a != "auto" && a != "sq" {
-			fatal(fmt.Errorf("-resume runs the checkpointable SQ session walk; -algo %s is not resumable", *algo))
-		}
-		runResume(db, *resume, opt, names, *showTuples)
-		return
-	}
-	if *band > 1 {
-		runBand(db, *band, opt, names, *showTuples)
-		return
-	}
 
-	filter, err := query.Parse(*where)
+	req, err := buildRequest(*algo, *band, *where, *resume != "")
 	if err != nil {
 		fatal(err)
 	}
-
-	var res core.Result
-	switch strings.ToLower(*algo) {
-	case "auto", "mq":
-		res, err = core.DiscoverWhere(db, filter, opt)
-	case "sq":
-		res, err = core.SQDBSky(db, opt)
-	case "rq":
-		res, err = core.RQDBSky(db, opt)
-	case "pq":
-		res, err = core.PQDBSky(db, opt)
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	if *resume != "" {
+		if *band > 1 || *baseline {
+			fatal(fmt.Errorf("-resume is incompatible with -band and -baseline"))
+		}
+		runResume(db, *resume, req, opt, names, *showTuples)
+		return
 	}
+
+	res, err := core.Run(db, req, opt)
 	if err != nil && !errors.Is(err, core.ErrBudget) {
 		fatal(err)
 	}
 	if *showTuples {
 		printTuples(names, res.Skyline)
 	}
-	fmt.Printf("skyline tuples: %d\nqueries issued: %d\ncomplete: %v\n",
-		len(res.Skyline), res.Queries, res.Complete)
+	printSummary(res)
 
 	if *baseline {
 		runBaseline(db, *budget)
 	}
 }
 
+// buildRequest turns the CLI's discovery flags into one planner
+// request. Every combination flows through it, so -where composes with
+// -band, an explicit -algo, and -resume instead of being dropped by
+// per-mode dispatch.
+func buildRequest(algo string, band int, where string, resumable bool) (core.Request, error) {
+	filter, err := query.Parse(where)
+	if err != nil {
+		return core.Request{}, err
+	}
+	a, err := core.ParseAlgo(algo)
+	if err != nil {
+		return core.Request{}, err
+	}
+	req := core.Request{Algo: a, Filter: filter, Resumable: resumable}
+	if band > 1 {
+		req.Band = band
+	}
+	return req, nil
+}
+
+// printSummary reports the run's outcome; band runs are labeled by
+// their K-skyband level.
+func printSummary(res core.Result) {
+	kind := "skyline"
+	if res.Band > 1 {
+		kind = fmt.Sprintf("%d-skyband", res.Band)
+	}
+	fmt.Printf("%s tuples: %d\nqueries issued: %d\ncomplete: %v\n",
+		kind, len(res.Skyline), res.Queries, res.Complete)
+}
+
 // runResume drives a checkpointable discovery session: load (or start)
 // the session in path, spend this run's budget, and either finish the
-// skyline or save the checkpoint for the next invocation.
-func runResume(db core.Interface, path string, opt core.Options, names []string, show bool) {
+// skyline or save the checkpoint for the next invocation. The session
+// rides through the planner (Request.Session), so a -where filter
+// composes: resume with the same filter and no counted query repeats.
+func runResume(db core.Interface, path string, req core.Request, opt core.Options, names []string, show bool) {
 	var s *core.Session
 	if f, err := os.Open(path); err == nil {
 		s, err = core.ReadSession(f)
@@ -177,13 +196,17 @@ func runResume(db core.Interface, path string, opt core.Options, names []string,
 		}
 		fmt.Fprintf(os.Stderr, "skyquery: continuing session %s (%d queries spent, %d nodes pending)\n",
 			path, s.Queries, len(s.Pending))
-	} else if os.IsNotExist(err) {
-		s = core.NewSession(db)
-	} else {
+		req.Session = s
+	} else if !os.IsNotExist(err) {
 		fatal(err)
 	}
 
-	res, rerr := s.Resume(db, opt)
+	plan, err := core.Plan(db, req)
+	if err != nil {
+		fatal(err)
+	}
+	s = plan.Session() // the fresh session when no checkpoint existed
+	res, rerr := plan.Run(opt)
 	if rerr != nil && !errors.Is(rerr, core.ErrBudget) {
 		// Even a hard failure (network blip, server restart) leaves the
 		// session consistent: save it so the queries this slice already
@@ -194,8 +217,7 @@ func runResume(db core.Interface, path string, opt core.Options, names []string,
 	if show {
 		printTuples(names, res.Skyline)
 	}
-	fmt.Printf("skyline tuples: %d\nqueries issued: %d\ncomplete: %v\n",
-		len(res.Skyline), res.Queries, res.Complete)
+	printSummary(res)
 
 	if res.Complete {
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
@@ -233,37 +255,6 @@ func runBaseline(db core.Interface, budget int) {
 	}
 	fmt.Printf("BASELINE: crawled %d tuples in %d queries (complete: %v, skyline %d)\n",
 		len(cres.Tuples), cres.Queries, cres.Complete, len(sky))
-}
-
-func runBand(db core.Interface, band int, opt core.Options, names []string, show bool) {
-	allOf := func(c hidden.Capability) bool {
-		for i := 0; i < db.NumAttrs(); i++ {
-			if db.Cap(i) != c {
-				return false
-			}
-		}
-		return true
-	}
-	var res core.BandResult
-	var err error
-	switch {
-	case allOf(hidden.RQ):
-		res, err = core.RQBandSky(db, band, opt)
-	case allOf(hidden.PQ):
-		res, err = core.PQBandSky(db, band, opt)
-	case allOf(hidden.SQ):
-		res, err = core.SQBandSky(db, band, opt)
-	default:
-		fatal(fmt.Errorf("K-skyband discovery needs a uniform SQ, RQ or PQ interface"))
-	}
-	if err != nil && !errors.Is(err, core.ErrBudget) {
-		fatal(err)
-	}
-	if show {
-		printTuples(names, res.Tuples)
-	}
-	fmt.Printf("%d-skyband tuples: %d\nqueries issued: %d\ncomplete: %v\n",
-		band, len(res.Tuples), res.Queries, res.Complete)
 }
 
 func printTuples(names []string, tuples [][]int) {

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"hiddensky/internal/core"
+	"hiddensky/internal/datagen"
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+	"hiddensky/internal/skyline"
+)
+
+// These tests pin the CLI's request building to the planner: before the
+// refactor, skyquery silently dropped -where whenever -band or an
+// explicit -algo sq/rq/pq was set (each mode had its own dispatch that
+// never looked at the filter). Every combination below routes through
+// one core.Run and must honor the filter.
+
+// filteredGroundTruth computes the value-level filtered skyline (or
+// K-skyband) straight from the dataset rows.
+func filteredGroundTruth(d datagen.Dataset, filter query.Q, band int) [][]int {
+	seen := map[string]bool{}
+	var rows [][]int
+	for _, t := range d.Data {
+		if !filter.Matches(t) {
+			continue
+		}
+		key := fmt.Sprint(t)
+		if seen[key] {
+			continue // discovery is value-level: duplicates collapse
+		}
+		seen[key] = true
+		rows = append(rows, t)
+	}
+	if band <= 1 {
+		return skyline.ComputeTuples(rows)
+	}
+	var out [][]int
+	for _, i := range skyline.Skyband(rows, band) {
+		out = append(out, rows[i])
+	}
+	return out
+}
+
+func sortedTuples(ts [][]int) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = fmt.Sprint(t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestWhereComposesWithAlgoAndBand(t *testing.T) {
+	const where = "A0<9,A1>=2"
+	rqData := datagen.Independent(11, 80, 2, 14).WithCaps(hidden.RQ)
+	pqData := rqData.WithCaps(hidden.PQ)
+
+	cases := []struct {
+		name  string
+		algo  string
+		band  int
+		where string
+		data  datagen.Dataset
+	}{
+		{"auto+where", "auto", 1, where, rqData},
+		{"sq+where", "sq", 1, where, rqData}, // previously: -where silently ignored
+		{"rq+where", "rq", 1, where, rqData}, // previously: -where silently ignored
+		{"mq+where", "mq", 1, where, rqData},
+		{"band+where", "auto", 3, where, rqData}, // previously: -where silently ignored
+		{"rq-band+where", "rq", 2, where, rqData},
+		// A PQ interface only expresses equality, so its filter does too.
+		{"pq-band+where", "pq", 2, "A0=4", pqData},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			filter := query.MustParse(tc.where)
+			req, err := buildRequest(tc.algo, tc.band, tc.where, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(tc.data.DB(5, hidden.SumRank{}), req, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tuple := range res.Skyline {
+				if !filter.Matches(tuple) {
+					t.Fatalf("tuple %v violates filter %s", tuple, tc.where)
+				}
+			}
+			want := filteredGroundTruth(tc.data, filter, tc.band)
+			if got, expect := sortedTuples(res.Skyline), sortedTuples(want); fmt.Sprint(got) != fmt.Sprint(expect) {
+				t.Fatalf("filtered result mismatch:\n got  %v\n want %v", got, expect)
+			}
+		})
+	}
+}
+
+// TestWhereComposesWithResume: a filtered checkpointable session
+// discovers exactly the filtered skyline across interrupted slices.
+func TestWhereComposesWithResume(t *testing.T) {
+	const where = "A0<9"
+	d := datagen.Independent(7, 60, 2, 12).WithCaps(hidden.RQ)
+	db := d.DB(4, hidden.SumRank{})
+
+	req, err := buildRequest("auto", 1, where, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Plan(db, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := plan.Session()
+	var res core.Result
+	for i := 0; i < 100 && !sess.Done(); i++ {
+		// Resume in slices of 5 queries, re-planning each slice the way
+		// consecutive CLI invocations do.
+		req.Session = sess
+		res, err = core.Run(db, req, core.Options{MaxQueries: 5})
+		if err != nil && !errors.Is(err, core.ErrBudget) {
+			t.Fatal(err)
+		}
+	}
+	if !res.Complete {
+		t.Fatalf("session never completed: %d pending", len(sess.Pending))
+	}
+	want := filteredGroundTruth(d, query.MustParse(where), 1)
+	if got, expect := sortedTuples(res.Skyline), sortedTuples(want); fmt.Sprint(got) != fmt.Sprint(expect) {
+		t.Fatalf("resumed filtered skyline mismatch:\n got  %v\n want %v", got, expect)
+	}
+}
+
+func TestBuildRequestErrors(t *testing.T) {
+	if _, err := buildRequest("quantum", 1, "", false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := buildRequest("auto", 1, "A0!!3", false); err == nil {
+		t.Error("malformed filter accepted")
+	}
+	// Unsupported combinations surface the planner's typed error.
+	db := datagen.Independent(3, 20, 2, 8).WithCaps(hidden.RQ).DB(3, hidden.SumRank{})
+	req, err := buildRequest("mq", 2, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Run(db, req, core.Options{}); !errors.Is(err, core.ErrUnsupported) {
+		t.Errorf("mq band: got %v, want ErrUnsupported", err)
+	}
+	req, err = buildRequest("pq", 1, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Run(db, req, core.Options{}); !errors.Is(err, core.ErrUnsupported) {
+		t.Errorf("resumable pq: got %v, want ErrUnsupported", err)
+	}
+}

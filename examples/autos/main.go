@@ -21,14 +21,22 @@ func main() {
 	db := d.DB(25, hiddensky.AttrRank{Attr: 0}) // site ranks by price
 
 	const K = 3
-	band, err := hiddensky.RQBandSky(db, K, hiddensky.Options{})
+	band, err := hiddensky.Run(db, hiddensky.Request{Band: K}, hiddensky.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("inventory: %d cars; %d-skyband: %d cars in %d queries\n\n",
-		db.Size(), K, len(band.Tuples), band.Queries)
+		db.Size(), band.Band, len(band.Skyline), band.Queries)
 
 	// Answer three different "top 3" requests locally.
+	type car struct {
+		t         []int
+		dominated int
+	}
+	inventory := make([]car, len(band.Skyline))
+	for i, t := range band.Skyline {
+		inventory[i] = car{t: t, dominated: band.BandCounts[i]}
+	}
 	score := func(w []float64) func(t []int) float64 {
 		return func(t []int) float64 {
 			return w[0]*float64(t[0]) + w[1]*float64(t[1]) + w[2]*float64(t[2])
@@ -43,13 +51,13 @@ func main() {
 		{"newest", score([]float64{0.001, 0.0001, 1000})},
 	}
 	for _, ask := range asks {
-		cars := append([][]int(nil), band.Tuples...)
-		sort.SliceStable(cars, func(a, b int) bool { return ask.fn(cars[a]) < ask.fn(cars[b]) })
+		cars := append([]car(nil), inventory...)
+		sort.SliceStable(cars, func(a, b int) bool { return ask.fn(cars[a].t) < ask.fn(cars[b].t) })
 		fmt.Printf("top 3 by %q:\n", ask.name)
 		for i := 0; i < 3 && i < len(cars); i++ {
-			t := cars[i]
+			t := cars[i].t
 			fmt.Printf("    $%-6d %6d miles, %d years old (dominated by %d)\n",
-				t[0], t[1], t[2], band.Counts[i])
+				t[0], t[1], t[2], cars[i].dominated)
 		}
 	}
 	fmt.Println("\n(all answered from the one-time skyband, zero extra web queries)")

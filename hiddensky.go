@@ -125,6 +125,9 @@ var (
 	MustNew = hidden.MustNew
 	// ParseQuery parses a textual filter like "A0<500,A2>=3".
 	ParseQuery = query.Parse
+	// MustParseQuery is ParseQuery panicking on malformed input, for
+	// fixed literals.
+	MustParseQuery = query.MustParse
 )
 
 // Discovery algorithms.
@@ -139,9 +142,47 @@ type (
 	BandResult = core.BandResult
 	// HiddenDB is the minimal interface the algorithms require.
 	HiddenDB = core.Interface
+	// Request declaratively describes one discovery run for the
+	// capability-driven planner (algorithm, K-skyband level, filter,
+	// resumability); the zero value is a full auto-dispatched skyline.
+	Request = core.Request
+	// Algo names a discovery algorithm family for Request.Algo.
+	Algo = core.Algo
+	// QueryPlan is a compiled Request, ready to execute.
+	QueryPlan = core.QueryPlan
+	// PlanError reports why a Request cannot run on an interface; it
+	// matches ErrUnsupported under errors.Is.
+	PlanError = core.PlanError
 )
 
-// Algorithm entry points (see the paper sections in parentheses).
+// Algorithm families a Request may name.
+const (
+	AlgoAuto = core.AlgoAuto
+	AlgoSQ   = core.AlgoSQ
+	AlgoRQ   = core.AlgoRQ
+	AlgoPQ   = core.AlgoPQ
+	AlgoMQ   = core.AlgoMQ
+)
+
+// The planner: every layer of the repository (the job service, the
+// federated fleet, the CLIs) dispatches discovery through Plan/Run.
+var (
+	// Plan compiles a Request against an interface's capabilities,
+	// returning a typed error for unsatisfiable combinations.
+	Plan = core.Plan
+	// Run compiles and executes a Request in one call.
+	Run = core.Run
+	// ParseAlgo normalizes a textual algorithm name ("" = auto).
+	ParseAlgo = core.ParseAlgo
+	// ErrUnsupported is the errors.Is target for request combinations
+	// the interface cannot satisfy.
+	ErrUnsupported = core.ErrUnsupported
+)
+
+// Algorithm entry points (see the paper sections in parentheses) —
+// retained for paper fidelity. They are the points of Request space the
+// planner dispatches to; new code that wants features to compose
+// (filter × band × explicit algorithm × resume) should go through Run.
 var (
 	// SQDBSky discovers the skyline via one-ended ranges (Algorithm 1, §3).
 	SQDBSky = core.SQDBSky

@@ -60,7 +60,7 @@ func FigEngine(cfg Config) (Figure, error) {
 		opt := core.Options{Parallelism: p}
 
 		start := time.Now()
-		_, err := core.RQDBSky(&delayDB{db: rqDB, d: latency}, opt)
+		_, err := core.Run(&delayDB{db: rqDB, d: latency}, core.Request{Algo: core.AlgoRQ}, opt)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -71,7 +71,7 @@ func FigEngine(cfg Config) (Figure, error) {
 		speedRQ.Points = append(speedRQ.Points, Point{X: float64(p), Y: ratio(baseRQ, tRQ)})
 
 		start = time.Now()
-		_, err = core.PQDBSky(&delayDB{db: pqDB, d: latency}, opt)
+		_, err = core.Run(&delayDB{db: pqDB, d: latency}, core.Request{Algo: core.AlgoPQ}, opt)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -89,11 +89,11 @@ func FigEngine(cfg Config) (Figure, error) {
 		cache := qcache.New(qcache.Config{MaxEntries: cfg.CacheEntries})
 		copt := opt
 		copt.Cache = cache
-		if _, err := core.RQDBSky(rqDB, copt); err != nil {
+		if _, err := core.Run(rqDB, core.Request{Algo: core.AlgoRQ}, copt); err != nil {
 			return Figure{}, err
 		}
 		warm := cache.Stats()
-		res2, err := core.RQDBSky(rqDB, copt)
+		res2, err := core.Run(rqDB, core.Request{Algo: core.AlgoRQ}, copt)
 		if err != nil {
 			return Figure{}, err
 		}

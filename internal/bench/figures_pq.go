@@ -40,7 +40,7 @@ func Fig16(cfg Config) (Figure, error) {
 		proj := full.Project(fig16Attrs[:m]...)
 		for _, n := range ns {
 			d := datagen.Dataset{Name: proj.Name, Attrs: proj.Attrs, Data: proj.Data[:n]}
-			res, err := core.PQDBSky(d.DB(1, hidden.SumRank{}), core.Options{})
+			res, err := core.Run(d.DB(1, hidden.SumRank{}), core.Request{Algo: core.AlgoPQ}, core.Options{})
 			if err != nil {
 				return fig, err
 			}
@@ -88,7 +88,7 @@ func Fig17(cfg Config) (Figure, error) {
 		if len(d.Data) > n {
 			d = datagen.Dataset{Name: d.Name, Attrs: d.Attrs, Data: d.Data[:n]}
 		}
-		res, err := core.PQDBSky(d.DB(1, hidden.SumRank{}), core.Options{})
+		res, err := core.Run(d.DB(1, hidden.SumRank{}), core.Request{Algo: core.AlgoPQ}, core.Options{})
 		if err != nil {
 			return fig, err
 		}
@@ -135,7 +135,7 @@ func Fig18(cfg Config) (Figure, error) {
 	s := Series{Name: "MQ-DB-SKY"}
 	for _, n := range ns {
 		d := datagen.Dataset{Name: full.Name, Attrs: full.Attrs, Data: full.Data[:n]}
-		res, err := core.MQDBSky(d.DB(1, hidden.SumRank{}), core.Options{})
+		res, err := core.Run(d.DB(1, hidden.SumRank{}), core.Request{Algo: core.AlgoMQ}, core.Options{})
 		if err != nil {
 			return fig, err
 		}
@@ -176,7 +176,7 @@ func Fig19(cfg Config) (Figure, error) {
 		// (a) one point attribute, `extra` range attributes.
 		cols := append(append([]int(nil), rangePool[:extra]...), pointPool[0])
 		d := full.Project(cols...)
-		res, err := core.MQDBSky(d.DB(1, hidden.SumRank{}), core.Options{})
+		res, err := core.Run(d.DB(1, hidden.SumRank{}), core.Request{Algo: core.AlgoMQ}, core.Options{})
 		if err != nil {
 			return fig, err
 		}
@@ -185,7 +185,7 @@ func Fig19(cfg Config) (Figure, error) {
 		// (b) one range attribute, `extra` point attributes.
 		cols = append([]int{rangePool[0]}, pointPool[:extra]...)
 		d = full.Project(cols...)
-		res, err = core.MQDBSky(d.DB(1, hidden.SumRank{}), core.Options{})
+		res, err = core.Run(d.DB(1, hidden.SumRank{}), core.Request{Algo: core.AlgoMQ}, core.Options{})
 		if err != nil {
 			return fig, err
 		}
@@ -205,7 +205,7 @@ func Fig21(cfg Config) (Figure, error) {
 	}
 	n := cfg.scale(100000, 10000)
 	d := datagen.Flights(cfg.Seed, n).Project(fig16Attrs[:4]...)
-	res, err := core.PQDBSky(d.DB(1, hidden.SumRank{}), core.Options{Trace: true})
+	res, err := core.Run(d.DB(1, hidden.SumRank{}), core.Request{Algo: core.AlgoPQ}, core.Options{Trace: true})
 	if err != nil {
 		return fig, err
 	}

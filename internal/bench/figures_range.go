@@ -71,11 +71,11 @@ func Fig6(cfg Config) (Figure, error) {
 			d := datagen.CorrelationSweep(cfg.Seed+int64(i), n, dims.m, dims.domain, corr)
 			rank := hidden.RandomExtensionRank{Seed: cfg.Seed + int64(i)}
 
-			sqRes, err := core.SQDBSky(d.WithCaps(hidden.SQ).DB(1, rank), core.Options{})
+			sqRes, err := core.Run(d.WithCaps(hidden.SQ).DB(1, rank), core.Request{Algo: core.AlgoSQ}, core.Options{})
 			if err != nil {
 				return fig, err
 			}
-			rqRes, err := core.RQDBSky(d.WithCaps(hidden.RQ).DB(1, rank), core.Options{})
+			rqRes, err := core.Run(d.WithCaps(hidden.RQ).DB(1, rank), core.Request{Algo: core.AlgoRQ}, core.Options{})
 			if err != nil {
 				return fig, err
 			}
@@ -107,7 +107,7 @@ func Fig13(cfg Config) (Figure, error) {
 	rq := Series{Name: "RQ-DB-SKY"}
 	base := Series{Name: "BASELINE"}
 	for _, k := range ks {
-		res, err := core.RQDBSky(d.DB(k, hidden.SumRank{}), core.Options{})
+		res, err := core.Run(d.DB(k, hidden.SumRank{}), core.Request{Algo: core.AlgoRQ}, core.Options{})
 		if err != nil {
 			return fig, err
 		}
@@ -154,11 +154,11 @@ func Fig14(cfg Config) (Figure, error) {
 	skySize := Series{Name: "# of Skylines"}
 	for _, n := range ns {
 		d := datagen.Dataset{Name: full.Name, Attrs: full.Attrs, Data: full.Data[:n]}
-		sqRes, err := core.SQDBSky(d.WithCaps(hidden.SQ).DB(10, hidden.SumRank{}), core.Options{})
+		sqRes, err := core.Run(d.WithCaps(hidden.SQ).DB(10, hidden.SumRank{}), core.Request{Algo: core.AlgoSQ}, core.Options{})
 		if err != nil {
 			return fig, err
 		}
-		rqRes, err := core.RQDBSky(d.WithCaps(hidden.RQ).DB(10, hidden.SumRank{}), core.Options{})
+		rqRes, err := core.Run(d.WithCaps(hidden.RQ).DB(10, hidden.SumRank{}), core.Request{Algo: core.AlgoRQ}, core.Options{})
 		if err != nil {
 			return fig, err
 		}
@@ -202,14 +202,14 @@ func Fig15(cfg Config) (Figure, error) {
 	rq := Series{Name: "RQ-DB-SKY"}
 	for m := 2; m <= maxM; m++ {
 		d := full.Project(fig14Attrs[:m]...)
-		sqRes, err := core.SQDBSky(d.WithCaps(hidden.SQ).DB(10, hidden.SumRank{}), core.Options{MaxQueries: sqBudget})
+		sqRes, err := core.Run(d.WithCaps(hidden.SQ).DB(10, hidden.SumRank{}), core.Request{Algo: core.AlgoSQ}, core.Options{MaxQueries: sqBudget})
 		if err != nil && !errors.Is(err, core.ErrBudget) {
 			return fig, err
 		}
 		if !sqRes.Complete {
 			fig.Notes = append(fig.Notes, fmt.Sprintf("SQ-DB-SKY truncated at %d queries for m=%d", sqBudget, m))
 		}
-		rqRes, err := core.RQDBSky(d.WithCaps(hidden.RQ).DB(10, hidden.SumRank{}), core.Options{})
+		rqRes, err := core.Run(d.WithCaps(hidden.RQ).DB(10, hidden.SumRank{}), core.Request{Algo: core.AlgoRQ}, core.Options{})
 		if err != nil {
 			return fig, err
 		}
@@ -236,11 +236,11 @@ func Fig20(cfg Config) (Figure, error) {
 	n := cfg.scale(100000, 10000)
 	d := datagen.Flights(cfg.Seed, n).Project(fig14Attrs[:6]...)
 
-	sqRes, err := core.SQDBSky(d.WithCaps(hidden.SQ).DB(10, hidden.SumRank{}), core.Options{Trace: true})
+	sqRes, err := core.Run(d.WithCaps(hidden.SQ).DB(10, hidden.SumRank{}), core.Request{Algo: core.AlgoSQ}, core.Options{Trace: true})
 	if err != nil {
 		return fig, err
 	}
-	rqRes, err := core.RQDBSky(d.WithCaps(hidden.RQ).DB(10, hidden.SumRank{}), core.Options{Trace: true})
+	rqRes, err := core.Run(d.WithCaps(hidden.RQ).DB(10, hidden.SumRank{}), core.Request{Algo: core.AlgoRQ}, core.Options{Trace: true})
 	if err != nil {
 		return fig, err
 	}

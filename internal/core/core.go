@@ -139,6 +139,13 @@ type Result struct {
 	// Complete is false when the run ended early (budget) or the algorithm
 	// ran in an explicitly partial mode (SQ sky band).
 	Complete bool
+	// Band is the K-skyband level the run discovered (0: a plain
+	// skyline run). Set by planner-driven band runs (Request.Band > 0);
+	// Skyline then holds the band tuples.
+	Band int
+	// BandCounts[i] is the number of database tuples dominating
+	// Skyline[i]. Populated only for band runs (exact when Complete).
+	BandCounts []int
 }
 
 // ctx carries the shared per-run state of every algorithm. A mutex guards
@@ -396,6 +403,7 @@ func attrsByCap(db Interface) (sq, rq, pq []int) {
 
 // Discover runs the most appropriate algorithm for the database's
 // interface mixture (MQDBSky's dispatch): SQ-, RQ-, PQ- or MQ-DB-SKY.
+// It is the zero-Request point of the planner: Run(db, Request{}, opt).
 func Discover(db Interface, opt Options) (Result, error) {
 	return MQDBSky(db, opt)
 }

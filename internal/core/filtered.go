@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"hiddensky/internal/hidden"
 	"hiddensky/internal/query"
 )
@@ -13,25 +11,14 @@ import (
 // conditions as conjunctive predicates to all queries issued". The filter
 // must only use predicates the interface supports on the respective
 // attributes; the algorithm choice then follows the interface mixture as
-// in Discover.
+// in Discover. It is the Filter-only point of the planner's Request
+// space, which keeps the validation rules in one place (Plan).
 //
 // Example: the skyline of nonstop flights only —
 //
 //	DiscoverWhere(db, query.Q{{Attr: stops, Op: query.EQ, Value: 0}}, opt)
 func DiscoverWhere(db Interface, filter query.Q, opt Options) (Result, error) {
-	if len(filter) == 0 {
-		return Discover(db, opt)
-	}
-	for _, p := range filter {
-		if p.Attr < 0 || p.Attr >= db.NumAttrs() {
-			return Result{}, fmt.Errorf("core: filter attribute A%d out of range", p.Attr)
-		}
-		if !db.Cap(p.Attr).Allows(p.Op) {
-			return Result{}, fmt.Errorf("core: filter predicate %v not supported by the %s interface of A%d",
-				p, db.Cap(p.Attr), p.Attr)
-		}
-	}
-	return Discover(&filteredView{db: db, filter: filter.Clone()}, opt)
+	return Run(db, Request{Filter: filter}, opt)
 }
 
 // filteredView presents the subset of a hidden database matching a

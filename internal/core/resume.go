@@ -29,6 +29,13 @@ type Session struct {
 	Queries int `json:"queries"`
 	// Attrs pins the schema for sanity checks at resume time.
 	Attrs int `json:"attrs"`
+	// Filter pins the conjunctive filter the session was planned with
+	// ("" = unfiltered; see Request.Filter). The planner refuses to
+	// resume a checkpoint under a different filter — the frontier would
+	// be neither the filtered nor the full skyline. Sessions from
+	// checkpoints older than the planner carry "" and resume as
+	// unfiltered runs.
+	Filter string `json:"filter,omitempty"`
 
 	// OnCheckpoint, when non-nil, is invoked during Resume — after every
 	// CheckpointEvery completed queries, and once more before Resume

@@ -82,7 +82,14 @@ func Discover(stores []Store, opt core.Options) (Result, error) {
 	out := Result{Complete: true}
 	var all []Offer
 	for _, s := range stores {
-		res, err := core.Discover(s.DB, opt)
+		// Each store is planned individually: the same request may
+		// resolve to different algorithms per interface mixture, and an
+		// unsatisfiable store surfaces a typed error before any query.
+		plan, err := core.Plan(s.DB, core.Request{})
+		if err != nil {
+			return out, fmt.Errorf("federate: store %q: %w", s.Name, err)
+		}
+		res, err := plan.Run(opt)
 		if err != nil && !errors.Is(err, core.ErrBudget) {
 			return out, fmt.Errorf("federate: store %q: %w", s.Name, err)
 		}
@@ -191,6 +198,12 @@ type FleetOptions struct {
 	// MaxStores bounds how many stores are discovered concurrently
 	// (<= 0: all at once).
 	MaxStores int
+	// Request is the discovery request compiled per store (the zero
+	// value: automatic algorithm dispatch, full skyline). An explicit
+	// algorithm or a conjunctive filter applies to every store; band
+	// and resumable requests are rejected — the fleet merges skylines,
+	// and a multi-store checkpoint does not exist.
+	Request core.Request
 	// GlobalBudget, when positive, is the total number of web queries the
 	// whole fleet may spend, shared atomically across stores. A store that
 	// hits the exhausted budget stops with its partial (anytime) skyline
@@ -227,6 +240,12 @@ func DiscoverFleet(stores []Store, opt core.Options, fleet FleetOptions) (Result
 				s.Name, s.DB.NumAttrs(), m)
 		}
 	}
+	if fleet.Request.Band > 0 {
+		return Result{}, fmt.Errorf("federate: fleet discovery merges skylines; K-skyband requests are not supported")
+	}
+	if fleet.Request.Resumable || fleet.Request.Session != nil {
+		return Result{}, fmt.Errorf("federate: fleet discovery is not resumable")
+	}
 	budget := engine.NewBudget(fleet.GlobalBudget)
 	type outcome struct {
 		res core.Result
@@ -246,8 +265,17 @@ func DiscoverFleet(stores []Store, opt core.Options, fleet FleetOptions) (Result
 			// cache keeps serving the store across fleet runs.
 			db = fleet.Cache.WrapAs(s.DB, db)
 		}
+		// Compile the fleet request per store before any query is spent:
+		// stores may mix interface capabilities, so one store planning
+		// to RQ-DB-SKY and its neighbor to MQ-DB-SKY is the normal case,
+		// and a store that cannot satisfy the request (say a filter
+		// operator its interface rejects) fails the fleet fast.
+		plan, err := core.Plan(db, fleet.Request)
+		if err != nil {
+			return Result{}, fmt.Errorf("federate: store %q: %w", s.Name, err)
+		}
 		jobs[i] = func() outcome {
-			res, err := core.Discover(db, opt)
+			res, err := plan.Run(opt)
 			if fleet.OnStoreDone != nil && (err == nil || errors.Is(err, core.ErrBudget)) {
 				fleet.OnStoreDone(i, StoreStats{
 					Store:    stores[i].Name,

@@ -11,8 +11,6 @@ import (
 	"sync/atomic"
 
 	"hiddensky/internal/answer"
-	"hiddensky/internal/core"
-	"hiddensky/internal/hidden"
 )
 
 // The answer side of the manager: every registered store owns an
@@ -112,11 +110,20 @@ func (m *Manager) Answers() map[string]AnswerStatus {
 	return out
 }
 
+// publishableAnswer reports whether a complete single-store result may
+// feed the store-wide answer index. Filtered jobs are excluded — the
+// index serves whole-store rankings, and a filtered subset would
+// answer them wrong. Shared by live publication (finish) and restart
+// recovery (rebuildAnswersLocked) so the two can never drift.
+func publishableAnswer(spec JobSpec, tuples [][]int) bool {
+	return spec.Store != "" && spec.Where == "" && len(tuples) > 0
+}
+
 // answerSource reports whether a terminal job status is a publishable
 // answer source: a single-store job that finished done and complete
 // with tuples.
 func answerSource(st JobStatus) bool {
-	return st.State == StateDone && st.Complete && st.Spec.Store != "" && len(st.Tuples) > 0
+	return st.State == StateDone && st.Complete && publishableAnswer(st.Spec, st.Tuples)
 }
 
 // rebuildAnswers republishes answer indexes from recovered terminal
@@ -144,55 +151,6 @@ func (m *Manager) rebuildAnswersLocked() {
 			m.answers[store].publish(s, j.status.ID)
 		}
 	}
-}
-
-// bandAlgo resolves the K-skyband discovery routine for a band job:
-// an explicit algo picks its band variant; auto dispatches on the
-// interface mixture the way core.Discover does for skylines.
-func bandAlgo(db core.Interface, algo string) (func(core.Interface, int, core.Options) (core.BandResult, error), error) {
-	switch strings.ToLower(algo) {
-	case "rq":
-		return core.RQBandSky, nil
-	case "pq":
-		return core.PQBandSky, nil
-	case "sq":
-		return core.SQBandSky, nil
-	case "", "auto":
-	default:
-		return nil, fmt.Errorf("service: algo %q has no K-skyband variant", algo)
-	}
-	allRQ, allPQ, allRanged := true, true, true
-	for i := 0; i < db.NumAttrs(); i++ {
-		switch db.Cap(i) {
-		case hidden.RQ:
-			allPQ = false
-		case hidden.SQ:
-			allRQ, allPQ = false, false
-		case hidden.PQ:
-			allRQ, allRanged = false, false
-		}
-	}
-	switch {
-	case allRQ:
-		return core.RQBandSky, nil
-	case allPQ:
-		return core.PQBandSky, nil
-	case allRanged:
-		return core.SQBandSky, nil
-	}
-	return nil, fmt.Errorf("service: mixed point/range interfaces have no K-skyband algorithm")
-}
-
-// executeBand runs a K-skyband discovery job (JobSpec.Band > 0).
-func (m *Manager) executeBand(j *job, db core.Interface, spec JobSpec, opt core.Options) outcome {
-	fn, err := bandAlgo(db, spec.Algo)
-	if err != nil {
-		return outcome{err: err}
-	}
-	opt.MaxQueries = spec.Budget
-	opt.Progress = progressSink(j, 0)
-	res, err := fn(db, spec.Band, opt)
-	return outcome{tuples: res.Tuples, queries: res.Queries, complete: res.Complete, band: spec.Band, err: err}
 }
 
 // --- wire types of the /v1/answer endpoints ---

@@ -10,7 +10,11 @@ import (
 // HTTP API (versioned under /v1), served by cmd/skylined:
 //
 //	GET    /v1/health            -> {stores, jobs, running, queued}
-//	POST   /v1/jobs  {JobSpec}   -> JobStatus (201)
+//	POST   /v1/jobs  {JobSpec}   -> JobStatus (201); 400 + the error
+//	                                envelope when the spec is malformed
+//	                                or the planner rejects the algo /
+//	                                band / where / resumable combination
+//	                                for the target store's interface
 //	GET    /v1/jobs              -> {jobs: [JobStatus]}
 //	GET    /v1/jobs/{id}         -> JobStatus
 //	DELETE /v1/jobs/{id}         -> JobStatus (cancels the job)

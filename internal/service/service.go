@@ -109,6 +109,29 @@ type JobSpec struct {
 	// and not resumable; Algo picks the band variant ("auto" dispatches
 	// on the interface mixture).
 	Band int `json:"band,omitempty"`
+	// Where is a conjunctive filter ("A0<500,A2>=3"; see query.Parse):
+	// the job discovers the skyline (or K-skyband) of the matching
+	// subset only (§2.1). It composes with Algo, Band and Resumable
+	// (resubmit a resumable job with the same filter), and fleet jobs
+	// apply it to every store. Each predicate's operator must be
+	// supported by the target interface; violations are rejected at
+	// submit. Filtered jobs do not feed the store's materialized answer
+	// index, which serves whole-store rankings.
+	Where string `json:"where,omitempty"`
+}
+
+// request compiles the spec's discovery fields into the planner's
+// input. The session (for resumable jobs) is attached by the executor.
+func (spec JobSpec) request() (core.Request, error) {
+	filter, err := query.Parse(spec.Where)
+	if err != nil {
+		return core.Request{}, fmt.Errorf("service: bad where filter: %w", err)
+	}
+	algo, err := core.ParseAlgo(spec.Algo)
+	if err != nil {
+		return core.Request{}, fmt.Errorf("service: %w", err)
+	}
+	return core.Request{Algo: algo, Band: spec.Band, Filter: filter, Resumable: spec.Resumable}, nil
 }
 
 // JobState is a job's lifecycle state.
@@ -363,31 +386,20 @@ func (m *Manager) validate(spec *JobSpec) error {
 	if (spec.Store == "") == (len(spec.Stores) == 0) {
 		return fmt.Errorf("service: a job names exactly one of store or stores")
 	}
-	if spec.Resumable && len(spec.Stores) > 0 {
-		return fmt.Errorf("service: fleet jobs are not resumable")
-	}
-	switch a := strings.ToLower(spec.Algo); a {
-	case "", "auto", "sq":
-	case "rq", "pq", "mq":
-		if spec.Resumable {
-			return fmt.Errorf("service: resumable jobs run the checkpointable SQ session walk; algo %q is not resumable", spec.Algo)
-		}
-	default:
-		return fmt.Errorf("service: unknown algorithm %q", spec.Algo)
-	}
 	if spec.Budget < 0 || spec.Parallelism < 0 || spec.Band < 0 {
 		return fmt.Errorf("service: budget, parallelism and band must be >= 0")
 	}
-	if spec.Band > 0 {
+	if len(spec.Stores) > 0 {
 		if spec.Resumable {
-			return fmt.Errorf("service: band jobs are not resumable")
+			return fmt.Errorf("service: fleet jobs are not resumable")
 		}
-		if len(spec.Stores) > 0 {
+		if spec.Band > 0 {
 			return fmt.Errorf("service: band jobs target a single store")
 		}
-		if a := strings.ToLower(spec.Algo); a == "mq" {
-			return fmt.Errorf("service: algo %q has no K-skyband variant", spec.Algo)
-		}
+	}
+	req, err := spec.request()
+	if err != nil {
+		return err
 	}
 	names := spec.Stores
 	if spec.Store != "" {
@@ -396,8 +408,15 @@ func (m *Manager) validate(spec *JobSpec) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, n := range names {
-		if _, ok := m.stores[n]; !ok {
+		db, ok := m.stores[n]
+		if !ok {
 			return fmt.Errorf("%w: %q", ErrUnknownStore, n)
+		}
+		// Compile (and discard) the plan at submit time: an algorithm /
+		// band / filter combination the store's interface cannot satisfy
+		// is a client error now, not a failed job later.
+		if _, err := core.Plan(db, req); err != nil {
+			return fmt.Errorf("service: store %q: %w", n, err)
 		}
 	}
 	return nil
@@ -583,7 +602,9 @@ type outcome struct {
 
 // execute runs the job's discovery. While a job is running, only its
 // own goroutine persists it (via the session checkpoint hook), so the
-// serialized session is never read while being mutated.
+// serialized session is never read while being mutated. All algorithm
+// dispatch lives in the core planner: the manager only compiles the
+// spec into a core.Request and hands it to core.Run.
 func (m *Manager) execute(ctx context.Context, j *job) outcome {
 	spec := j.snapshotStatus().Spec
 	if len(spec.Stores) > 0 {
@@ -603,37 +624,40 @@ func (m *Manager) execute(ctx context.Context, j *job) outcome {
 		// same store hits one warm keyspace.
 		db = m.cache.WrapAs(registered, db)
 	}
-	opt := core.Options{Parallelism: spec.Parallelism, Ctx: ctx}
-	if spec.Resumable {
-		return m.executeSession(j, db, spec, opt)
+	req, err := spec.request()
+	if err != nil {
+		return outcome{err: err}
 	}
-	if spec.Band > 0 {
-		return m.executeBand(j, db, spec, opt)
+	opt := core.Options{Parallelism: spec.Parallelism, Ctx: ctx}
+	if req.Resumable {
+		return m.executeSession(j, db, spec, req, opt)
 	}
 	opt.MaxQueries = spec.Budget
 	opt.Progress = progressSink(j, 0)
-	var res core.Result
-	switch strings.ToLower(spec.Algo) {
-	case "sq":
-		res, err = core.SQDBSky(db, opt)
-	case "rq":
-		res, err = core.RQDBSky(db, opt)
-	case "pq":
-		res, err = core.PQDBSky(db, opt)
-	default: // "", auto, mq
-		res, err = core.Discover(db, opt)
-	}
-	return outcome{tuples: res.Skyline, queries: res.Queries, complete: res.Complete, err: err}
+	res, err := core.Run(db, req, opt)
+	return outcome{tuples: res.Skyline, queries: res.Queries, complete: res.Complete, band: res.Band, err: err}
 }
 
-// executeSession runs (or continues) the job's checkpointed SQ session.
-func (m *Manager) executeSession(j *job, db core.Interface, spec JobSpec, opt core.Options) outcome {
+// executeSession runs (or continues) the job's checkpointed SQ session
+// through the planner (req.Session carries the checkpoint into
+// core.Run). The manager owns the cross-restart budget arithmetic and
+// the persistence hooks; the walk itself is core's.
+func (m *Manager) executeSession(j *job, db core.Interface, spec JobSpec, req core.Request, opt core.Options) outcome {
 	j.mu.Lock()
-	sess := j.session
-	if sess == nil {
-		sess = core.NewSession(db)
-		j.session = sess
+	req.Session = j.session
+	j.mu.Unlock()
+	plan, err := core.Plan(db, req)
+	if err != nil {
+		return outcome{err: err}
 	}
+	// The plan owns session construction: a fresh session is rooted at
+	// the (possibly filter-shrunk) view's domains and pinned to the
+	// job's filter, so a filtered walk never explores the unfiltered
+	// box and a recovered checkpoint cannot resume under the wrong
+	// filter.
+	sess := plan.Session()
+	j.mu.Lock()
+	j.session = sess
 	j.mu.Unlock()
 
 	base := sess.Queries
@@ -656,7 +680,7 @@ func (m *Manager) executeSession(j *job, db core.Interface, spec JobSpec, opt co
 	}
 	defer func() { sess.OnCheckpoint = nil }()
 	opt.Progress = progressSink(j, base)
-	res, err := sess.Resume(db, opt)
+	res, err := plan.Run(opt)
 	return outcome{tuples: res.Skyline, queries: res.Queries, complete: res.Complete, err: err}
 }
 
@@ -694,6 +718,10 @@ func (c countingDB) Query(q query.Q) (hidden.Result, error) {
 // discovered (at most Parallelism at once) under one fleet-wide budget,
 // and the skylines merge into the global Pareto frontier.
 func (m *Manager) executeFleet(ctx context.Context, j *job, spec JobSpec) outcome {
+	req, err := spec.request()
+	if err != nil {
+		return outcome{err: err}
+	}
 	// The layering below mirrors DiscoverFleet's own Cache/GlobalBudget
 	// handling (budget gate beneath the cache, so cached hits consume no
 	// budget), but is built here so the cache keyspace is the registered
@@ -721,6 +749,7 @@ func (m *Manager) executeFleet(ctx context.Context, j *job, spec JobSpec) outcom
 	}
 	fo := federate.FleetOptions{
 		MaxStores: spec.Parallelism,
+		Request:   req,
 		OnStoreDone: func(i int, st federate.StoreStats) {
 			j.set(func(js *JobStatus) { js.Skyline += st.Skyline })
 		},
@@ -754,7 +783,7 @@ func (m *Manager) finish(j *job, oc outcome) {
 	var built *answer.Store
 	var entry *answerEntry
 	if spec := j.snapshotStatus().Spec; oc.err == nil && oc.complete &&
-		spec.Store != "" && len(oc.tuples) > 0 {
+		publishableAnswer(spec, oc.tuples) {
 		bandK := oc.band
 		if bandK <= 0 {
 			bandK = 1

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hiddensky/internal/core"
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+)
+
+// waitDone polls the manager until the job is terminal.
+func waitDone(t *testing.T, m *Manager, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobStatus{}
+}
+
+// TestJobWhereFilter: a filtered job (skylined's previously missing
+// capability) discovers exactly the filtered skyline, for plain,
+// explicit-algorithm, band and resumable jobs alike.
+func TestJobWhereFilter(t *testing.T) {
+	const where = "A0<30,A1>=5"
+	// Two-ended ranges everywhere: the filter's ">=" needs them, and the
+	// resumable SQ walk runs on RQ (a strictly stronger capability).
+	d := testDataset(21, 300).WithCaps(hidden.RQ)
+	filter := query.MustParse(where)
+
+	specs := []JobSpec{
+		{Store: "s", Where: where},
+		{Store: "s", Where: where, Algo: "sq"},
+		{Store: "s", Where: where, Band: 2},
+		{Store: "s", Where: where, Resumable: true},
+	}
+	for _, spec := range specs {
+		t.Run(spec.Algo+"/band="+itoa(spec.Band)+"/resumable="+itoa(b2i(spec.Resumable)), func(t *testing.T) {
+			m, err := NewManager(Config{MaxConcurrent: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close(context.Background())
+			if err := m.AddStore("s", d.DB(5, hidden.SumRank{})); err != nil {
+				t.Fatal(err)
+			}
+			st, err := m.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			final := waitDone(t, m, st.ID)
+			if final.State != StateDone || !final.Complete {
+				t.Fatalf("job ended %s (complete=%v, err=%q)", final.State, final.Complete, final.Error)
+			}
+			for _, tuple := range final.Tuples {
+				if !filter.Matches(tuple) {
+					t.Fatalf("tuple %v violates filter %s", tuple, where)
+				}
+			}
+			want, err := core.Run(d.DB(5, hidden.SumRank{}),
+				core.Request{Algo: core.Algo(spec.Algo), Band: spec.Band, Filter: filter}, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameTuples(t, final.Tuples, want.Skyline)
+
+			// Filtered jobs must not publish the store-wide answer index.
+			if _, err := m.AnswerStore("s"); !errors.Is(err, ErrNoAnswer) {
+				t.Fatalf("filtered job published an answer index (err=%v)", err)
+			}
+		})
+	}
+}
+
+func itoa(n int) string { return string(rune('0' + n)) }
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestSubmitWhereValidation: malformed filters and filters the store's
+// interface cannot express are client errors at submit, not failed
+// jobs.
+func TestSubmitWhereValidation(t *testing.T) {
+	m, err := NewManager(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	// testDataset is SQ-capable: ">=" filters are inexpressible.
+	if err := m.AddStore("s", testDataset(5, 50).DB(3, hidden.SumRank{})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(JobSpec{Store: "s", Where: "A0!!3"}); err == nil {
+		t.Error("malformed where accepted")
+	}
+	if _, err := m.Submit(JobSpec{Store: "s", Where: "A0>=3"}); !errors.Is(err, core.ErrUnsupported) {
+		t.Errorf("inexpressible filter: got %v, want ErrUnsupported", err)
+	}
+	if _, err := m.Submit(JobSpec{Store: "s", Where: "A9<3"}); !errors.Is(err, core.ErrUnsupported) {
+		t.Errorf("out-of-range filter attr: got %v, want ErrUnsupported", err)
+	}
+	// Supported filters pass validation.
+	st, err := m.Submit(JobSpec{Store: "s", Where: "A0<30"})
+	if err != nil {
+		t.Fatalf("valid filtered spec rejected: %v", err)
+	}
+	waitDone(t, m, st.ID)
+}
+
+// TestHTTPBadWhereIs400: the HTTP surface answers a malformed or
+// unsatisfiable where expression with 400 and the JSON error envelope.
+func TestHTTPBadWhereIs400(t *testing.T) {
+	m, err := NewManager(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	if err := m.AddStore("s", testDataset(6, 50).DB(3, hidden.SumRank{})); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	for _, body := range []string{
+		`{"store":"s","where":"A0!!3"}`,                     // unparsable expression
+		`{"store":"s","where":"A0>=3"}`,                     // operator the SQ interface rejects
+		`{"store":"s","where":"A0<3","algo":"mq","band":2}`, // unplannable combo
+	} {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+			t.Fatalf("body of %s is not the JSON error envelope: %v", body, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s answered %d, want 400", body, resp.StatusCode)
+		}
+		if envelope.Error == "" {
+			t.Errorf("POST %s: empty error envelope", body)
+		}
+	}
+}
+
+// TestFleetWhereFilter: a fleet job applies the filter to every store
+// and merges only matching offers.
+func TestFleetWhereFilter(t *testing.T) {
+	const where = "A0<35"
+	filter := query.MustParse(where)
+	m, err := NewManager(Config{MaxConcurrent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	if err := m.AddStore("a", testDataset(31, 200).DB(4, hidden.SumRank{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddStore("b", testDataset(32, 200).DB(4, hidden.SumRank{})); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Submit(JobSpec{Stores: []string{"a", "b"}, Where: where, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m, st.ID)
+	if final.State != StateDone || !final.Complete {
+		t.Fatalf("fleet job ended %s (complete=%v, err=%q)", final.State, final.Complete, final.Error)
+	}
+	if len(final.Tuples) == 0 {
+		t.Fatal("fleet job found nothing")
+	}
+	for _, tuple := range final.Tuples {
+		if !filter.Matches(tuple) {
+			t.Fatalf("fleet tuple %v violates filter %s", tuple, where)
+		}
+	}
+}

@@ -79,6 +79,44 @@ say "job done: $(echo "$status" | sed -n 's/.*"queries":\([0-9]*\).*/queries=\1/
 curl -sf "http://$DAEMON_ADDR/v1/jobs/$job/result" | grep -q '"tuples"' || {
   echo "smoke: result endpoint gave no tuples" >&2; exit 1; }
 
+say "submitting a filtered job (-where composes with an explicit algo end-to-end)"
+bad=$(curl -s -o /dev/null -w '%{http_code}' -XPOST "http://$DAEMON_ADDR/v1/jobs" \
+  -H 'Content-Type: application/json' \
+  -d '{"store":"smoke","where":"A0!!nonsense"}')
+[ "$bad" = "400" ] || { echo "smoke: bad where answered $bad, want 400" >&2; exit 1; }
+fcreated=$(curl -sf -XPOST "http://$DAEMON_ADDR/v1/jobs" \
+  -H 'Content-Type: application/json' \
+  -d '{"store":"smoke","algo":"sq","where":"A0<25","use_cache":true}')
+fjob=$(echo "$fcreated" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$fjob" ] || { echo "smoke: no job id in: $fcreated" >&2; exit 1; }
+for i in $(seq 1 300); do
+  fstatus=$(curl -sf "http://$DAEMON_ADDR/v1/jobs/$fjob")
+  fstate=$(echo "$fstatus" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  case "$fstate" in
+    done)
+      echo "$fstatus" | grep -q '"complete":true' || {
+        echo "smoke: filtered job finished incomplete: $fstatus" >&2; exit 1; }
+      break
+      ;;
+    failed|cancelled)
+      echo "smoke: filtered job ended $fstate: $fstatus" >&2; exit 1
+      ;;
+  esac
+  sleep 0.2
+  [ "$i" -lt 300 ] || { echo "smoke: filtered job never finished: $fstatus" >&2; exit 1; }
+done
+# Every returned tuple must satisfy A0 < 25: check the first coordinate
+# of each tuple in the result payload (which must be non-empty, or the
+# awk filter below would pass vacuously).
+fresult=$(curl -sf "http://$DAEMON_ADDR/v1/jobs/$fjob/result")
+echo "$fresult" | grep -q '"tuples":\[\[' || {
+  echo "smoke: filtered job returned no tuples: $fresult" >&2; exit 1; }
+echo "$fresult" | \
+  sed -n 's/.*"tuples":\[\[\(.*\)\]\].*/\1/p' | tr -d ' ' | \
+  awk -F'],[[]' 'BEGIN{RS="\n"} { n = split($0, rows, /\],\[/); for (i = 1; i <= n; i++) { split(rows[i], vals, ","); if (vals[1] + 0 >= 25) exit 1 } }' || {
+  echo "smoke: filtered job returned a tuple violating A0<25" >&2; exit 1; }
+say "filtered job $fjob done, every tuple honors A0<25"
+
 say "querying the answer index materialized from $job"
 answer=$(curl -sf -XPOST "http://$DAEMON_ADDR/v1/answer/topk" \
   -H 'Content-Type: application/json' \
