@@ -1,0 +1,320 @@
+// Command skyperf measures the serving read stack under load and emits
+// the repository's benchmark trajectory file (BENCH_*.json).
+//
+// It drives three hot paths with the internal/perf closed-loop harness,
+// each in its "before" (retained reference / single lock domain) and
+// "after" (arena-columnar / sharded) form on the same data and machine:
+//
+//   - answer.Store top-k: the seed's row-major allocating implementation
+//     (Store.ReferenceTopK) vs. the arena/columnar zero-allocation path
+//     (Store.TopKAppend), unfiltered and range-filtered;
+//   - qcache lookups: a warmed cache hammered by concurrent readers with
+//     one shard (the old single-global-mutex design) vs. the default
+//     sharded layout;
+//   - the HTTP search wire: /v1/meta (pre-encoded static body) and
+//     /v1/search (pooled response encoding) served through the real
+//     handler stack.
+//
+// Usage:
+//
+//	skyperf [-quick] [-out BENCH_PR5.json] [-label text] [-n N] [-conc C]
+//
+// scripts/bench.sh wraps it to regenerate the committed BENCH_PR5.json.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+
+	"hiddensky/internal/answer"
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/perf"
+	"hiddensky/internal/qcache"
+	"hiddensky/internal/query"
+	"hiddensky/internal/skyline"
+	"hiddensky/internal/web"
+)
+
+func main() {
+	out := flag.String("out", "", "write the JSON report here (default: stdout only)")
+	label := flag.String("label", "PR5 read-stack baseline", "report label")
+	quick := flag.Bool("quick", false, "reduced scale (CI smoke)")
+	n := flag.Int("n", 20000, "dataset size for the answer-store scenarios")
+	conc := flag.Int("conc", 8, "concurrency of the parallel scenarios")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	scale := 1
+	if *quick {
+		scale = 10
+		if *n > 5000 {
+			*n = 5000
+		}
+	}
+
+	// A serving measurement needs at least -conc schedulable threads:
+	// on a 1-CPU CI container GOMAXPROCS defaults to 1 and every lock
+	// looks uncontended (goroutines take turns instead of colliding).
+	// Production servers run with GOMAXPROCS >= the request concurrency,
+	// so that is the shape we measure; the report records the setting.
+	if gmp := runtime.GOMAXPROCS(0); gmp < *conc {
+		runtime.GOMAXPROCS(*conc)
+	}
+
+	r := perf.NewReport(*label)
+	fmt.Fprintf(os.Stderr, "skyperf: %s, %s/%s, %d CPUs\n", r.GoVersion, r.GOOS, r.GOARCH, r.NumCPU)
+
+	answerScenarios(r, *n, *conc, scale, *seed)
+	cacheScenarios(r, *conc, scale, *seed)
+	webScenarios(r, *conc, scale, *seed)
+
+	note := func(format string, args ...any) {
+		s := fmt.Sprintf(format, args...)
+		r.Notes = append(r.Notes, s)
+		fmt.Fprintln(os.Stderr, "note: "+s)
+	}
+	if ref, ok := r.Find("answer_topk_unfiltered_reference_c1"); ok {
+		if arena, ok := r.Find("answer_topk_unfiltered_arena_c1"); ok {
+			ratio := ref.AllocsPerOp
+			if arena.AllocsPerOp > 0 {
+				ratio = ref.AllocsPerOp / arena.AllocsPerOp
+			}
+			note("unfiltered TopK allocs/op: reference %.2f -> arena %.2f (%.0fx fewer; arena path is allocation-free at steady state)",
+				ref.AllocsPerOp, arena.AllocsPerOp, ratio)
+		}
+	}
+	if ref, ok := r.Find(fmt.Sprintf("answer_topk_unfiltered_reference_c%d", *conc)); ok {
+		if arena, ok := r.Find(fmt.Sprintf("answer_topk_unfiltered_arena_c%d", *conc)); ok {
+			note("unfiltered TopK at c=%d: %.0f -> %.0f qps (%.2fx), p99 %.1fus -> %.1fus",
+				*conc, ref.QPS, arena.QPS, arena.QPS/ref.QPS, ref.P99Micros, arena.P99Micros)
+		}
+	}
+	if ref, ok := r.Find(fmt.Sprintf("qcache_lookup_reference_c%d", *conc)); ok {
+		if sh, ok := r.Find(fmt.Sprintf("qcache_lookup_sharded_c%d", *conc)); ok {
+			note("qcache parallel lookups at c=%d: %.0f -> %.0f qps (%.2fx) from the seed single-mutex cache to %d shards with binary keys and copy-outside-lock",
+				*conc, ref.QPS, sh.QPS, sh.QPS/ref.QPS, qcache.DefaultShards)
+		}
+	}
+
+	if err := r.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "skyperf: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		if err := r.WriteFile(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "skyperf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "skyperf: wrote %s\n", *out)
+	}
+}
+
+// genData generates n random m-wide tuples.
+func genData(rng *rand.Rand, n, m, domain int) [][]int {
+	data := make([][]int, n)
+	for i := range data {
+		t := make([]int, m)
+		for j := range t {
+			t[j] = rng.Intn(domain)
+		}
+		data[i] = t
+	}
+	return data
+}
+
+// weightSet builds a deterministic rotation of weight vectors so the
+// measured loop is not one constant request.
+func weightSet(rng *rand.Rand, m int) [][]float64 {
+	ws := make([][]float64, 16)
+	for i := range ws {
+		w := make([]float64, m)
+		for a := range w {
+			w[a] = rng.Float64() * 3
+		}
+		w[rng.Intn(m)] += 0.25
+		ws[i] = w
+	}
+	return ws
+}
+
+func answerScenarios(r *perf.Report, n, conc, scale int, seed int64) {
+	const m, bandK, k = 4, 10, 10
+	rng := rand.New(rand.NewSource(seed))
+	data := genData(rng, n, m, 1000)
+	var band [][]int
+	for _, i := range skyline.Skyband(data, bandK) {
+		band = append(band, data[i])
+	}
+	s, err := answer.Build(band, answer.Options{BandK: bandK})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyperf: build answer store: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "skyperf: answer store holds %d band tuples of %d rows\n", s.Len(), n)
+	ws := weightSet(rng, m)
+	filter := []answer.Range{{Attr: 0, Lo: 0, Hi: 500}}
+
+	ops := 40000 / scale
+	for _, c := range []int{1, conc} {
+		c := c
+		r.Add(os.Stderr, perf.Options{
+			Name: fmt.Sprintf("answer_topk_unfiltered_reference_c%d", c), Concurrency: c, Ops: ops,
+		}, func(w, i int) {
+			if _, err := s.ReferenceTopK(answer.TopKQuery{Weights: ws[i%len(ws)], K: k}); err != nil {
+				panic(err)
+			}
+		})
+		// One retained []Ranked per worker: the arena path's contract is
+		// that a caller reusing its result buffer allocates nothing.
+		dst := make([][]answer.Ranked, c)
+		r.Add(os.Stderr, perf.Options{
+			Name: fmt.Sprintf("answer_topk_unfiltered_arena_c%d", c), Concurrency: c, Ops: ops,
+		}, func(w, i int) {
+			res, err := s.TopKAppend(answer.TopKQuery{Weights: ws[i%len(ws)], K: k}, dst[w][:0])
+			if err != nil {
+				panic(err)
+			}
+			if res.Items != nil {
+				dst[w] = res.Items
+			}
+		})
+	}
+
+	fops := 20000 / scale
+	r.Add(os.Stderr, perf.Options{
+		Name: "answer_topk_filtered_reference_c1", Concurrency: 1, Ops: fops,
+	}, func(w, i int) {
+		if _, err := s.ReferenceTopK(answer.TopKQuery{Weights: ws[i%len(ws)], K: k, Filter: filter}); err != nil {
+			panic(err)
+		}
+	})
+	var fdst []answer.Ranked
+	r.Add(os.Stderr, perf.Options{
+		Name: "answer_topk_filtered_arena_c1", Concurrency: 1, Ops: fops,
+	}, func(w, i int) {
+		res, err := s.TopKAppend(answer.TopKQuery{Weights: ws[i%len(ws)], K: k, Filter: filter}, fdst[:0])
+		if err != nil {
+			panic(err)
+		}
+		if res.Items != nil {
+			fdst = res.Items
+		}
+	})
+}
+
+func cacheScenarios(r *perf.Report, conc, scale int, seed int64) {
+	const m = 3
+	rng := rand.New(rand.NewSource(seed + 1))
+	// Domain 1000 keeps all 512 query boxes distinct after domain
+	// clamping (the misses==len(qs) check below depends on it).
+	data := genData(rng, 2000, m, 1000)
+	caps := make([]hidden.Capability, m)
+	for i := range caps {
+		caps[i] = hidden.RQ
+	}
+	db, err := hidden.New(hidden.Config{Data: data, Caps: caps, K: 10})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyperf: build hidden db: %v\n", err)
+		os.Exit(1)
+	}
+	// A fixed universe of distinct canonical boxes, all resident after
+	// warmup: the measured window is pure hit traffic, which is exactly
+	// where lock contention (not backend latency) is the bottleneck.
+	qs := make([]query.Q, 512)
+	for i := range qs {
+		qs[i] = query.Q{
+			{Attr: i % m, Op: query.LE, Value: 5 + i/m},
+			{Attr: (i + 1) % m, Op: query.GE, Value: i % 7},
+		}
+	}
+	ops := 400000 / scale
+
+	// queryable abstracts the three measured cache builds: the retained
+	// seed reference (one global mutex, strconv keys, copy-under-lock),
+	// the new code pinned to one shard (isolating the shard win from the
+	// key/copy wins), and the default sharded layout.
+	type queryable interface {
+		Query(q query.Q) (hidden.Result, error)
+	}
+	for _, cfg := range []struct {
+		name  string
+		build func() (queryable, func() qcache.Stats)
+	}{
+		{fmt.Sprintf("qcache_lookup_reference_c%d", conc), func() (queryable, func() qcache.Stats) {
+			c := qcache.NewRef(qcache.Config{MaxEntries: 1 << 16})
+			return c.Wrap(db), c.Stats
+		}},
+		{fmt.Sprintf("qcache_lookup_1shard_c%d", conc), func() (queryable, func() qcache.Stats) {
+			c := qcache.New(qcache.Config{MaxEntries: 1 << 16, Shards: 1})
+			return c.Wrap(db), c.Stats
+		}},
+		{fmt.Sprintf("qcache_lookup_sharded_c%d", conc), func() (queryable, func() qcache.Stats) {
+			c := qcache.New(qcache.Config{MaxEntries: 1 << 16, Shards: qcache.DefaultShards})
+			return c.Wrap(db), c.Stats
+		}},
+	} {
+		v, stats := cfg.build()
+		for _, q := range qs {
+			if _, err := v.Query(q); err != nil {
+				fmt.Fprintf(os.Stderr, "skyperf: warm cache: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		r.Add(os.Stderr, perf.Options{Name: cfg.name, Concurrency: conc, Ops: ops}, func(w, i int) {
+			if _, err := v.Query(qs[(w*131+i)%len(qs)]); err != nil {
+				panic(err)
+			}
+		})
+		if st := stats(); st.Misses != len(qs) {
+			fmt.Fprintf(os.Stderr, "skyperf: %s: %d misses for %d distinct boxes — measured window was not pure hits\n",
+				cfg.name, st.Misses, len(qs))
+			os.Exit(1)
+		}
+	}
+}
+
+func webScenarios(r *perf.Report, conc, scale int, seed int64) {
+	const m = 3
+	rng := rand.New(rand.NewSource(seed + 2))
+	data := genData(rng, 5000, m, 100)
+	caps := make([]hidden.Capability, m)
+	for i := range caps {
+		caps[i] = hidden.RQ
+	}
+	db, err := hidden.New(hidden.Config{Data: data, Caps: caps, K: 10})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyperf: build hidden db: %v\n", err)
+		os.Exit(1)
+	}
+	srv := web.NewServer(db, nil)
+	body := []byte(`{"preds":[{"attr":0,"op":"<=","value":50},{"attr":1,"op":">=","value":10}]}`)
+
+	ops := 100000 / scale
+	r.Add(os.Stderr, perf.Options{
+		Name: fmt.Sprintf("web_meta_c%d", conc), Concurrency: conc, Ops: ops,
+	}, func(w, i int) {
+		req := httptest.NewRequest(http.MethodGet, "/v1/meta", nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			panic(fmt.Sprintf("meta answered %d", rec.Code))
+		}
+	})
+	sops := 40000 / scale
+	r.Add(os.Stderr, perf.Options{
+		Name: fmt.Sprintf("web_search_c%d", conc), Concurrency: conc, Ops: sops,
+	}, func(w, i int) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			panic(fmt.Sprintf("search answered %d: %s", rec.Code, rec.Body.String()))
+		}
+	})
+}

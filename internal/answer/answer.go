@@ -8,14 +8,23 @@
 //
 //   - layered skyline levels (level 0 = the skyline of the stored
 //     tuples, level i = the skyline of what remains after peeling
-//     levels < i), so a top-k request under any monotone score only
-//     scores the first k layers,
+//     levels < i), flattened into one contiguous arena with prefix
+//     offsets, so the candidate set of an unfiltered top-k request is
+//     a zero-copy sub-slice of the arena — no per-request copying,
 //   - per-attribute sorted projections, so range-constrained requests
 //     scan the most selective attribute's slice instead of the store,
-//   - normalized columns, so clients may express weights over
-//     unit-scaled attributes without knowing the raw domains,
-//   - contiguous shards, so large candidate scans fan out across
+//   - column-major attribute columns (raw values widened to float64
+//     and unit-normalized), so scoring is a fused per-column sweep
+//     over contiguous memory instead of a row-pointer chase,
+//   - contiguous shards, so very large candidate scans fan out across
 //     goroutines with a deterministic merge.
+//
+// The serving hot path is allocation-free at steady state: scratch
+// buffers (candidate lists, score columns, selection windows) are
+// reused through a sync.Pool, winner scores are threaded from
+// selection to the answer instead of being recomputed, and TopKAppend
+// lets a caller reuse its result slice across requests. Requests below
+// a calibrated candidate threshold never spawn a goroutine.
 //
 // A Store is immutable after Build; every method is safe for unbounded
 // concurrent use. Handle adds the lock-free hot-swap used by skylined:
@@ -67,22 +76,40 @@ type Options struct {
 	BandK int
 	// ShardSize bounds how many tuples one goroutine scores during a
 	// scan (<= 0: a default of 2048). Candidate sets smaller than one
-	// shard are scored inline.
+	// shard — or smaller than the goroutine-spawn threshold below —
+	// are scored inline.
 	ShardSize int
 }
 
+// minParallelCandidates is the calibrated candidate-count threshold
+// below which selectTopK never spawns goroutines: under ~8k candidates
+// the fused column sweep finishes in single-digit microseconds, so the
+// goroutine + WaitGroup machinery costs more than it saves (measured
+// by BenchmarkStoreTopKUnfiltered / internal/perf). Candidate sets
+// must exceed both this and Options.ShardSize to fan out.
+const minParallelCandidates = 1 << 13
+
 // Store is the immutable materialized answer index.
 type Store struct {
-	tuples [][]int // deduplicated, copied; never mutated after Build
+	tuples [][]int // deduplicated row views into one contiguous arena
+	flat   []int   // the row arena backing tuples; never mutated
 	m      int
 	bandK  int
 	shard  int
 
-	level  []int   // level[i] = skyline layer of tuples[i]
-	levels [][]int // levels[l] = tuple indices on layer l
-	proj   [][]int // proj[a] = indices sorted ascending by attribute a
-	lo, hi []int   // per-attribute value range over the stored tuples
-	norm   [][]float64
+	level []int // level[i] = skyline layer of tuples[i]
+	// The layered levels, flattened: levelArena[levelOff[l]:levelOff[l+1]]
+	// holds the tuple indices of layer l. An unfiltered top-k request's
+	// candidate set is the zero-copy prefix levelArena[:levelOff[min(k,L)]].
+	levelArena []int
+	levelOff   []int
+	proj       [][]int // proj[a] = indices sorted ascending by attribute a
+	lo, hi     []int   // per-attribute value range over the stored tuples
+	// Column-major scoring columns: cols[a][i] = float64(tuples[i][a]),
+	// norm[a][i] the unit-scaled value. Scoring sweeps these columns
+	// sequentially instead of chasing row pointers.
+	cols [][]float64
+	norm [][]float64
 }
 
 // Info summarizes a store for health/listing endpoints.
@@ -116,9 +143,18 @@ func Build(tuples [][]int, opt Options) (*Store, error) {
 			continue
 		}
 		seen[key] = true
-		data = append(data, append([]int(nil), t...))
+		data = append(data, t)
 	}
-	s := &Store{tuples: data, m: m, bandK: opt.BandK, shard: opt.ShardSize}
+	// Copy the deduplicated rows into one contiguous arena; tuples
+	// become capped views so no caller append can cross rows.
+	flat := make([]int, len(data)*m)
+	rows := make([][]int, len(data))
+	for i, t := range data {
+		row := flat[i*m : (i+1)*m : (i+1)*m]
+		copy(row, t)
+		rows[i] = row
+	}
+	s := &Store{tuples: rows, flat: flat, m: m, bandK: opt.BandK, shard: opt.ShardSize}
 	if s.bandK <= 0 {
 		s.bandK = 1
 	}
@@ -131,13 +167,16 @@ func Build(tuples [][]int, opt Options) (*Store, error) {
 	return s, nil
 }
 
-// buildLevels peels the stored tuples into skyline layers.
+// buildLevels peels the stored tuples into skyline layers and flattens
+// them into the level arena.
 func (s *Store) buildLevels() {
 	s.level = make([]int, len(s.tuples))
 	remaining := make([]int, len(s.tuples))
 	for i := range remaining {
 		remaining[i] = i
 	}
+	s.levelArena = make([]int, 0, len(s.tuples))
+	s.levelOff = []int{0}
 	for l := 0; len(remaining) > 0; l++ {
 		sub := make([][]int, len(remaining))
 		for i, j := range remaining {
@@ -158,7 +197,8 @@ func (s *Store) buildLevels() {
 				next = append(next, j)
 			}
 		}
-		s.levels = append(s.levels, layer)
+		s.levelArena = append(s.levelArena, layer...)
+		s.levelOff = append(s.levelOff, len(s.levelArena))
 		remaining = next
 	}
 }
@@ -186,17 +226,29 @@ func (s *Store) buildProjections() {
 }
 
 func (s *Store) buildColumns() {
+	s.cols = make([][]float64, s.m)
 	s.norm = make([][]float64, s.m)
 	for a := 0; a < s.m; a++ {
+		raw := make([]float64, len(s.tuples))
 		col := make([]float64, len(s.tuples))
 		span := float64(s.hi[a] - s.lo[a])
 		for i, t := range s.tuples {
+			raw[i] = float64(t[a])
 			if span > 0 {
 				col[i] = float64(t[a]-s.lo[a]) / span
 			}
 		}
+		s.cols[a] = raw
 		s.norm[a] = col
 	}
+}
+
+// numLevels returns the number of skyline layers.
+func (s *Store) numLevels() int { return len(s.levelOff) - 1 }
+
+// levelSlice returns the tuple indices of layer l (a view, not a copy).
+func (s *Store) levelSlice(l int) []int {
+	return s.levelArena[s.levelOff[l]:s.levelOff[l+1]]
 }
 
 // Len returns the number of materialized tuples.
@@ -210,15 +262,16 @@ func (s *Store) BandK() int { return s.bandK }
 
 // Stats returns the store summary.
 func (s *Store) Stats() Info {
-	return Info{Tuples: len(s.tuples), Attrs: s.m, BandK: s.bandK, Levels: len(s.levels)}
+	return Info{Tuples: len(s.tuples), Attrs: s.m, BandK: s.bandK, Levels: s.numLevels()}
 }
 
 // Skyline returns the store's level-0 tuples (the skyline of the
 // materialized set, which for a complete discovery is the skyline of
 // the original database).
 func (s *Store) Skyline() [][]int {
-	out := make([][]int, len(s.levels[0]))
-	for i, j := range s.levels[0] {
+	l0 := s.levelSlice(0)
+	out := make([][]int, len(l0))
+	for i, j := range l0 {
 		out[i] = s.tuples[j]
 	}
 	return out
@@ -275,36 +328,98 @@ type TopKResult struct {
 	Exact bool
 }
 
+// scratch is the per-request working set, pooled so a steady serving
+// load allocates nothing: the candidate buffer (filtered requests),
+// the score column, the selection window, and the shard-merge area.
+type scratch struct {
+	cand     []int
+	scores   []float64
+	win      []int
+	winSc    []float64
+	merged   []int
+	mergedSc []float64
+	counts   []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// growInts returns b with length n (reallocating only beyond capacity).
+func growInts(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	return b[:n]
+}
+
+func growFloats(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
 // TopK answers a top-k request. Ties are broken by tuple values
 // (lexicographically) for determinism regardless of sharding.
 func (s *Store) TopK(q TopKQuery) (TopKResult, error) {
-	if err := s.checkWeights(q.Weights); err != nil {
+	return s.TopKAppend(q, nil)
+}
+
+// TopKAppend is TopK appending the answer onto dst (which may be a
+// retained buffer from a previous request; its length is reset first).
+// With cap(dst) >= k the unfiltered hot path performs no allocation:
+// candidates are a zero-copy arena slice, scoring and selection run in
+// pooled scratch, and the returned Ranked tuples alias the store's
+// immutable rows.
+func (s *Store) TopKAppend(q TopKQuery, dst []Ranked) (TopKResult, error) {
+	if err := s.checkQuery(&q); err != nil {
 		return TopKResult{}, err
 	}
-	if q.K <= 0 {
-		return TopKResult{}, fmt.Errorf("%w: k must be >= 1, got %d", ErrBadQuery, q.K)
-	}
-	for _, r := range q.Filter {
-		if r.Attr < 0 || r.Attr >= s.m {
-			return TopKResult{}, fmt.Errorf("%w: filter attribute %d out of range [0,%d)", ErrBadQuery, r.Attr, s.m)
-		}
-		if r.Lo > r.Hi {
-			return TopKResult{}, fmt.Errorf("%w: filter on attribute %d has lo %d > hi %d", ErrBadQuery, r.Attr, r.Lo, r.Hi)
-		}
-	}
+	sc := scratchPool.Get().(*scratch)
 	var cand []int
 	if len(q.Filter) == 0 {
 		// The top-k of a monotone score lies in the first k layers: every
 		// layer-l tuple is dominated by a chain of l strictly better ones.
-		for l := 0; l < len(s.levels) && l < q.K; l++ {
-			cand = append(cand, s.levels[l]...)
+		last := q.K
+		if last > s.numLevels() {
+			last = s.numLevels()
 		}
+		cand = s.levelArena[:s.levelOff[last]]
 	} else {
-		cand = s.filtered(q.Filter)
+		sc.cand = s.filteredInto(sc.cand[:0], q.Filter)
+		cand = sc.cand
 	}
-	items := s.selectTopK(cand, q, q.K)
+	idx, scores := s.selectTopK(cand, &q, q.K, sc)
+	items := dst[:0]
+	for x, i := range idx {
+		items = append(items, Ranked{Tuple: s.tuples[i], Score: scores[x], Level: s.level[i]})
+	}
+	scratchPool.Put(sc)
+	if len(items) == 0 {
+		items = nil
+	}
 	exact := len(q.Filter) == 0 && q.K <= s.bandK
 	return TopKResult{Items: items, Exact: exact}, nil
+}
+
+// checkQuery validates a full request: weights, k, and filter ranges.
+// Shared by the arena path and the retained reference so the two can
+// never diverge on what they reject.
+func (s *Store) checkQuery(q *TopKQuery) error {
+	if err := s.checkWeights(q.Weights); err != nil {
+		return err
+	}
+	if q.K <= 0 {
+		return fmt.Errorf("%w: k must be >= 1, got %d", ErrBadQuery, q.K)
+	}
+	for _, r := range q.Filter {
+		if r.Attr < 0 || r.Attr >= s.m {
+			return fmt.Errorf("%w: filter attribute %d out of range [0,%d)", ErrBadQuery, r.Attr, s.m)
+		}
+		if r.Lo > r.Hi {
+			return fmt.Errorf("%w: filter on attribute %d has lo %d > hi %d", ErrBadQuery, r.Attr, r.Lo, r.Hi)
+		}
+	}
+	return nil
 }
 
 func (s *Store) checkWeights(w []float64) error {
@@ -326,26 +441,39 @@ func (s *Store) checkWeights(w []float64) error {
 	return nil
 }
 
-// score computes the request's score of tuple i.
-func (s *Store) score(q *TopKQuery, i int) float64 {
-	sum := 0.0
-	if q.Normalized {
-		for a, w := range q.Weights {
-			sum += w * s.norm[a][i]
+// scoreInto computes the request's score for every candidate as a fused
+// column sweep: one pass per positively-weighted attribute over a
+// contiguous float64 column. dst[j] receives the score of cand[j].
+// Summation runs in ascending attribute order, exactly like the
+// row-major reference, so results are bit-identical (skipped zero
+// weights contribute +0.0, which never changes a non-negative sum).
+// cols is s.cols or s.norm; weights is passed bare (not *TopKQuery) so
+// the parallel fan-out's goroutines never force the request struct to
+// escape — the inline hot path must stay allocation-free.
+func scoreInto(dst []float64, cand []int, weights []float64, cols [][]float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for a, w := range weights {
+		if w == 0 {
+			continue
 		}
-		return sum
+		col := cols[a]
+		for j, i := range cand {
+			dst[j] += w * col[i]
+		}
 	}
-	t := s.tuples[i]
-	for a, w := range q.Weights {
-		sum += w * float64(t[a])
-	}
-	return sum
 }
 
 // filtered returns the candidate indices matching every range. It scans
 // the most selective constrained attribute's sorted projection slice
 // (found by binary search) and checks the remaining constraints there.
 func (s *Store) filtered(filter []Range) []int {
+	return s.filteredInto(nil, filter)
+}
+
+// filteredInto is filtered appending into a reusable buffer.
+func (s *Store) filteredInto(out []int, filter []Range) []int {
 	bestAttr, bestFrom, bestTo := -1, 0, len(s.tuples)
 	for _, r := range filter {
 		p := s.proj[r.Attr]
@@ -355,7 +483,6 @@ func (s *Store) filtered(filter []Range) []int {
 			bestAttr, bestFrom, bestTo = r.Attr, from, to
 		}
 	}
-	var out []int
 	for _, i := range s.proj[bestAttr][bestFrom:bestTo] {
 		ok := true
 		for _, r := range filter {
@@ -371,21 +498,43 @@ func (s *Store) filtered(filter []Range) []int {
 	return out
 }
 
-// selectTopK scores the candidates and keeps the best k, fanning large
-// candidate sets out across shard goroutines. The merge is
-// deterministic: ties are broken by tuple value, then index.
-func (s *Store) selectTopK(cand []int, q TopKQuery, k int) []Ranked {
+// selectTopK scores the candidates and keeps the best k, fanning very
+// large candidate sets out across shard goroutines. The returned index
+// and score slices are views into sc and parallel to each other. The
+// merge is deterministic: ties are broken by tuple value, then index.
+func (s *Store) selectTopK(cand []int, q *TopKQuery, k int, sc *scratch) ([]int, []float64) {
 	if len(cand) == 0 {
-		return nil
+		return nil, nil
 	}
 	if k > len(cand) {
 		k = len(cand)
 	}
-	if len(cand) <= s.shard {
-		return s.rank(s.localTopK(cand, &q, k), &q)
+	cols := s.cols
+	if q.Normalized {
+		cols = s.norm
 	}
+	threshold := s.shard
+	if threshold < minParallelCandidates {
+		threshold = minParallelCandidates
+	}
+	if len(cand) <= threshold {
+		sc.scores = growFloats(sc.scores, len(cand))
+		scoreInto(sc.scores, cand, q.Weights, cols)
+		sc.win = growInts(sc.win, k)
+		sc.winSc = growFloats(sc.winSc, k)
+		return s.selectWindow(cand, sc.scores, k, sc.win[:0], sc.winSc[:0])
+	}
+	return s.selectTopKParallel(cand, q.Weights, cols, k, sc)
+}
+
+// selectTopKParallel is the fan-out arm of selectTopK, kept out of the
+// inline path so its goroutine closures cannot force the request or a
+// WaitGroup to escape on small (the overwhelmingly common) requests.
+func (s *Store) selectTopKParallel(cand []int, weights []float64, cols [][]float64, k int, sc *scratch) ([]int, []float64) {
 	shards := (len(cand) + s.shard - 1) / s.shard
-	locals := make([][]int, shards)
+	sc.merged = growInts(sc.merged, shards*k)
+	sc.mergedSc = growFloats(sc.mergedSc, shards*k)
+	sc.counts = growInts(sc.counts, shards)
 	var wg sync.WaitGroup
 	for sh := 0; sh < shards; sh++ {
 		from := sh * s.shard
@@ -396,46 +545,58 @@ func (s *Store) selectTopK(cand []int, q TopKQuery, k int) []Ranked {
 		wg.Add(1)
 		go func(sh int, part []int) {
 			defer wg.Done()
-			locals[sh] = s.localTopK(part, &q, k)
+			local := scratchPool.Get().(*scratch)
+			local.scores = growFloats(local.scores, len(part))
+			scoreInto(local.scores, part, weights, cols)
+			local.win = growInts(local.win, k)
+			local.winSc = growFloats(local.winSc, k)
+			win, winSc := s.selectWindow(part, local.scores, k, local.win[:0], local.winSc[:0])
+			sc.counts[sh] = copy(sc.merged[sh*k:sh*k+k], win)
+			copy(sc.mergedSc[sh*k:sh*k+k], winSc)
+			scratchPool.Put(local)
 		}(sh, cand[from:to])
 	}
 	wg.Wait()
-	var merged []int
-	for _, l := range locals {
-		merged = append(merged, l...)
+	// Compact the per-shard winners (already scored — no re-scoring) and
+	// run one final selection over them.
+	n := 0
+	for sh := 0; sh < shards; sh++ {
+		n += copy(sc.merged[n:], sc.merged[sh*k:sh*k+sc.counts[sh]])
+		copy(sc.mergedSc[n-sc.counts[sh]:], sc.mergedSc[sh*k:sh*k+sc.counts[sh]])
 	}
-	return s.rank(s.localTopK(merged, &q, k), &q)
+	sc.win = growInts(sc.win, k)
+	sc.winSc = growFloats(sc.winSc, k)
+	return s.selectWindow(sc.merged[:n], sc.mergedSc[:n], k, sc.win[:0], sc.winSc[:0])
 }
 
-// localTopK returns the (up to) k best candidate indices by insertion
-// into a small ordered window — O(n·k) with k tiny, no allocation per
-// candidate.
-func (s *Store) localTopK(cand []int, q *TopKQuery, k int) []int {
-	best := make([]int, 0, k)
-	scores := make([]float64, 0, k)
-	for _, i := range cand {
-		sc := s.score(q, i)
-		if len(best) == k && !s.better(sc, i, scores[k-1], best[k-1], q) {
+// selectWindow keeps the (up to) k best of the pre-scored candidates by
+// insertion into a small ordered window — O(n·k) with k tiny, no
+// allocation (win/winSc must have capacity k and length 0). The winner
+// scores ride along, so nothing downstream re-scores.
+func (s *Store) selectWindow(cand []int, scores []float64, k int, win []int, winSc []float64) ([]int, []float64) {
+	for j, i := range cand {
+		sc := scores[j]
+		if len(win) == k && !s.better(sc, i, winSc[k-1], win[k-1]) {
 			continue
 		}
-		pos := len(best)
-		for pos > 0 && s.better(sc, i, scores[pos-1], best[pos-1], q) {
+		pos := len(win)
+		for pos > 0 && s.better(sc, i, winSc[pos-1], win[pos-1]) {
 			pos--
 		}
-		if len(best) < k {
-			best = append(best, 0)
-			scores = append(scores, 0)
+		if len(win) < k {
+			win = append(win, 0)
+			winSc = append(winSc, 0)
 		}
-		copy(best[pos+1:], best[pos:])
-		copy(scores[pos+1:], scores[pos:])
-		best[pos], scores[pos] = i, sc
+		copy(win[pos+1:], win[pos:])
+		copy(winSc[pos+1:], winSc[pos:])
+		win[pos], winSc[pos] = i, sc
 	}
-	return best
+	return win, winSc
 }
 
 // better reports whether candidate (sc, i) outranks (so, j): smaller
 // score first, then lexicographically smaller tuple, then index.
-func (s *Store) better(sc float64, i int, so float64, j int, q *TopKQuery) bool {
+func (s *Store) better(sc float64, i int, so float64, j int) bool {
 	if sc != so {
 		return sc < so
 	}
@@ -446,14 +607,6 @@ func (s *Store) better(sc float64, i int, so float64, j int, q *TopKQuery) bool 
 		}
 	}
 	return i < j
-}
-
-func (s *Store) rank(idx []int, q *TopKQuery) []Ranked {
-	out := make([]Ranked, len(idx))
-	for x, i := range idx {
-		out[x] = Ranked{Tuple: s.tuples[i], Score: s.score(q, i), Level: s.level[i]}
-	}
-	return out
 }
 
 // SubspaceSkyline returns the tuples whose projection onto attrs is not
@@ -527,7 +680,7 @@ func (s *Store) Dominates(t []int) (bool, []int, error) {
 	if len(t) != s.m {
 		return false, nil, fmt.Errorf("%w: tuple width %d, store has %d attributes", ErrBadQuery, len(t), s.m)
 	}
-	for _, i := range s.levels[0] {
+	for _, i := range s.levelSlice(0) {
 		if skyline.Dominates(s.tuples[i], t) {
 			return true, append([]int(nil), s.tuples[i]...), nil
 		}

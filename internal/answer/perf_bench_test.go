@@ -1,0 +1,102 @@
+package answer
+
+// The named hot-path benchmarks of the read stack (run with -benchmem;
+// CI compiles them every push). BenchmarkStoreTopKUnfiltered must stay
+// at 0 allocs/op — that is the arena path's contract. The *Reference
+// variants measure the retained seed implementation on the same store,
+// so the before/after gap is visible from `go test -bench` alone (the
+// committed BENCH_PR5.json numbers come from cmd/skyperf, which drives
+// the same pairs under concurrent load).
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchStore(b *testing.B, n int) *Store {
+	b.Helper()
+	rng := rand.New(rand.NewSource(77))
+	s, err := Build(bandOf(genData(rng, n, 4, 1000), 10), Options{BandK: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkStoreTopKUnfiltered(b *testing.B) {
+	s := benchStore(b, 20000)
+	w := []float64{1, 0.5, 2, 0.25}
+	var dst []Ranked
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.TopKAppend(TopKQuery{Weights: w, K: 10}, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = res.Items
+	}
+}
+
+func BenchmarkStoreTopKUnfilteredReference(b *testing.B) {
+	s := benchStore(b, 20000)
+	w := []float64{1, 0.5, 2, 0.25}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReferenceTopK(TopKQuery{Weights: w, K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreTopKFiltered(b *testing.B) {
+	s := benchStore(b, 20000)
+	w := []float64{1, 0.5, 2, 0.25}
+	f := []Range{{Attr: 0, Lo: 0, Hi: 500}}
+	var dst []Ranked
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.TopKAppend(TopKQuery{Weights: w, K: 10, Filter: f}, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = res.Items
+	}
+}
+
+func BenchmarkStoreTopKFilteredReference(b *testing.B) {
+	s := benchStore(b, 20000)
+	w := []float64{1, 0.5, 2, 0.25}
+	f := []Range{{Attr: 0, Lo: 0, Hi: 500}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReferenceTopK(TopKQuery{Weights: w, K: 10, Filter: f}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreTopKSharded drives the goroutine fan-out: a store
+// larger than the spawn threshold with a filter admitting every tuple.
+func BenchmarkStoreTopKSharded(b *testing.B) {
+	rng := rand.New(rand.NewSource(78))
+	s, err := Build(genData(rng, minParallelCandidates+4000, 3, 1000000), Options{BandK: 4, ShardSize: 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := []float64{1, 0.5, 2}
+	f := []Range{Unbounded(0)}
+	var dst []Ranked
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.TopKAppend(TopKQuery{Weights: w, K: 10, Filter: f}, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = res.Items
+	}
+}

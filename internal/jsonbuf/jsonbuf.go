@@ -1,0 +1,67 @@
+// Package jsonbuf is the shared pooled JSON response writer of the HTTP
+// serving layers (internal/web, internal/service). Encoding into a
+// pooled buffer instead of streaming straight to the ResponseWriter
+// does two things for the hot endpoints (/v1/search, /v1/answer/topk):
+//
+//   - the response body's growth allocations are paid once per pool
+//     entry instead of once per request (the dominant per-request
+//     garbage of a JSON API under load), and
+//   - the body is complete before the status line is written, so an
+//     encoding failure can still answer a well-formed 500 envelope
+//     instead of a truncated 200.
+//
+// Static bodies (a database's /v1/meta never changes) skip encoding
+// entirely via WriteStatic.
+package jsonbuf
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// maxPooledBuf caps the capacity of buffers returned to the pool: one
+// pathological multi-megabyte response must not pin its buffer for the
+// life of the process.
+const maxPooledBuf = 1 << 20
+
+var pool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Write encodes v as JSON and writes it with the given status. The
+// encoding buffer is pooled; the response is identical to
+// json.NewEncoder(w).Encode(v) on the success path (including the
+// trailing newline).
+func Write(w http.ResponseWriter, status int, v any) {
+	buf := pool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		buf.Reset()
+		status = http.StatusInternalServerError
+		_ = json.NewEncoder(buf).Encode(map[string]string{"error": "encoding response: " + err.Error()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		pool.Put(buf)
+	}
+}
+
+// WriteStatic writes a pre-encoded JSON body (see Encode) — zero
+// per-request encoding work for immutable responses.
+func WriteStatic(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// Encode renders v once for WriteStatic, with the same framing Write
+// produces (trailing newline included).
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,68 @@
+package jsonbuf
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestWriteMatchesStreamingEncoder(t *testing.T) {
+	v := map[string]any{"tuples": [][]int{{1, 2}, {3, 4}}, "exact": true}
+	rec := httptest.NewRecorder()
+	Write(rec, 201, v)
+	if rec.Code != 201 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	want, _ := json.Marshal(v)
+	if got := rec.Body.String(); got != string(want)+"\n" {
+		t.Fatalf("body %q, want %q + newline", got, want)
+	}
+}
+
+func TestWriteEncodableErrorAnswers500Envelope(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Write(rec, 200, math.NaN()) // JSON cannot encode NaN
+	if rec.Code != 500 {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	var env map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env["error"] == "" {
+		t.Fatalf("expected an error envelope, got %q (%v)", rec.Body.String(), err)
+	}
+}
+
+func TestEncodeAndWriteStatic(t *testing.T) {
+	body, err := Encode(map[string]int{"k": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	WriteStatic(rec, 200, body)
+	if rec.Body.String() != "{\"k\":5}\n" {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+	if _, err := Encode(math.Inf(1)); err == nil {
+		t.Fatal("Encode accepted an unencodable value")
+	}
+}
+
+func TestWriteReusesPooledBuffers(t *testing.T) {
+	v := map[string]any{"x": []int{1, 2, 3}}
+	rec := httptest.NewRecorder()
+	Write(rec, 200, v) // warm the pool
+	allocs := testing.AllocsPerRun(100, func() {
+		rec := httptest.NewRecorder()
+		Write(rec, 200, v)
+	})
+	// The recorder, header map and encoder dominate; the point is that
+	// the body buffer itself no longer grows per call. Guard against
+	// regression to per-call buffer growth (which costs tens of allocs
+	// for any realistically sized response).
+	if allocs > 15 {
+		t.Fatalf("Write allocates %v per op — pooled buffer regressed", allocs)
+	}
+}

@@ -1,0 +1,229 @@
+// Package perf is the repository's load-measurement harness: it drives
+// a closed-loop workload at a fixed concurrency and reports the three
+// numbers every read-path optimization in this codebase is judged by —
+// throughput (QPS), tail latency (p50/p99), and steady-state allocation
+// rate (allocs/op, bytes/op).
+//
+// It complements (not replaces) testing.B: Go benchmarks measure one
+// goroutine's ns/op with statistical rigor; this harness measures a
+// *serving* shape — N concurrent callers hammering one shared structure
+// — which is where lock contention and allocation pressure actually
+// show up. cmd/skyperf uses it to emit the committed BENCH_*.json
+// trajectory (see scripts/bench.sh), so every PR's claimed speedup is a
+// number a reviewer can regenerate, not an adjective.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options describes one measured scenario.
+type Options struct {
+	// Name labels the result ("answer_topk_unfiltered_arena").
+	Name string
+	// Concurrency is the number of closed-loop workers (default 1).
+	Concurrency int
+	// Ops is the total number of measured operations across all workers
+	// (default 10000). Each worker runs Ops/Concurrency operations.
+	Ops int
+	// Warmup operations run per worker before measurement starts, to
+	// fill pools, caches and the branch predictor (default: one worker
+	// share, capped at 1000).
+	Warmup int
+}
+
+// Result is one scenario's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Concurrency int     `json:"concurrency"`
+	Ops         int     `json:"ops"`
+	Seconds     float64 `json:"seconds"`
+	QPS         float64 `json:"qps"`
+	P50Micros   float64 `json:"p50_us"`
+	P99Micros   float64 `json:"p99_us"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-42s c=%-3d ops=%-8d %10.0f qps  p50=%8.1fus  p99=%8.1fus  %7.2f allocs/op  %9.1f B/op",
+		r.Name, r.Concurrency, r.Ops, r.QPS, r.P50Micros, r.P99Micros, r.AllocsPerOp, r.BytesPerOp)
+}
+
+// Run drives fn in a closed loop and measures it. fn receives the
+// worker index (0..Concurrency-1) and the worker-local operation
+// number; it must be safe for concurrent use across workers. Every
+// worker gets a stable index so callers can give each worker its own
+// scratch (the idiomatic way to measure a zero-allocation path).
+func Run(opt Options, fn func(worker, op int)) Result {
+	conc := opt.Concurrency
+	if conc <= 0 {
+		conc = 1
+	}
+	ops := opt.Ops
+	if ops <= 0 {
+		ops = 10000
+	}
+	perWorker := ops / conc
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	ops = perWorker * conc
+	warmup := opt.Warmup
+	if warmup <= 0 {
+		warmup = perWorker
+		if warmup > 1000 {
+			warmup = 1000
+		}
+	}
+
+	// Warm pools/caches outside the measured window.
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < warmup; i++ {
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	lats := make([][]int64, conc)
+	for w := range lats {
+		lats[w] = make([]int64, perWorker)
+	}
+
+	// Allocation accounting: settle the heap, then diff the global
+	// malloc counters around the measured window. Timer and harness
+	// overhead is a few words per *worker*, amortized to ~0 per op.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	start := make(chan struct{})
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := lats[w]
+			<-start
+			for i := 0; i < perWorker; i++ {
+				t0 := time.Now()
+				fn(w, i)
+				rec[i] = int64(time.Since(t0))
+			}
+		}(w)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	all := make([]int64, 0, ops)
+	for _, rec := range lats {
+		all = append(all, rec...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	res := Result{
+		Name:        opt.Name,
+		Concurrency: conc,
+		Ops:         ops,
+		Seconds:     elapsed.Seconds(),
+		QPS:         float64(ops) / elapsed.Seconds(),
+		P50Micros:   float64(quantile(all, 0.50)) / 1e3,
+		P99Micros:   float64(quantile(all, 0.99)) / 1e3,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+	}
+	return res
+}
+
+// quantile returns the q-th quantile (nearest-rank) of sorted samples.
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Report is a committed benchmark trajectory point: the machine it ran
+// on and every scenario result. cmd/skyperf emits it as BENCH_*.json.
+type Report struct {
+	Label      string   `json:"label"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Notes      []string `json:"notes,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+// NewReport stamps the runtime environment.
+func NewReport(label string) *Report {
+	return &Report{
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Add runs one scenario, appends its result, and echoes it to w (pass
+// nil to stay quiet).
+func (r *Report) Add(w io.Writer, opt Options, fn func(worker, op int)) Result {
+	res := Run(opt, fn)
+	r.Results = append(r.Results, res)
+	if w != nil {
+		fmt.Fprintln(w, res)
+	}
+	return res
+}
+
+// Find returns the named result.
+func (r *Report) Find(name string) (Result, bool) {
+	for _, res := range r.Results {
+		if res.Name == name {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

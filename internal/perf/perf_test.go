@@ -1,0 +1,111 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCountsEveryOperation(t *testing.T) {
+	var calls atomic.Int64
+	res := Run(Options{Name: "count", Concurrency: 4, Ops: 1000, Warmup: 1}, func(w, i int) {
+		calls.Add(1)
+	})
+	if res.Ops != 1000 {
+		t.Fatalf("ops = %d, want 1000", res.Ops)
+	}
+	// warmup (1 per worker) + measured ops all reach fn.
+	if got := calls.Load(); got != 1000+4 {
+		t.Fatalf("fn called %d times, want 1004", got)
+	}
+	if res.QPS <= 0 || res.Seconds <= 0 {
+		t.Fatalf("degenerate timing: %+v", res)
+	}
+	if res.Concurrency != 4 {
+		t.Fatalf("concurrency = %d", res.Concurrency)
+	}
+}
+
+func TestRunWorkerIndexesAreStable(t *testing.T) {
+	seen := make([]atomic.Int64, 3)
+	Run(Options{Concurrency: 3, Ops: 300, Warmup: 1}, func(w, i int) {
+		seen[w].Add(1)
+	})
+	for w := range seen {
+		if seen[w].Load() == 0 {
+			t.Fatalf("worker %d never ran", w)
+		}
+	}
+}
+
+func TestRunMeasuresLatencyAndPercentileOrder(t *testing.T) {
+	res := Run(Options{Concurrency: 2, Ops: 200, Warmup: 1}, func(w, i int) {
+		time.Sleep(50 * time.Microsecond)
+	})
+	if res.P50Micros <= 0 || res.P99Micros < res.P50Micros {
+		t.Fatalf("percentiles inconsistent: p50=%v p99=%v", res.P50Micros, res.P99Micros)
+	}
+}
+
+func TestRunSeesAllocations(t *testing.T) {
+	var sink atomic.Pointer[[]byte]
+	res := Run(Options{Concurrency: 1, Ops: 2000}, func(w, i int) {
+		b := make([]byte, 4096)
+		sink.Store(&b)
+	})
+	// Each op allocates ≥ 4096 bytes; the harness must see it.
+	if res.BytesPerOp < 4096 {
+		t.Fatalf("bytes/op = %v, want >= 4096", res.BytesPerOp)
+	}
+	if res.AllocsPerOp < 1 {
+		t.Fatalf("allocs/op = %v, want >= 1", res.AllocsPerOp)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(sorted, 0); q != 1 {
+		t.Fatalf("q0 = %d", q)
+	}
+	if q := quantile(sorted, 1); q != 10 {
+		t.Fatalf("q1 = %d", q)
+	}
+	if q := quantile(sorted, 0.5); q != 5 {
+		t.Fatalf("q50 = %d", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %d", q)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := NewReport("test")
+	r.Add(nil, Options{Name: "a", Ops: 100}, func(w, i int) {})
+	r.Add(nil, Options{Name: "b", Ops: 100, Concurrency: 2}, func(w, i int) {})
+	if _, ok := r.Find("b"); !ok {
+		t.Fatal("Find lost a result")
+	}
+	if _, ok := r.Find("zzz"); ok {
+		t.Fatal("Find invented a result")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != "test" || len(back.Results) != 2 || back.NumCPU == 0 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}

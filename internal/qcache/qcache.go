@@ -17,14 +17,24 @@
 //     share a single backend query, so a parallel discovery run never pays
 //     for the same answer twice even before it is cached.
 //
+// The store is sharded for contention-free parallel lookups: entries are
+// spread over N independent shards (each with its own mutex, LRU list and
+// in-flight table) by a hash of the compact fixed-width binary canonical
+// key, and the global hit/miss/coalesced counters are atomics — so the 8-
+// or 16-goroutine lookup storms of a parallel discovery run or a fleet
+// never serialize on one lock. Accounting stays exact: every lookup is
+// classified hit, coalesced or miss under its shard's lock, and the number
+// of misses equals the number of queries the backend actually served.
+//
 // One Cache may front many backends (a fleet shares one store and one
 // entry budget); answers are keyed per backend, so distinct databases
 // never cross-contaminate.
 package qcache
 
 import (
-	"strconv"
+	"encoding/binary"
 	"sync"
+	"sync/atomic"
 
 	"hiddensky/internal/hidden"
 	"hiddensky/internal/query"
@@ -47,10 +57,24 @@ type Config struct {
 	// backends; the least recently used entry is evicted beyond it.
 	// Zero picks DefaultMaxEntries; negative means unbounded.
 	MaxEntries int
+	// Shards is the number of independent lock domains the entry store is
+	// split across (rounded up to a power of two, and capped so a bounded
+	// cache keeps at least one entry per shard — MaxEntries stays an
+	// exact global bound). Zero picks DefaultShards for large caches, and
+	// a single shard when MaxEntries is small (below DefaultShards
+	// entries per shard) — a single shard keeps the LRU eviction order
+	// globally exact, which tiny caches care about and huge ones don't.
+	Shards int
 }
 
 // DefaultMaxEntries is the entry bound used when Config.MaxEntries is 0.
 const DefaultMaxEntries = 1 << 16
+
+// DefaultShards is the shard count used when Config.Shards is 0 and the
+// cache is large enough to spread: enough lock domains that a 16-worker
+// discovery run rarely collides, few enough that the per-shard LRU bound
+// stays meaningful.
+const DefaultShards = 16
 
 // Stats is a snapshot of the cache's counters.
 type Stats struct {
@@ -76,7 +100,7 @@ func (s Stats) DedupRatio() float64 {
 	return float64(s.Hits+s.Coalesced) / float64(s.Lookups)
 }
 
-// entry is one memoized answer, on the LRU list.
+// entry is one memoized answer, on its shard's LRU list.
 type entry struct {
 	key        string
 	res        hidden.Result
@@ -90,25 +114,37 @@ type call struct {
 	err  error
 }
 
-// Cache is the shared memo store. Safe for concurrent use.
-type Cache struct {
+// shard is one independent lock domain of the memo store: its own mutex,
+// entry map, LRU list, in-flight table and entry bound. Padded so two
+// shards' mutexes never share a cache line (false sharing would hand the
+// contention right back).
+type shard struct {
 	mu       sync.Mutex
-	max      int
+	max      int // per-shard entry bound; <= 0 means unbounded
 	entries  map[string]*entry
 	inflight map[string]*call
 	head     *entry // most recently used
 	tail     *entry // least recently used
-	stats    Stats
-
-	bindings []binding
-	nextID   uint64
+	_        [64]byte
 }
 
-// binding ties a wrapped backend to its keyspace id so that re-wrapping
-// the same backend reuses its cached answers.
-type binding struct {
-	db Backend
-	id uint64
+// Cache is the shared memo store. Safe for concurrent use.
+type Cache struct {
+	shards []shard
+	mask   uint64
+
+	// Global counters, atomically bumped under the owning shard's lock —
+	// exact totals without a global mutex.
+	lookups, hits, coalesced, misses, evictions atomic.Int64
+
+	// bindings ties wrapped backends to keyspace ids so that re-wrapping
+	// the same backend reuses its cached answers. Map-keyed on the
+	// backend (O(1) per Wrap, however many stores a fleet registers);
+	// bindOrder keeps FIFO eviction order for the maxBindings bound.
+	bmu       sync.Mutex
+	bindings  map[Backend]uint64
+	bindOrder []Backend
+	nextID    uint64
 }
 
 // New returns an empty cache.
@@ -117,25 +153,75 @@ func New(cfg Config) *Cache {
 	if max == 0 {
 		max = DefaultMaxEntries
 	}
-	return &Cache{
-		max:      max,
-		entries:  map[string]*entry{},
-		inflight: map[string]*call{},
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+		if max > 0 && max < DefaultShards*DefaultShards {
+			// A small bounded cache keeps one shard: sharding a tiny LRU
+			// would make eviction order depend on key hashes.
+			n = 1
+		}
 	}
+	// Round up to a power of two so shard selection is a mask — then cap
+	// the count so a bounded cache keeps at least one entry per shard
+	// (more shards than entries would silently raise the global bound).
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	if max > 0 {
+		for pow > 1 && max/pow == 0 {
+			pow >>= 1
+		}
+	}
+	c := &Cache{
+		shards:   make([]shard, pow),
+		mask:     uint64(pow - 1),
+		bindings: map[Backend]uint64{},
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.entries = map[string]*entry{}
+		sh.inflight = map[string]*call{}
+		if max > 0 {
+			// Distribute the bound: the first (max % pow) shards take the
+			// remainder, so the per-shard bounds sum exactly to max (the
+			// cap above guarantees max/pow >= 1).
+			sh.max = max / pow
+			if i < max%pow {
+				sh.max++
+			}
+		} else {
+			sh.max = -1
+		}
+	}
+	return c
 }
+
+// NumShards returns the number of independent lock domains.
+func (c *Cache) NumShards() int { return len(c.shards) }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Lookups:   int(c.lookups.Load()),
+		Hits:      int(c.hits.Load()),
+		Coalesced: int(c.coalesced.Load()),
+		Misses:    int(c.misses.Load()),
+		Evictions: int(c.evictions.Load()),
+	}
 }
 
 // Len returns the number of memoized answers currently held.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Wrap returns a view of db that serves repeated queries from the cache.
@@ -159,30 +245,43 @@ func (c *Cache) Wrap(db Backend) *DB { return c.WrapAs(db, db) }
 const maxBindings = 1024
 
 func (c *Cache) WrapAs(identity, db Backend) *DB {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, b := range c.bindings {
-		if comparable_(b.db) && b.db == identity {
-			return c.bind(b.id, db)
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	ok := comparable_(identity)
+	if ok {
+		if id, found := c.bindings[identity]; found {
+			return c.bind(id, db)
 		}
 	}
 	c.nextID++
-	c.bindings = append(c.bindings, binding{db: identity, id: c.nextID})
-	if len(c.bindings) > maxBindings {
-		c.bindings = append(c.bindings[:0:0], c.bindings[1:]...)
+	id := c.nextID
+	if ok {
+		// Non-comparable backends are not remembered (they could never be
+		// found again); they simply forgo cross-run keyspace reuse.
+		c.bindings[identity] = id
+		c.bindOrder = append(c.bindOrder, identity)
+		if len(c.bindOrder) > maxBindings {
+			oldest := c.bindOrder[0]
+			c.bindOrder = append(c.bindOrder[:0:0], c.bindOrder[1:]...)
+			delete(c.bindings, oldest)
+		}
 	}
-	return c.bind(c.nextID, db)
+	return c.bind(id, db)
 }
 
 // comparable_ reports whether the interface value supports ==. Backends
 // are normally pointers (always comparable); exotic non-comparable
 // implementations just forgo cross-run reuse.
-func comparable_(db Backend) bool {
+func comparable_(db Backend) (ok bool) {
 	switch db.(type) {
 	case nil:
 		return false
 	}
-	defer func() { _ = recover() }()
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
 	type probe struct{ b Backend }
 	return probe{db} == probe{db}
 }
@@ -196,9 +295,25 @@ func (c *Cache) bind(id uint64, db Backend) *DB {
 	return &DB{cache: c, id: id, db: db, domains: domains}
 }
 
-// lruFront moves e to the most-recently-used position.
-func (c *Cache) lruFront(e *entry) {
-	if c.head == e {
+// shardFor picks the lock domain of a key: FNV-1a over the key bytes,
+// masked to the (power-of-two) shard count.
+func (c *Cache) shardFor(key []byte) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return &c.shards[h&c.mask]
+}
+
+// lruFront moves e to the shard's most-recently-used position. Callers
+// hold sh.mu.
+func (sh *shard) lruFront(e *entry) {
+	if sh.head == e {
 		return
 	}
 	// unlink
@@ -208,43 +323,44 @@ func (c *Cache) lruFront(e *entry) {
 	if e.next != nil {
 		e.next.prev = e.prev
 	}
-	if c.tail == e {
-		c.tail = e.prev
+	if sh.tail == e {
+		sh.tail = e.prev
 	}
 	// push front
 	e.prev = nil
-	e.next = c.head
-	if c.head != nil {
-		c.head.prev = e
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
 	}
-	c.head = e
-	if c.tail == nil {
-		c.tail = e
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
 	}
 }
 
-// store memoizes res under key, evicting the LRU entry beyond the bound.
-func (c *Cache) store(key string, res hidden.Result) {
-	if e, ok := c.entries[key]; ok {
+// store memoizes res under key, evicting the shard's LRU entry beyond
+// its bound. Callers hold sh.mu; the eviction counter is global.
+func (sh *shard) store(c *Cache, key string, res hidden.Result) {
+	if e, ok := sh.entries[key]; ok {
 		e.res = res
-		c.lruFront(e)
+		sh.lruFront(e)
 		return
 	}
 	e := &entry{key: key, res: res}
-	c.entries[key] = e
-	c.lruFront(e)
-	if c.max > 0 && len(c.entries) > c.max {
-		lru := c.tail
+	sh.entries[key] = e
+	sh.lruFront(e)
+	if sh.max > 0 && len(sh.entries) > sh.max {
+		lru := sh.tail
 		if lru != nil {
 			if lru.prev != nil {
 				lru.prev.next = nil
 			}
-			c.tail = lru.prev
-			if c.head == lru {
-				c.head = nil
+			sh.tail = lru.prev
+			if sh.head == lru {
+				sh.head = nil
 			}
-			delete(c.entries, lru.key)
-			c.stats.Evictions++
+			delete(sh.entries, lru.key)
+			c.evictions.Add(1)
 		}
 	}
 }
@@ -264,42 +380,63 @@ func (d *DB) Unwrap() Backend { return d.db }
 // Cache returns the shared store this view draws from.
 func (d *DB) Cache() *Cache { return d.cache }
 
-// key renders the query's canonical box in d's keyspace. The box under the
+// keyStackAttrs is the attribute count up to which key derivation runs
+// entirely on the stack (scratch intervals + key bytes). Wider schemas
+// fall back to heap buffers; 16 covers every dataset in the repository.
+const keyStackAttrs = 16
+
+// appendKey renders the query's canonical box in d's keyspace as a
+// compact fixed-width binary key: 8 big-endian bytes of keyspace id,
+// then 16 bytes (Lo, Hi as big-endian two's-complement) per attribute.
+// No strconv digit formatting, no separators — width is fixed by the
+// schema, so the encoding is trivially prefix-free. The box under the
 // advertised domains is a complete invariant of the query's semantics on
-// this backend (integer attributes), which is what makes memoization safe
-// across every capability mixture.
-func (d *DB) key(q query.Q) string {
-	box := q.Canonicalize(d.domains)
-	buf := make([]byte, 0, 16+12*len(box.Dims))
-	buf = strconv.AppendUint(buf, d.id, 36)
+// this backend (integer attributes), which is what makes memoization
+// safe across every capability mixture.
+func (d *DB) appendKey(dst []byte, scratch []query.Interval, q query.Q) []byte {
+	box := q.CanonicalizeInto(scratch, d.domains)
+	dst = binary.BigEndian.AppendUint64(dst, d.id)
 	for _, iv := range box.Dims {
-		buf = append(buf, '|')
-		buf = strconv.AppendInt(buf, int64(iv.Lo), 36)
-		buf = append(buf, ':')
-		buf = strconv.AppendInt(buf, int64(iv.Hi), 36)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(int64(iv.Lo)))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(int64(iv.Hi)))
 	}
-	return string(buf)
+	return dst
 }
 
 // Query implements the hidden-database interface with memoization and
 // in-flight deduplication. Cached and coalesced answers never reach the
-// backend, so they consume no rate-limit budget.
+// backend, so they consume no rate-limit budget. The hot path (a hit) is
+// allocation-free: the key is built into stack buffers and map lookups
+// use the no-copy string view of those bytes.
 func (d *DB) Query(q query.Q) (hidden.Result, error) {
-	key := d.key(q)
-	c := d.cache
-
-	c.mu.Lock()
-	c.stats.Lookups++
-	if e, ok := c.entries[key]; ok {
-		c.stats.Hits++
-		c.lruFront(e)
-		res := copyResult(e.res)
-		c.mu.Unlock()
-		return res, nil
+	var keyArr [8 + 16*keyStackAttrs]byte
+	var ivArr [keyStackAttrs]query.Interval
+	var key []byte
+	if len(d.domains) <= keyStackAttrs {
+		key = d.appendKey(keyArr[:0], ivArr[:0], q)
+	} else {
+		key = d.appendKey(make([]byte, 0, 8+16*len(d.domains)), nil, q)
 	}
-	if fl, ok := c.inflight[key]; ok {
-		c.stats.Coalesced++
-		c.mu.Unlock()
+	c := d.cache
+	sh := c.shardFor(key)
+
+	sh.mu.Lock()
+	c.lookups.Add(1)
+	if e, ok := sh.entries[string(key)]; ok {
+		c.hits.Add(1)
+		sh.lruFront(e)
+		res := e.res
+		sh.mu.Unlock()
+		// Copy outside the critical section: the snapshot's backing
+		// arrays are never mutated (entries are replaced wholesale and
+		// callers only ever receive copies), so the lock protects just
+		// the map/LRU bookkeeping — the hot hit path holds it for tens
+		// of nanoseconds.
+		return copyResult(res), nil
+	}
+	if fl, ok := sh.inflight[string(key)]; ok {
+		c.coalesced.Add(1)
+		sh.mu.Unlock()
 		<-fl.done
 		if fl.err != nil {
 			return hidden.Result{}, fl.err
@@ -307,18 +444,19 @@ func (d *DB) Query(q query.Q) (hidden.Result, error) {
 		return copyResult(fl.res), nil
 	}
 	fl := &call{done: make(chan struct{})}
-	c.inflight[key] = fl
-	c.stats.Misses++
-	c.mu.Unlock()
+	skey := string(key) // the one allocation, on the miss path only
+	sh.inflight[skey] = fl
+	c.misses.Add(1)
+	sh.mu.Unlock()
 
 	fl.res, fl.err = d.db.Query(q)
 
-	c.mu.Lock()
-	delete(c.inflight, key)
+	sh.mu.Lock()
+	delete(sh.inflight, skey)
 	if fl.err == nil {
-		c.store(key, fl.res)
+		sh.store(c, skey, fl.res)
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	close(fl.done)
 
 	if fl.err != nil {
@@ -340,13 +478,22 @@ func (d *DB) Cap(i int) hidden.Capability { return d.db.Cap(i) }
 func (d *DB) Domain(i int) query.Interval { return d.domains[i] }
 
 // copyResult deep-copies the tuples so concurrent callers can never alias
-// each other's (or the cache's) answer.
+// each other's (or the cache's) answer. The rows share one flat backing
+// array (two allocations instead of 1+k), capped so a caller's append
+// cannot cross into the next row.
 func copyResult(r hidden.Result) hidden.Result {
 	out := hidden.Result{Overflow: r.Overflow}
 	if r.Tuples != nil {
 		out.Tuples = make([][]int, len(r.Tuples))
+		width := 0
+		for _, t := range r.Tuples {
+			width += len(t)
+		}
+		flat := make([]int, 0, width)
 		for i, t := range r.Tuples {
-			out.Tuples[i] = append([]int(nil), t...)
+			start := len(flat)
+			flat = append(flat, t...)
+			out.Tuples[i] = flat[start:len(flat):len(flat)]
 		}
 	}
 	return out

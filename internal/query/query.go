@@ -208,7 +208,22 @@ func (b Box) Clone() Box {
 // domains: multiple predicates on the same attribute intersect. The box is
 // exactly equivalent to the query for integer-valued attributes.
 func (q Q) Canonicalize(domains []Interval) Box {
-	b := NewBox(domains)
+	return q.CanonicalizeInto(nil, domains)
+}
+
+// CanonicalizeInto is Canonicalize writing the box dimensions into dst
+// (grown only beyond its capacity), so hot paths that canonicalize per
+// lookup — the query cache's key derivation — can reuse one scratch
+// slice instead of allocating a box every time. The returned box aliases
+// dst.
+func (q Q) CanonicalizeInto(dst []Interval, domains []Interval) Box {
+	if cap(dst) < len(domains) {
+		dst = make([]Interval, len(domains))
+	} else {
+		dst = dst[:len(domains)]
+	}
+	copy(dst, domains)
+	b := Box{Dims: dst}
 	for _, p := range q {
 		if p.Attr < 0 || p.Attr >= len(b.Dims) {
 			continue

@@ -205,6 +205,12 @@ type AnswerTopKResponse struct {
 	Levels []int     `json:"levels"`
 }
 
+// rankedPool recycles the intermediate []answer.Ranked between topk
+// requests: the response only keeps the tuple views (immutable store
+// rows) and copies of the scores/levels, so the buffer itself can be
+// handed to the next request.
+var rankedPool = sync.Pool{New: func() any { return new([]answer.Ranked) }}
+
 // AnswerTopK answers a top-k request from the store's materialized
 // index, without issuing any upstream query.
 func (m *Manager) AnswerTopK(req AnswerTopKRequest) (AnswerTopKResponse, error) {
@@ -213,27 +219,37 @@ func (m *Manager) AnswerTopK(req AnswerTopKRequest) (AnswerTopKResponse, error) 
 		return AnswerTopKResponse{}, err
 	}
 	q := answer.TopKQuery{Weights: req.Weights, K: req.K, Normalized: req.Normalized}
-	for _, r := range req.Filter {
-		q.Filter = append(q.Filter, r.toRange())
+	if len(req.Filter) > 0 {
+		q.Filter = make([]answer.Range, 0, len(req.Filter))
+		for _, r := range req.Filter {
+			q.Filter = append(q.Filter, r.toRange())
+		}
 	}
-	res, err := s.TopK(q)
+	buf := rankedPool.Get().(*[]answer.Ranked)
+	res, err := s.TopKAppend(q, (*buf)[:0])
 	if err != nil {
+		rankedPool.Put(buf)
 		return AnswerTopKResponse{}, err
 	}
+	n := len(res.Items)
 	resp := AnswerTopKResponse{
 		Store:  req.Store,
 		K:      req.K,
 		Exact:  res.Exact,
 		BandK:  s.BandK(),
-		Tuples: [][]int{},
-		Scores: []float64{},
-		Levels: []int{},
+		Tuples: make([][]int, 0, n),
+		Scores: make([]float64, 0, n),
+		Levels: make([]int, 0, n),
 	}
 	for _, it := range res.Items {
 		resp.Tuples = append(resp.Tuples, it.Tuple)
 		resp.Scores = append(resp.Scores, it.Score)
 		resp.Levels = append(resp.Levels, it.Level)
 	}
+	if res.Items != nil {
+		*buf = res.Items
+	}
+	rankedPool.Put(buf)
 	return resp, nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"hiddensky/internal/jsonbuf"
 )
 
 // HTTP API (versioned under /v1), served by cmd/skylined:
@@ -231,8 +233,9 @@ func answerEndpoint[Req, Resp any](fn func(Req) (Resp, error)) http.HandlerFunc 
 	}
 }
 
+// writeJSON answers v through the shared pooled encoder — the answer
+// read path (/v1/answer/topk) is served at memory speed, so encoding
+// garbage is its dominant per-request cost.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	jsonbuf.Write(w, status, v)
 }

@@ -21,6 +21,7 @@ import (
 	"net/http"
 
 	"hiddensky/internal/hidden"
+	"hiddensky/internal/jsonbuf"
 	"hiddensky/internal/query"
 )
 
@@ -68,6 +69,10 @@ type Server struct {
 	db    *hidden.DB
 	names []string
 	mux   *http.ServeMux
+	// meta is the pre-encoded /v1/meta body: the schema of an immutable
+	// database never changes, so it is rendered once at construction and
+	// served as static bytes.
+	meta []byte
 }
 
 // NewServer wraps db; names optionally labels the attributes (padded with
@@ -81,6 +86,17 @@ func NewServer(db *hidden.DB, names []string) *Server {
 			s.names = append(s.names, fmt.Sprintf("A%d", i))
 		}
 	}
+	meta := MetaResponse{K: db.K()}
+	for i := 0; i < db.NumAttrs(); i++ {
+		dom := db.Domain(i)
+		meta.Attrs = append(meta.Attrs, MetaAttr{
+			Name: s.names[i],
+			Cap:  db.Cap(i).String(),
+			Lo:   dom.Lo,
+			Hi:   dom.Hi,
+		})
+	}
+	s.meta, _ = jsonbuf.Encode(meta)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/meta", s.handleMeta)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
@@ -111,17 +127,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
-	resp := MetaResponse{K: s.db.K()}
-	for i := 0; i < s.db.NumAttrs(); i++ {
-		dom := s.db.Domain(i)
-		resp.Attrs = append(resp.Attrs, MetaAttr{
-			Name: s.names[i],
-			Cap:  s.db.Cap(i).String(),
-			Lo:   dom.Lo,
-			Hi:   dom.Hi,
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
+	jsonbuf.WriteStatic(w, http.StatusOK, s.meta)
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -156,10 +162,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// writeJSON answers v through the shared pooled encoder: /v1/search is
+// the serving hot path, and per-request encoder garbage is what caps
+// its throughput under load.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	jsonbuf.Write(w, status, v)
 }
 
 // decodeQuery converts wire predicates into the internal query form.
