@@ -41,6 +41,7 @@ import (
 	"hiddensky/internal/core"
 	"hiddensky/internal/datagen"
 	"hiddensky/internal/hidden"
+	"hiddensky/internal/obs"
 	"hiddensky/internal/service"
 	"hiddensky/internal/web"
 )
@@ -63,6 +64,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 8, "queries between snapshot writes for resumable jobs")
 	k := flag.Int("k", 10, "top-k limit for CSV-backed stores")
 	rankName := flag.String("rank", "sum", "ranking for CSV-backed stores: sum | attrN | lex | random")
+	debugAddr := flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (empty = profiling off)")
 	var stores storeFlags
 	flag.Var(&stores, "store", "name=target store (repeatable); target is a skyserve URL (http://...) or a CSV path")
 	flag.Parse()
@@ -78,6 +80,7 @@ func main() {
 		SnapshotDir:     *snapshots,
 		CacheSize:       *cacheSize,
 		CheckpointEvery: *checkpointEvery,
+		Logger:          obs.NewLogger(os.Stderr, "skylined"),
 	})
 	if err != nil {
 		fatal(err)
@@ -118,6 +121,13 @@ func main() {
 	defer stop()
 
 	errc := make(chan error, 1)
+	if *debugAddr != "" {
+		// pprof lives on its own opt-in listener, never the API port.
+		dbg := &http.Server{Addr: *debugAddr, Handler: obs.DebugMux()}
+		go func() { errc <- dbg.ListenAndServe() }()
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "skylined: pprof on http://%s/debug/pprof/\n", *debugAddr)
+	}
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "skylined: serving %d store(s) on http://%s (max-jobs=%d, snapshots=%q)\n",
 		len(stores), *addr, *maxJobs, *snapshots)

@@ -24,6 +24,7 @@ import (
 
 	"hiddensky/internal/datagen"
 	"hiddensky/internal/hidden"
+	"hiddensky/internal/obs"
 	"hiddensky/internal/web"
 )
 
@@ -33,6 +34,7 @@ func main() {
 	rankName := flag.String("rank", "sum", "ranking function: sum | attrN | lex | random")
 	limit := flag.Int("limit", 0, "per-client query budget (0 = unlimited)")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (empty = profiling off)")
 	flag.Parse()
 
 	if *in == "" {
@@ -74,6 +76,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
+	if *debugAddr != "" {
+		// pprof lives on its own opt-in listener, never the API port.
+		dbg := &http.Server{Addr: *debugAddr, Handler: obs.DebugMux()}
+		go func() { errc <- dbg.ListenAndServe() }()
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "skyserve: pprof on http://%s/debug/pprof/\n", *debugAddr)
+	}
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
 	case err := <-errc:

@@ -54,7 +54,9 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
+	"hiddensky/internal/obs"
 	"hiddensky/internal/skyline"
 )
 
@@ -110,7 +112,27 @@ type Store struct {
 	// sequentially instead of chasing row pointers.
 	cols [][]float64
 	norm [][]float64
+
+	metrics *Metrics // nil: uninstrumented (see SetMetrics)
 }
+
+// Metrics instruments a Store's read path. All fields are optional.
+// Recording is two monotonic-clock reads and three atomic adds per
+// request — the instrumented hot path stays allocation-free (enforced
+// by TestInstrumentedTopKZeroAlloc).
+type Metrics struct {
+	// TopKSeconds observes TopK/TopKAppend latency.
+	TopKSeconds *obs.Histogram
+	// SkylineSeconds observes SubspaceSkyline latency.
+	SkylineSeconds *obs.Histogram
+	// DominatesSeconds observes Dominates latency.
+	DominatesSeconds *obs.Histogram
+}
+
+// SetMetrics attaches metrics to the store. Call it right after Build,
+// before the store is shared; the bundle may be shared by many stores
+// (a daemon aggregates every published index into one set of series).
+func (s *Store) SetMetrics(m *Metrics) { s.metrics = m }
 
 // Info summarizes a store for health/listing endpoints.
 type Info struct {
@@ -369,8 +391,20 @@ func (s *Store) TopK(q TopKQuery) (TopKResult, error) {
 // With cap(dst) >= k the unfiltered hot path performs no allocation:
 // candidates are a zero-copy arena slice, scoring and selection run in
 // pooled scratch, and the returned Ranked tuples alias the store's
-// immutable rows.
+// immutable rows. The timing wrapper is an explicit call, not a
+// deferred closure, so instrumentation keeps the path at 0 allocs/op.
 func (s *Store) TopKAppend(q TopKQuery, dst []Ranked) (TopKResult, error) {
+	m := s.metrics
+	if m == nil || m.TopKSeconds == nil {
+		return s.topKAppend(q, dst)
+	}
+	t0 := time.Now()
+	res, err := s.topKAppend(q, dst)
+	m.TopKSeconds.Observe(time.Since(t0))
+	return res, err
+}
+
+func (s *Store) topKAppend(q TopKQuery, dst []Ranked) (TopKResult, error) {
 	if err := s.checkQuery(&q); err != nil {
 		return TopKResult{}, err
 	}
@@ -617,6 +651,17 @@ func (s *Store) better(sc float64, i int, so float64, j int) bool {
 // the full-space skyline can survive in a subspace by tying its
 // dominator there.
 func (s *Store) SubspaceSkyline(attrs []int) ([][]int, error) {
+	m := s.metrics
+	if m == nil || m.SkylineSeconds == nil {
+		return s.subspaceSkyline(attrs)
+	}
+	t0 := time.Now()
+	out, err := s.subspaceSkyline(attrs)
+	m.SkylineSeconds.Observe(time.Since(t0))
+	return out, err
+}
+
+func (s *Store) subspaceSkyline(attrs []int) ([][]int, error) {
 	if len(attrs) == 0 {
 		return s.Skyline(), nil
 	}
@@ -677,6 +722,17 @@ func (s *Store) SubspaceSkyline(attrs []int) ([][]int, error) {
 // witness. Only level 0 is scanned: by transitivity, a dominator on a
 // deeper layer implies one on the skyline.
 func (s *Store) Dominates(t []int) (bool, []int, error) {
+	m := s.metrics
+	if m == nil || m.DominatesSeconds == nil {
+		return s.dominates(t)
+	}
+	t0 := time.Now()
+	ok, witness, err := s.dominates(t)
+	m.DominatesSeconds.Observe(time.Since(t0))
+	return ok, witness, err
+}
+
+func (s *Store) dominates(t []int) (bool, []int, error) {
 	if len(t) != s.m {
 		return false, nil, fmt.Errorf("%w: tuple width %d, store has %d attributes", ErrBadQuery, len(t), s.m)
 	}

@@ -11,6 +11,8 @@ package answer
 import (
 	"math/rand"
 	"testing"
+
+	"hiddensky/internal/obs"
 )
 
 func benchStore(b *testing.B, n int) *Store {
@@ -47,6 +49,60 @@ func BenchmarkStoreTopKUnfilteredReference(b *testing.B) {
 		if _, err := s.ReferenceTopK(TopKQuery{Weights: w, K: 10}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestInstrumentedTopKZeroAlloc is the observability parity contract:
+// attaching latency metrics must not cost the arena path its 0
+// allocs/op. If the wrapper ever grows a closure or boxes a value,
+// this fails before any daemon regresses.
+func TestInstrumentedTopKZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode randomizes sync.Pool; alloc counts are meaningless")
+	}
+	rng := rand.New(rand.NewSource(77))
+	s, err := Build(bandOf(genData(rng, 20000, 4, 1000), 10), Options{BandK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s.SetMetrics(&Metrics{
+		TopKSeconds:      reg.Histogram("answer_topk_seconds", ""),
+		SkylineSeconds:   reg.Histogram("answer_skyline_seconds", ""),
+		DominatesSeconds: reg.Histogram("answer_dominates_seconds", ""),
+	})
+	w := []float64{1, 0.5, 2, 0.25}
+	dst := make([]Ranked, 0, 10)
+	allocs := testing.AllocsPerRun(200, func() {
+		res, err := s.TopKAppend(TopKQuery{Weights: w, K: 10}, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = res.Items[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented TopKAppend allocates %.1f allocs/op, want 0", allocs)
+	}
+	if got := reg.Snapshots(); len(got) == 0 || got[len(got)-1].Histogram == nil {
+		t.Fatal("metrics registry recorded nothing")
+	}
+}
+
+// BenchmarkStoreTopKUnfilteredInstrumented is BenchmarkStoreTopKUnfiltered
+// with metrics attached — the two must report identical allocs/op (0).
+func BenchmarkStoreTopKUnfilteredInstrumented(b *testing.B) {
+	s := benchStore(b, 20000)
+	s.SetMetrics(&Metrics{TopKSeconds: obs.NewRegistry().Histogram("answer_topk_seconds", "")})
+	w := []float64{1, 0.5, 2, 0.25}
+	var dst []Ranked
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.TopKAppend(TopKQuery{Weights: w, K: 10}, dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = res.Items
 	}
 }
 

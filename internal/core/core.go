@@ -108,6 +108,11 @@ type Options struct {
 	// publishing a live counter should drop stale events). It must not
 	// call back into the running discovery.
 	Progress func(ProgressEvent)
+	// PoolMetrics, when non-nil, instruments the run's worker pool
+	// (parallel runs only — a sequential run has no pool). One bundle
+	// is safely shared by many concurrent runs; a serving daemon passes
+	// the same bundle to every job so the series aggregate fleet-wide.
+	PoolMetrics *engine.PoolMetrics
 }
 
 // ProgressEvent is a live snapshot of a discovery run, delivered through
@@ -201,6 +206,9 @@ func (c *ctx) newPool() *engine.Pool {
 		c.pool = engine.NewPoolContext(c.opt.Ctx, c.opt.Parallelism)
 	} else {
 		c.pool = engine.NewPool(c.opt.Parallelism)
+	}
+	if c.opt.PoolMetrics != nil {
+		c.pool.Instrument(c.opt.PoolMetrics)
 	}
 	return c.pool
 }

@@ -1,6 +1,10 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+
+	"hiddensky/internal/obs"
+)
 
 // Budget is a concurrency-safe shared query allowance. Many discovery runs
 // (or many goroutines of one parallel run) draw from the same Budget, so a
@@ -12,11 +16,23 @@ type Budget struct {
 	mu    sync.Mutex
 	limit int // <= 0: unlimited
 	used  int
+	// spent, when instrumented, mirrors the net units consumed — a
+	// gauge, because Release refunds. Deltas (not sets) let concurrent
+	// budgets share one series.
+	spent *obs.Gauge
 }
 
 // NewBudget returns a budget of `limit` queries; limit <= 0 is unlimited.
 func NewBudget(limit int) *Budget {
 	return &Budget{limit: limit}
+}
+
+// Instrument mirrors the budget's consumption into a gauge: +1 per
+// successful TryAcquire, -1 per Release refund. Set it before the
+// budget is shared across goroutines.
+func (b *Budget) Instrument(spent *obs.Gauge) *Budget {
+	b.spent = spent
+	return b
 }
 
 // TryAcquire reserves one unit, reporting false when the budget is spent.
@@ -30,6 +46,9 @@ func (b *Budget) TryAcquire() bool {
 		return false
 	}
 	b.used++
+	if b.spent != nil {
+		b.spent.Add(1)
+	}
 	return true
 }
 
@@ -43,6 +62,9 @@ func (b *Budget) Release() {
 	defer b.mu.Unlock()
 	if b.used > 0 {
 		b.used--
+		if b.spent != nil {
+			b.spent.Add(-1)
+		}
 	}
 }
 

@@ -3,7 +3,25 @@ package engine
 import (
 	"context"
 	"sync"
+	"time"
+
+	"hiddensky/internal/obs"
 )
+
+// PoolMetrics instruments a Pool: scheduling depth, task throughput
+// and task latency. All fields are optional (nil fields are skipped);
+// records are atomic, so metrics add no allocation and no extra lock
+// to the task path.
+type PoolMetrics struct {
+	// Tasks counts tasks executed to completion.
+	Tasks *obs.Counter
+	// Dropped counts tasks skipped after an error or cancellation.
+	Dropped *obs.Counter
+	// Depth tracks tasks queued or executing right now.
+	Depth *obs.Gauge
+	// TaskSeconds is the per-task execution latency.
+	TaskSeconds *obs.Histogram
+}
 
 // Pool is a bounded-worker executor for dynamically spawned, mutually
 // independent tasks. It is built for tree recursions: a task may Spawn the
@@ -19,7 +37,8 @@ import (
 // algorithms can Spawn/Wait repeatedly. Close releases the idle workers
 // when the run is over.
 type Pool struct {
-	ctx context.Context // nil: never cancelled (see NewPoolContext)
+	ctx     context.Context // nil: never cancelled (see NewPoolContext)
+	metrics *PoolMetrics    // nil: uninstrumented (see Instrument)
 
 	mu       sync.Mutex
 	taskCond *sync.Cond // signals workers: queue non-empty or closing
@@ -60,6 +79,24 @@ func NewPoolContext(ctx context.Context, workers int) *Pool {
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return p.max }
 
+// Instrument attaches metrics to the pool. Call it before the first
+// Spawn; the shared bundle may be reused across many pools (a serving
+// daemon aggregates every job's pool into one set of series).
+func (p *Pool) Instrument(m *PoolMetrics) *Pool {
+	p.metrics = m
+	return p
+}
+
+// addDepth moves the pending-task gauge by delta. Deltas (not
+// absolute sets) let many concurrent pools share one gauge: the
+// series then reads as the total scheduling depth across every live
+// run.
+func (p *Pool) addDepth(delta int64) {
+	if p.metrics != nil && p.metrics.Depth != nil {
+		p.metrics.Depth.Add(delta)
+	}
+}
+
 // Spawn schedules fn for execution. Safe for concurrent use, including
 // from inside running tasks. After the pool has recorded an error,
 // scheduled tasks are accounted for but never run.
@@ -70,6 +107,7 @@ func (p *Pool) Spawn(fn func() error) {
 		panic("engine: Spawn on a closed Pool")
 	}
 	p.pending++
+	p.addDepth(1)
 	p.queue = append(p.queue, fn)
 	if p.idle == 0 && p.started < p.max {
 		p.started++
@@ -104,7 +142,20 @@ func (p *Pool) worker() {
 
 		var err error
 		if !skip {
-			err = fn()
+			if m := p.metrics; m != nil && (m.Tasks != nil || m.TaskSeconds != nil) {
+				t0 := time.Now()
+				err = fn()
+				if m.TaskSeconds != nil {
+					m.TaskSeconds.Observe(time.Since(t0))
+				}
+				if m.Tasks != nil {
+					m.Tasks.Inc()
+				}
+			} else {
+				err = fn()
+			}
+		} else if m := p.metrics; m != nil && m.Dropped != nil {
+			m.Dropped.Inc()
 		}
 
 		p.mu.Lock()
@@ -112,6 +163,7 @@ func (p *Pool) worker() {
 			p.err = err
 		}
 		p.pending--
+		p.addDepth(-1)
 		if p.pending == 0 {
 			p.doneCond.Broadcast()
 		}

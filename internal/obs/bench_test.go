@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkObsRecord is the record-path contract: one counter bump,
+// one gauge set, and one histogram observation — the instrumentation
+// cost added to a serving operation — must stay at 0 allocs/op, or
+// the zero-allocation read stack (PR5) would silently regress the
+// moment it was instrumented.
+func BenchmarkObsRecord(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "")
+	g := r.Gauge("depth", "")
+	h := r.Histogram("lat_seconds", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(int64(i))
+		h.Observe(time.Duration(i))
+	}
+}
+
+// TestRecordZeroAlloc enforces the benchmark's contract in the
+// regular test run, so `go test` alone catches an allocating record
+// path.
+func TestRecordZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "")
+	g := r.Gauge("depth", "")
+	h := r.Histogram("lat_seconds", "")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

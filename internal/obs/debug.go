@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns a mux serving the net/http/pprof profiling
+// endpoints under /debug/pprof/. The daemons bind it to a separate
+// listener only when -debug-addr is set, so profiling is opt-in and
+// never shares a port with the public API. The handlers are wired
+// explicitly; the daemons never serve http.DefaultServeMux, so the
+// pprof package's side-effect registrations there stay unreachable.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds observations
+// whose nanosecond duration has bit length i, i.e. values in
+// [2^(i-1), 2^i), with bucket 0 holding exactly 0. 40 buckets cover
+// 1ns to ~9 minutes; longer observations clamp into the last bucket.
+const histBuckets = 40
+
+// Histogram is a fixed-bucket latency histogram. The zero value is
+// ready to use. Observe is wait-free and allocation-free: one bit
+// scan and three atomic adds into memory laid out at construction, so
+// it is safe to put on the zero-allocation serving paths. Quantiles
+// are extracted at scrape time by interpolating within the
+// power-of-two buckets — exact to well under the bucket width, which
+// is plenty for p50/p95/p99 on latency distributions spanning decades.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// HistogramBucket is one non-empty bucket of a snapshot: Count
+// observations at most LeMicros microseconds.
+type HistogramBucket struct {
+	LeMicros float64 `json:"le_us"`
+	Count    int64   `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time distribution, with quantiles
+// pre-extracted (microseconds, matching the perf harness).
+type HistogramSnapshot struct {
+	Count      int64   `json:"count"`
+	SumMicros  float64 `json:"sum_us"`
+	MeanMicros float64 `json:"mean_us"`
+	P50Micros  float64 `json:"p50_us"`
+	P95Micros  float64 `json:"p95_us"`
+	P99Micros  float64 `json:"p99_us"`
+	// Buckets is the non-cumulative distribution over the non-empty
+	// bucket range (each entry counts observations <= its bound and
+	// greater than the previous entry's).
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// bucketBounds returns the value range [lo, hi] (nanoseconds) bucket
+// i covers.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	hi = int64(1)<<i - 1
+	return lo, hi
+}
+
+// Snapshot captures the current distribution. Concurrent Observe
+// calls may land between the bucket reads; totals are recomputed from
+// the captured buckets so the snapshot is always self-consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: total, SumMicros: float64(h.sum.Load()) / 1e3}
+	if total == 0 {
+		return s
+	}
+	s.MeanMicros = s.SumMicros / float64(total)
+	s.P50Micros = quantileFrom(counts[:], total, 0.50)
+	s.P95Micros = quantileFrom(counts[:], total, 0.95)
+	s.P99Micros = quantileFrom(counts[:], total, 0.99)
+	first, last := -1, -1
+	for i, c := range counts {
+		if c > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	for i := first; i <= last; i++ {
+		_, hi := bucketBounds(i)
+		s.Buckets = append(s.Buckets, HistogramBucket{LeMicros: float64(hi) / 1e3, Count: counts[i]})
+	}
+	return s
+}
+
+// quantileFrom walks the captured buckets to the q-th rank and
+// interpolates linearly inside the matching bucket. Returns
+// microseconds.
+func quantileFrom(counts []int64, total int64, q float64) float64 {
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo, hi := bucketBounds(i)
+			frac := (rank - cum) / float64(c)
+			return (float64(lo) + frac*float64(hi-lo)) / 1e3
+		}
+		cum = next
+	}
+	_, hi := bucketBounds(len(counts) - 1)
+	return float64(hi) / 1e3
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// NewLogger returns a structured logger writing logfmt-style lines to
+// w, tagged with the owning component ("skylined", "skyserve", ...).
+// Every daemon log line carries key=value attributes — a crashed
+// fleet member or a parked job is diagnosable by grepping the daemon
+// log for its job_id or trace_id alone.
+func NewLogger(w io.Writer, component string) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo})
+	return slog.New(h).With("component", component)
+}
+
+// Nop returns a logger that discards everything — the default for
+// library callers that configured no logging.
+func Nop() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// traceSeq makes fallback trace IDs unique within the process when
+// the system's randomness source is unavailable.
+var traceSeq atomic.Int64
+
+// NewTraceID returns a 16-hex-char identifier for correlating one
+// job's lifecycle — submit, plan, discovery progress, index publish —
+// across log lines, SSE events, and job status responses.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%015x", traceSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}

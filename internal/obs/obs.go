@@ -1,0 +1,244 @@
+// Package obs is the observability layer of the repository: a
+// dependency-free metrics core (atomic counters, gauges, and
+// fixed-bucket latency histograms with quantile extraction), a
+// Prometheus-text and JSON exposition surface, structured logging
+// helpers built on log/slog, and per-job trace IDs.
+//
+// The design constraint is the same one the read stack obeys: the
+// record path allocates nothing. Counter.Inc, Gauge.Set and
+// Histogram.Observe are a handful of atomic operations on memory that
+// was laid out at registration time, so instrumenting the
+// zero-allocation serving paths (answer.Store.TopK, the sharded query
+// cache, the pooled JSON writer) does not reintroduce the garbage
+// those paths were rebuilt to shed. All rendering cost (label
+// formatting, bucket boundaries, quantile walks) is paid at scrape
+// time, on the /metrics and /v1/stats endpoints, never per event.
+//
+// A Registry is an explicit, composable collection — there is no
+// package-global default, so a test process can host many managers
+// and servers without metric collisions. Components that own
+// long-lived state (the query cache, the job manager) register
+// scrape-time funcs (CounterFunc/GaugeFunc) so their existing atomics
+// are exposed without double counting.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero
+// value is ready to use; the record path performs one atomic add.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep counter semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// kind enumerates what a registered series is.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// metric is one registered series.
+type metric struct {
+	name   string // full series name, possibly with {labels}
+	family string // name with the label set stripped
+	labels string // `k="v",k2="v2"` (no braces), empty when unlabeled
+	help   string
+	kind   kind
+
+	c  *Counter
+	g  *Gauge
+	h  *Histogram
+	fn func() float64
+}
+
+// value returns the series' scalar value (histograms are rendered
+// separately).
+func (m *metric) value() float64 {
+	switch m.kind {
+	case kindCounter:
+		return float64(m.c.Load())
+	case kindGauge:
+		return float64(m.g.Load())
+	case kindCounterFunc, kindGaugeFunc:
+		return m.fn()
+	}
+	return 0
+}
+
+// Registry is an ordered, concurrency-safe collection of named
+// series. Registration happens at component construction; the record
+// path never touches the registry (callers hold the returned metric
+// pointers).
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*metric{}}
+}
+
+// splitName separates a series name like `queries_total{store="x"}`
+// into its family and label set.
+func splitName(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// EscapeLabel renders v safely as a Prometheus label value (escaping
+// backslashes and double quotes), for callers building labeled series
+// names like `queries_total{store="` + obs.EscapeLabel(name) + `"}`.
+func EscapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// register adds (or returns the existing) series under name. A name
+// collision with a different kind is a programming error and panics.
+func (r *Registry) register(name, help string, k kind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != k {
+			panic(fmt.Sprintf("obs: %q re-registered as %s (was %s)", name, k, m.kind))
+		}
+		return m
+	}
+	family, labels := splitName(name)
+	m := &metric{name: name, family: family, labels: labels, help: help, kind: k}
+	switch k {
+	case kindCounter:
+		m.c = new(Counter)
+	case kindGauge:
+		m.g = new(Gauge)
+	case kindHistogram:
+		m.h = new(Histogram)
+	}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter).c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge).g
+}
+
+// Histogram returns the named latency histogram, creating it on first
+// use. By convention the name ends in _seconds; values are rendered
+// in seconds on /metrics and microseconds in JSON snapshots.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.register(name, help, kindHistogram).h
+}
+
+// CounterFunc registers a counter whose value is read by fn at scrape
+// time — the bridge for components that already keep their own atomic
+// totals (e.g. the query cache). fn must be safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindCounterFunc).fn = fn
+}
+
+// GaugeFunc registers a gauge read by fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGaugeFunc).fn = fn
+}
+
+// snapshotMetrics returns a stable-sorted copy of the series list.
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].family != ms[j].family {
+			return ms[i].family < ms[j].family
+		}
+		return ms[i].name < ms[j].name
+	})
+	return ms
+}
+
+// Snapshot is one series' point-in-time value, as served by JSON
+// stats endpoints.
+type Snapshot struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+	// Histogram carries the distribution for histogram series (Value
+	// is then the observation count).
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshots returns every registered series' current value, sorted by
+// name.
+func (r *Registry) Snapshots() []Snapshot {
+	ms := r.snapshotMetrics()
+	out := make([]Snapshot, 0, len(ms))
+	for _, m := range ms {
+		s := Snapshot{Name: m.name, Kind: m.kind.String()}
+		if m.kind == kindHistogram {
+			hs := m.h.Snapshot()
+			s.Value = float64(hs.Count)
+			s.Histogram = &hs
+		} else {
+			s.Value = m.value()
+		}
+		out = append(out, s)
+	}
+	return out
+}

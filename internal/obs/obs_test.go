@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("widgets_total", "widgets made")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("widgets_total", "widgets made"); again != c {
+		t.Fatal("re-registering a counter must return the same instance")
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering x_total as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations spread 1..1000µs: quantiles should land near
+	// their exact ranks, within the power-of-two bucket resolution
+	// (bucket width is at most the value itself).
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	wantSum := float64(1000 * 1001 / 2) // µs
+	if math.Abs(s.SumMicros-wantSum) > 1 {
+		t.Fatalf("sum = %.1fµs, want %.1fµs", s.SumMicros, wantSum)
+	}
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if got < want/2 || got > want*2 {
+			t.Errorf("%s = %.1fµs, want within 2x of %.1fµs", name, got, want)
+		}
+	}
+	check("p50", s.P50Micros, 500)
+	check("p95", s.P95Micros, 950)
+	check("p99", s.P99Micros, 990)
+	if s.P50Micros > s.P95Micros || s.P95Micros > s.P99Micros {
+		t.Fatalf("quantiles not monotone: p50=%.1f p95=%.1f p99=%.1f", s.P50Micros, s.P95Micros, s.P99Micros)
+	}
+	var cum int64
+	for i, b := range s.Buckets {
+		if b.Count < 0 {
+			t.Fatalf("bucket %d has negative count", i)
+		}
+		cum += b.Count
+	}
+	if cum != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", cum, s.Count)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.Buckets != nil {
+		t.Fatalf("empty histogram snapshot not empty: %+v", s)
+	}
+	h.Observe(0)
+	h.Observe(-time.Second) // clamps to 0
+	h.Observe(24 * 365 * time.Hour)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+}
+
+// TestConcurrentRecord hammers one registry's metrics from many
+// goroutines; run under -race this is the data-race guard for the
+// whole record path, and the final counts prove no update was lost.
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "")
+	g := r.Gauge("depth", "")
+	h := r.Histogram("lat_seconds", "")
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(time.Duration(w*per+i) * time.Nanosecond)
+				if i%512 == 0 {
+					// Scrapes race the records on purpose.
+					_ = h.Snapshot()
+					_ = r.Snapshots()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Load(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`queries_total{store="a"}`, "queries issued").Add(3)
+	r.Counter(`queries_total{store="b"}`, "queries issued").Add(4)
+	r.Gauge("jobs_running", "running jobs").Set(2)
+	r.GaugeFunc("cache_entries", "entries", func() float64 { return 17 })
+	h := r.Histogram(`rt_seconds{store="a"}`, "round trips")
+	h.Observe(3 * time.Microsecond)
+	h.Observe(900 * time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE queries_total counter",
+		`queries_total{store="a"} 3`,
+		`queries_total{store="b"} 4`,
+		"# TYPE jobs_running gauge",
+		"jobs_running 2",
+		"cache_entries 17",
+		"# TYPE rt_seconds histogram",
+		`rt_seconds_count{store="a"} 2`,
+		`rt_seconds_bucket{store="a",le="+Inf"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Count(text, "# TYPE queries_total") != 1 {
+		t.Errorf("family header repeated:\n%s", text)
+	}
+
+	// The HTTP handler serves the same body with the text content type.
+	rec := httptest.NewRecorder()
+	MetricsHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Header().Get("Content-Type"), "text/plain") {
+		t.Fatalf("metrics handler: code=%d type=%q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	if rec.Body.String() != text {
+		t.Fatal("handler body differs from WritePrometheus")
+	}
+}
+
+func TestSnapshotsJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(2)
+	r.Histogram("b_seconds", "").Observe(time.Millisecond)
+	data, err := json.Marshal(r.Snapshots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []Snapshot
+	if err := json.Unmarshal(data, &snaps); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[0].Name != "a_total" || snaps[0].Value != 2 {
+		t.Fatalf("unexpected snapshots: %s", data)
+	}
+	if snaps[1].Histogram == nil || snaps[1].Histogram.Count != 1 {
+		t.Fatalf("histogram snapshot missing: %s", data)
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	if got := EscapeLabel(`a"b\c`); got != `a\"b\\c` {
+		t.Fatalf("EscapeLabel = %q", got)
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("trace ids not unique 16-char: %q %q", a, b)
+	}
+}
+
+func TestLoggerCarriesComponent(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, "testd")
+	log.Info("job failed", "job_id", "j000001", "trace_id", "abc")
+	line := buf.String()
+	for _, want := range []string{"component=testd", "job_id=j000001", "trace_id=abc", "job failed"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %q: %s", want, line)
+		}
+	}
+	Nop().Info("discarded")
+}

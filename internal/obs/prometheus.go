@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders every registered series in the Prometheus
+// text exposition format (version 0.0.4). Series of one family are
+// grouped under a single # HELP / # TYPE header; histograms emit the
+// conventional _bucket{le=...} cumulative series plus _sum and _count
+// (in seconds, per Prometheus convention).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	ms := r.snapshotMetrics()
+	lastFamily := ""
+	for _, m := range ms {
+		if m.family != lastFamily {
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.family, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.family, m.kind); err != nil {
+				return err
+			}
+			lastFamily = m.family
+		}
+		if m.kind == kindHistogram {
+			if err := writeHistogram(w, m); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.value())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits one histogram's cumulative buckets, sum and
+// count, splicing the le label into the series' own label set.
+func writeHistogram(w io.Writer, m *metric) error {
+	s := m.h.Snapshot()
+	prefix := m.family + "_bucket{"
+	if m.labels != "" {
+		prefix += m.labels + ","
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		le := formatFloat(b.LeMicros / 1e6)
+		if _, err := fmt.Fprintf(w, "%sle=%q} %d\n", prefix, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%sle=\"+Inf\"} %d\n", prefix, s.Count); err != nil {
+		return err
+	}
+	suffix := ""
+	if m.labels != "" {
+		suffix = "{" + m.labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.family, suffix, formatFloat(s.SumMicros/1e6)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.family, suffix, s.Count)
+	return err
+}
+
+// formatFloat renders v the way Prometheus expects: integral values
+// without an exponent or trailing zeros.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MetricsHandler serves the registry as a Prometheus scrape target
+// (the GET /metrics endpoint of both daemons).
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = r.WritePrometheus(w)
+	})
+}

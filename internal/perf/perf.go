@@ -22,6 +22,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"hiddensky/internal/obs"
 )
 
 // Options describes one measured scenario.
@@ -50,6 +52,11 @@ type Result struct {
 	P99Micros   float64 `json:"p99_us"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Latency is the full distribution of the measured operations —
+	// the same fixed-bucket histogram the daemons expose on /metrics,
+	// so a committed BENCH_*.json and a live scrape are comparable
+	// shapes, not just matching quantile pairs.
+	Latency *obs.HistogramSnapshot `json:"latency,omitempty"`
 }
 
 func (r Result) String() string {
@@ -130,10 +137,15 @@ func Run(opt Options, fn func(worker, op int)) Result {
 	runtime.ReadMemStats(&after)
 
 	all := make([]int64, 0, ops)
+	var hist obs.Histogram
 	for _, rec := range lats {
 		all = append(all, rec...)
+		for _, ns := range rec {
+			hist.Observe(time.Duration(ns))
+		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	snap := hist.Snapshot()
 
 	res := Result{
 		Name:        opt.Name,
@@ -145,6 +157,7 @@ func Run(opt Options, fn func(worker, op int)) Result {
 		P99Micros:   float64(quantile(all, 0.99)) / 1e3,
 		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
 		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+		Latency:     &snap,
 	}
 	return res
 }

@@ -119,13 +119,14 @@ type call struct {
 // shards' mutexes never share a cache line (false sharing would hand the
 // contention right back).
 type shard struct {
-	mu       sync.Mutex
-	max      int // per-shard entry bound; <= 0 means unbounded
-	entries  map[string]*entry
-	inflight map[string]*call
-	head     *entry // most recently used
-	tail     *entry // least recently used
-	_        [64]byte
+	mu        sync.Mutex
+	max       int // per-shard entry bound; <= 0 means unbounded
+	entries   map[string]*entry
+	inflight  map[string]*call
+	head      *entry // most recently used
+	tail      *entry // least recently used
+	evictions int64  // entries this shard dropped; guarded by mu
+	_         [64]byte
 }
 
 // Cache is the shared memo store. Safe for concurrent use.
@@ -210,6 +211,32 @@ func (c *Cache) Stats() Stats {
 		Misses:    int(c.misses.Load()),
 		Evictions: int(c.evictions.Load()),
 	}
+}
+
+// ShardStat is one shard's live occupancy and eviction history —
+// the per-lock-domain view behind the global Stats aggregate. A
+// lopsided Entries spread means the key hash is clustering; Evictions
+// concentrated on few shards means those shards' LRU bounds are the
+// ones under pressure.
+type ShardStat struct {
+	// Entries is the number of memoized answers the shard holds now.
+	Entries int `json:"entries"`
+	// Evictions counts entries this shard has dropped over its lifetime.
+	Evictions int `json:"evictions"`
+}
+
+// ShardStats snapshots every shard. Shards are locked one at a time, so
+// the snapshot is per-shard exact but not a global atomic cut (fine for
+// telemetry; Stats remains the exact global accounting).
+func (c *Cache) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		out[i] = ShardStat{Entries: len(sh.entries), Evictions: int(sh.evictions)}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Len returns the number of memoized answers currently held.
@@ -360,6 +387,7 @@ func (sh *shard) store(c *Cache, key string, res hidden.Result) {
 				sh.head = nil
 			}
 			delete(sh.entries, lru.key)
+			sh.evictions++
 			c.evictions.Add(1)
 		}
 	}

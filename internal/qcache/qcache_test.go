@@ -138,6 +138,38 @@ func TestLRUEviction(t *testing.T) {
 	}
 }
 
+// TestShardStats checks the per-shard telemetry view stays consistent
+// with the exact global accounting: occupancy sums to Len and evictions
+// sum to Stats().Evictions.
+func TestShardStats(t *testing.T) {
+	db := mkDB(t, 60, rqCaps(2), 5, 0)
+	c := New(Config{MaxEntries: 4})
+	v := c.Wrap(db)
+	for i := 0; i < 8; i++ {
+		if _, err := v.Query(query.Q{{Attr: 0, Op: query.LE, Value: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shards := c.ShardStats()
+	if len(shards) != c.NumShards() {
+		t.Fatalf("ShardStats returned %d shards, cache has %d", len(shards), c.NumShards())
+	}
+	entries, evictions := 0, 0
+	for _, s := range shards {
+		entries += s.Entries
+		evictions += s.Evictions
+	}
+	if entries != c.Len() {
+		t.Fatalf("shard entries sum to %d, Len() = %d", entries, c.Len())
+	}
+	if want := c.Stats().Evictions; evictions != want {
+		t.Fatalf("shard evictions sum to %d, Stats().Evictions = %d", evictions, want)
+	}
+	if evictions != 4 {
+		t.Fatalf("evictions = %d, want 4", evictions)
+	}
+}
+
 // blockingBackend parks every Query until released, counting arrivals.
 type blockingBackend struct {
 	arrived atomic.Int64

@@ -148,6 +148,7 @@ func (m *Manager) rebuildAnswersLocked() {
 			bandK = 1
 		}
 		if s, err := answer.Build(j.status.Tuples, answer.Options{BandK: bandK}); err == nil {
+			s.SetMetrics(m.met.answerShared)
 			m.answers[store].publish(s, j.status.ID)
 		}
 	}

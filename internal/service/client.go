@@ -74,6 +74,15 @@ func (c *Client) Health() (Health, error) {
 	return h, err
 }
 
+// StatsDetail fetches the daemon's /v1/stats snapshot: health, every
+// metric series as JSON, and the query cache's counters with
+// per-shard detail.
+func (c *Client) StatsDetail() (StatsDetail, error) {
+	var d StatsDetail
+	err := c.do(context.Background(), http.MethodGet, "/v1/stats", nil, &d)
+	return d, err
+}
+
 // Answers lists every store's answer-index status.
 func (c *Client) Answers() (map[string]AnswerStatus, error) {
 	var resp AnswersResponse

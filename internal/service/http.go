@@ -7,11 +7,17 @@ import (
 	"net/http"
 
 	"hiddensky/internal/jsonbuf"
+	"hiddensky/internal/obs"
 )
 
 // HTTP API (versioned under /v1), served by cmd/skylined:
 //
 //	GET    /v1/health            -> {stores, jobs, running, queued}
+//	GET    /v1/stats             -> StatsDetail: health + every metric
+//	                                series as JSON + cache counters
+//	                                with per-shard detail
+//	GET    /metrics              -> the same registry in Prometheus
+//	                                text exposition format
 //	POST   /v1/jobs  {JobSpec}   -> JobStatus (201); 400 + the error
 //	                                envelope when the spec is malformed
 //	                                or the planner rejects the algo /
@@ -59,6 +65,8 @@ type Handler struct {
 func NewHandler(m *Manager) *Handler {
 	h := &Handler{m: m, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /v1/health", h.handleHealth)
+	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
+	h.mux.Handle("GET /metrics", obs.MetricsHandler(m.Registry()))
 	h.mux.HandleFunc("POST /v1/jobs", h.handleSubmit)
 	h.mux.HandleFunc("GET /v1/jobs", h.handleList)
 	h.mux.HandleFunc("GET /v1/jobs/{id}", h.handleGet)
@@ -79,6 +87,10 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.m.Stats())
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.m.StatsFull())
 }
 
 func (h *Handler) handleSubmit(w http.ResponseWriter, r *http.Request) {

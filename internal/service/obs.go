@@ -1,0 +1,167 @@
+package service
+
+import (
+	"log/slog"
+	"strconv"
+
+	"hiddensky/internal/answer"
+	"hiddensky/internal/core"
+	"hiddensky/internal/engine"
+	"hiddensky/internal/obs"
+	"hiddensky/internal/qcache"
+	"hiddensky/internal/web"
+)
+
+// The manager's observability surface: one obs.Registry per Manager
+// (explicit, so a test process can host many managers without series
+// collisions), carrying every layer's telemetry — upstream clients,
+// the shared query cache, the execution substrate, the answer indexes
+// and the job lifecycle. NewHandler exposes it as Prometheus text on
+// GET /metrics and as JSON on GET /v1/stats.
+
+// managerMetrics holds the manager-owned series. Per-store upstream
+// client series are registered by AddStore; cache series are
+// scrape-time funcs over qcache's own exact atomics.
+type managerMetrics struct {
+	jobsSubmitted *obs.Counter
+	jobsDone      *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsCancelled *obs.Counter
+	jobsRetried   *obs.Counter
+	jobSeconds    *obs.Histogram
+	jobQueries    *obs.Counter
+
+	indexSwaps   *obs.Counter
+	indexBuild   *obs.Histogram
+	answerShared *answer.Metrics
+
+	pool       *engine.PoolMetrics
+	budgetUsed *obs.Gauge
+}
+
+func newManagerMetrics(r *obs.Registry) *managerMetrics {
+	return &managerMetrics{
+		jobsSubmitted: r.Counter("jobs_submitted_total", "discovery jobs accepted by Submit"),
+		jobsDone:      r.Counter("jobs_done_total", "jobs finished in state done (complete or anytime-partial)"),
+		jobsFailed:    r.Counter("jobs_failed_total", "jobs finished in state failed"),
+		jobsCancelled: r.Counter("jobs_cancelled_total", "jobs finished in state cancelled"),
+		jobsRetried:   r.Counter("jobs_retried_total", "resumable jobs parked and requeued after an upstream rate limit"),
+		jobSeconds:    r.Histogram("job_seconds", "wall-clock duration of terminal jobs (start to finish)"),
+		jobQueries:    r.Counter("job_queries_total", "counted queries of terminal jobs (cache hits included)"),
+
+		indexSwaps: r.Counter("answer_index_swaps_total", "answer index hot-swaps published"),
+		indexBuild: r.Histogram("answer_index_build_seconds", "answer.Build duration per published index"),
+		answerShared: &answer.Metrics{
+			TopKSeconds:      r.Histogram("answer_topk_seconds", "answer index top-k latency"),
+			SkylineSeconds:   r.Histogram("answer_skyline_seconds", "answer index subspace-skyline latency"),
+			DominatesSeconds: r.Histogram("answer_dominates_seconds", "answer index dominance-test latency"),
+		},
+
+		pool: &engine.PoolMetrics{
+			Tasks:       r.Counter("engine_pool_tasks_total", "worker-pool tasks executed"),
+			Dropped:     r.Counter("engine_pool_dropped_total", "worker-pool tasks dropped after an error or cancellation"),
+			Depth:       r.Gauge("engine_pool_depth", "worker-pool tasks queued or executing, across every live run"),
+			TaskSeconds: r.Histogram("engine_pool_task_seconds", "worker-pool task execution latency"),
+		},
+		budgetUsed: r.Gauge("fleet_budget_used", "upstream queries consumed by running fleet jobs' shared budgets"),
+	}
+}
+
+// registerManagerFuncs wires the scrape-time series that read live
+// manager state: job scheduling gauges and (when the manager has a
+// cache) the cache's exact counters plus per-shard occupancy. The
+// funcs run at scrape time without holding the registry lock, so
+// taking m.mu inside them is safe.
+func (m *Manager) registerManagerFuncs() {
+	m.reg.GaugeFunc("jobs_running", "jobs running discovery right now", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(m.running)
+	})
+	m.reg.GaugeFunc("jobs_queued", "jobs waiting for a concurrency slot", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(len(m.queue))
+	})
+	if m.cache == nil {
+		return
+	}
+	counter := func(name, help string, read func(qcache.Stats) int) {
+		m.reg.CounterFunc(name, help, func() float64 {
+			return float64(read(m.cache.Stats()))
+		})
+	}
+	counter("qcache_lookups_total", "queries served through the shared cache", func(s qcache.Stats) int { return s.Lookups })
+	counter("qcache_hits_total", "cache lookups answered from the memo store", func(s qcache.Stats) int { return s.Hits })
+	counter("qcache_coalesced_total", "cache lookups that shared an in-flight backend query", func(s qcache.Stats) int { return s.Coalesced })
+	counter("qcache_misses_total", "cache lookups that paid a backend query", func(s qcache.Stats) int { return s.Misses })
+	counter("qcache_evictions_total", "cache entries dropped by the LRU bound", func(s qcache.Stats) int { return s.Evictions })
+	m.reg.GaugeFunc("qcache_entries", "memoized answers currently held", func() float64 {
+		return float64(m.cache.Len())
+	})
+	for i := 0; i < m.cache.NumShards(); i++ {
+		shard := i
+		l := `{shard="` + strconv.Itoa(shard) + `"}`
+		m.reg.GaugeFunc("qcache_shard_entries"+l, "memoized answers held by the shard", func() float64 {
+			return float64(m.cache.ShardStats()[shard].Entries)
+		})
+		m.reg.CounterFunc("qcache_shard_evictions_total"+l, "entries the shard dropped over its lifetime", func() float64 {
+			return float64(m.cache.ShardStats()[shard].Evictions)
+		})
+	}
+}
+
+// Registry exposes the manager's metrics registry. cmd/skylined uses
+// it to serve /metrics; tests scrape it directly.
+func (m *Manager) Registry() *obs.Registry { return m.reg }
+
+// logger returns the configured structured logger (a no-op logger
+// when none was configured).
+func (m *Manager) logger() *slog.Logger { return m.log }
+
+// StatsDetail is the body of GET /v1/stats: the health summary plus
+// every metric series (JSON rendering of the same registry /metrics
+// exposes) and the cache's exact counters with per-shard detail.
+type StatsDetail struct {
+	Health  Health         `json:"health"`
+	Metrics []obs.Snapshot `json:"metrics"`
+	// Cache carries the shared query cache's counters (absent without
+	// a cache).
+	Cache *CacheDetail `json:"cache,omitempty"`
+}
+
+// CacheDetail is the cache section of StatsDetail.
+type CacheDetail struct {
+	qcache.Stats
+	// DedupRatio is the fraction of lookups answered without a
+	// backend query.
+	DedupRatio float64 `json:"dedup_ratio"`
+	// Entries is the number of memoized answers currently held.
+	Entries int `json:"entries"`
+	// Shards is the per-shard occupancy/eviction breakdown.
+	Shards []qcache.ShardStat `json:"shards"`
+}
+
+// StatsFull returns the /v1/stats snapshot.
+func (m *Manager) StatsFull() StatsDetail {
+	d := StatsDetail{Health: m.Stats(), Metrics: m.reg.Snapshots()}
+	if m.cache != nil {
+		s := m.cache.Stats()
+		d.Cache = &CacheDetail{
+			Stats:      s,
+			DedupRatio: s.DedupRatio(),
+			Entries:    m.cache.Len(),
+			Shards:     m.cache.ShardStats(),
+		}
+	}
+	return d
+}
+
+// instrumentStore attaches the per-store upstream metrics to remote
+// stores. Called by AddStore before the client is shared with jobs
+// (WithContext views inherit the bundle).
+func (m *Manager) instrumentStore(name string, db core.Interface) {
+	if wc, ok := db.(*web.Client); ok {
+		wc.SetMetrics(web.NewClientMetrics(m.reg, name))
+	}
+}

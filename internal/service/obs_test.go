@@ -1,0 +1,214 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hiddensky/internal/core"
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/obs"
+	"hiddensky/internal/query"
+)
+
+// TestJobLifecycleObservability drives one job end to end and checks
+// the whole observability contract in one pass: the trace id appears
+// at submit and survives to the terminal status, the lifecycle
+// counters and job histograms move, the answer-index swap is counted,
+// and the structured log carries the id chain.
+func TestJobLifecycleObservability(t *testing.T) {
+	var logBuf bytes.Buffer
+	d := testDataset(3, 120)
+	m, err := NewManager(Config{
+		MaxConcurrent: 1,
+		CacheSize:     256,
+		Logger:        obs.NewLogger(&logBuf, "testd"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddStore("s", d.DB(5, hidden.SumRank{})); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Submit(JobSpec{Store: "s", Algo: "sq", UseCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.TraceID) != 16 {
+		t.Fatalf("submit gave no 16-char trace id: %q", st.TraceID)
+	}
+	final := waitTerminal(t, m, st.ID, 10*time.Second)
+	if final.State != StateDone || !final.Complete {
+		t.Fatalf("job ended %s complete=%v", final.State, final.Complete)
+	}
+	if final.TraceID != st.TraceID {
+		t.Fatalf("trace id changed mid-job: %q -> %q", st.TraceID, final.TraceID)
+	}
+
+	// Counters: one submit, one done, one index swap; the job histogram
+	// observed one job; job queries mirror the status.
+	load := func(name string) float64 {
+		t.Helper()
+		for _, s := range m.Registry().Snapshots() {
+			if s.Name == name {
+				return s.Value
+			}
+		}
+		t.Fatalf("series %q not registered", name)
+		return 0
+	}
+	for name, want := range map[string]float64{
+		"jobs_submitted_total":     1,
+		"jobs_done_total":          1,
+		"jobs_failed_total":        0,
+		"answer_index_swaps_total": 1,
+		"job_seconds":              1, // histogram count
+		"job_queries_total":        float64(final.Queries),
+	} {
+		if got := load(name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if load("qcache_lookups_total") == 0 {
+		t.Error("cached job moved no qcache_lookups_total")
+	}
+
+	// The published index carries the shared metrics: an answer query
+	// must move the topk histogram.
+	if _, err := m.AnswerTopK(AnswerTopKRequest{Store: "s", Weights: []float64{1, 1, 1}, K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if load("answer_topk_seconds") != 1 {
+		t.Error("answer topk latency not observed")
+	}
+
+	// Structured log: submit/start/done lines carrying the id chain.
+	log := logBuf.String()
+	for _, want := range []string{
+		"job submitted", "job started", "job done", "answer index published",
+		"job_id=" + st.ID, "trace_id=" + st.TraceID, "component=testd",
+		"store=s", "plan=", "algo=sq",
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+// TestFailedJobLogsStructurally submits a job against a store whose
+// queries always fail and checks the failure line carries job id,
+// store and plan summary (the triage contract).
+func TestFailedJobLogsStructurally(t *testing.T) {
+	var logBuf bytes.Buffer
+	m, err := NewManager(Config{MaxConcurrent: 1, Logger: obs.NewLogger(&logBuf, "testd")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDataset(4, 60)
+	if err := m.AddStore("bad", failingDB{d.DB(5, hidden.SumRank{})}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Submit(JobSpec{Store: "bad", Algo: "sq", Budget: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m, st.ID, 10*time.Second)
+	if final.State != StateFailed {
+		t.Fatalf("job ended %s, want failed", final.State)
+	}
+	log := logBuf.String()
+	for _, want := range []string{
+		"job failed", "job_id=" + st.ID, "store=bad", "error=", "budget=50",
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("failure log missing %q:\n%s", want, log)
+		}
+	}
+	var found bool
+	for _, s := range m.Registry().Snapshots() {
+		if s.Name == "jobs_failed_total" && s.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("jobs_failed_total did not reach 1")
+	}
+}
+
+// TestStatsAndMetricsEndpoints checks the handler serves the registry
+// on GET /metrics (Prometheus text) and GET /v1/stats (JSON with
+// health, series and per-shard cache detail).
+func TestStatsAndMetricsEndpoints(t *testing.T) {
+	d := testDataset(5, 80)
+	m, err := NewManager(Config{MaxConcurrent: 1, CacheSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddStore("s", d.DB(5, hidden.SumRank{})); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Submit(JobSpec{Store: "s", Algo: "sq", UseCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, st.ID, 10*time.Second)
+	h := NewHandler(m)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Header().Get("Content-Type"), "text/plain") {
+		t.Fatalf("GET /metrics: code=%d type=%q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE jobs_submitted_total counter",
+		"jobs_submitted_total 1",
+		"jobs_running 0",
+		"qcache_lookups_total",
+		`qcache_shard_entries{shard="0"}`,
+		"job_seconds_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /v1/stats: code=%d", rec.Code)
+	}
+	var detail StatsDetail
+	if err := json.Unmarshal(rec.Body.Bytes(), &detail); err != nil {
+		t.Fatal(err)
+	}
+	if len(detail.Metrics) == 0 {
+		t.Fatal("/v1/stats carries no metric series")
+	}
+	if detail.Cache == nil || len(detail.Cache.Shards) == 0 {
+		t.Fatal("/v1/stats carries no per-shard cache detail")
+	}
+	entries := 0
+	for _, sh := range detail.Cache.Shards {
+		entries += sh.Entries
+	}
+	if entries != detail.Cache.Entries {
+		t.Fatalf("shard entries sum to %d, cache reports %d", entries, detail.Cache.Entries)
+	}
+	if detail.Health.Jobs != 1 {
+		t.Fatalf("health reports %d jobs, want 1", detail.Health.Jobs)
+	}
+}
+
+// failingDB answers every query with an error.
+type failingDB struct {
+	core.Interface
+}
+
+func (failingDB) Query(query.Q) (hidden.Result, error) {
+	return hidden.Result{}, errors.New("store exploded")
+}

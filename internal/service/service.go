@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,6 +31,7 @@ import (
 	"hiddensky/internal/engine"
 	"hiddensky/internal/federate"
 	"hiddensky/internal/hidden"
+	"hiddensky/internal/obs"
 	"hiddensky/internal/qcache"
 	"hiddensky/internal/query"
 	"hiddensky/internal/web"
@@ -68,6 +70,10 @@ type Config struct {
 	// ends the job). <= 0 means the default of 15s. A job that makes no
 	// progress across several consecutive retries gives up.
 	RetryDelay time.Duration
+	// Logger receives the manager's structured job-lifecycle log
+	// (submit, start, park, terminal states, index publications), every
+	// line carrying the job id and trace id. nil: logging is off.
+	Logger *slog.Logger
 }
 
 // JobSpec describes one discovery job. It is the JSON body of
@@ -134,6 +140,45 @@ func (spec JobSpec) request() (core.Request, error) {
 	return core.Request{Algo: algo, Band: spec.Band, Filter: filter, Resumable: spec.Resumable}, nil
 }
 
+// planSummary renders the spec's discovery plan for log lines: the
+// algorithm and every option that shapes the run.
+func (spec JobSpec) planSummary() string {
+	var b strings.Builder
+	algo := spec.Algo
+	if algo == "" {
+		algo = "auto"
+	}
+	fmt.Fprintf(&b, "algo=%s", algo)
+	if spec.Band > 0 {
+		fmt.Fprintf(&b, " band=%d", spec.Band)
+	}
+	if spec.Where != "" {
+		fmt.Fprintf(&b, " where=%q", spec.Where)
+	}
+	if spec.Budget > 0 {
+		fmt.Fprintf(&b, " budget=%d", spec.Budget)
+	}
+	if spec.Parallelism > 1 {
+		fmt.Fprintf(&b, " parallelism=%d", spec.Parallelism)
+	}
+	if spec.Resumable {
+		b.WriteString(" resumable")
+	}
+	if spec.UseCache {
+		b.WriteString(" cached")
+	}
+	return b.String()
+}
+
+// storeLabel names the job's target for log lines (fleet jobs join
+// their store list).
+func (spec JobSpec) storeLabel() string {
+	if len(spec.Stores) > 0 {
+		return strings.Join(spec.Stores, ",")
+	}
+	return spec.Store
+}
+
 // JobState is a job's lifecycle state.
 type JobState string
 
@@ -159,6 +204,11 @@ type JobStatus struct {
 	ID    string   `json:"id"`
 	Spec  JobSpec  `json:"spec"`
 	State JobState `json:"state"`
+	// TraceID is the job's correlation id, assigned at submit and
+	// carried through every lifecycle log line, SSE progress event and
+	// GET response — grep the daemon log for it to follow one job
+	// submit → plan → discovery → index publish.
+	TraceID string `json:"trace_id,omitempty"`
 	// Queries counts the job's queries so far (cumulative across
 	// restarts for resumable jobs; upstream queries for fleet jobs
 	// until the final, algorithm-counted total replaces it).
@@ -258,6 +308,9 @@ type Manager struct {
 	cfg   Config
 	cache *qcache.Cache
 	snaps *snapshotStore // nil: no persistence
+	reg   *obs.Registry
+	met   *managerMetrics
+	log   *slog.Logger
 
 	mu      sync.Mutex
 	stores  map[string]core.Interface
@@ -280,10 +333,17 @@ func NewManager(cfg Config) (*Manager, error) {
 		stores:  map[string]core.Interface{},
 		answers: map[string]*answerEntry{},
 		jobs:    map[string]*job{},
+		log:     cfg.Logger,
 	}
+	if m.log == nil {
+		m.log = obs.Nop()
+	}
+	m.reg = obs.NewRegistry()
+	m.met = newManagerMetrics(m.reg)
 	if cfg.CacheSize != 0 {
 		m.cache = qcache.New(qcache.Config{MaxEntries: cfg.CacheSize})
 	}
+	m.registerManagerFuncs()
 	if cfg.SnapshotDir != "" {
 		s, err := newSnapshotStore(cfg.SnapshotDir)
 		if err != nil {
@@ -324,6 +384,7 @@ func (m *Manager) AddStore(name string, db core.Interface) error {
 	}
 	m.stores[name] = db
 	m.answers[name] = &answerEntry{}
+	m.instrumentStore(name, db)
 	return nil
 }
 
@@ -366,12 +427,17 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		ID:          id,
 		Spec:        spec,
 		State:       StateQueued,
+		TraceID:     obs.NewTraceID(),
 		SubmittedAt: time.Now().UTC(),
 	}}
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	st := j.status.clone()
 	m.mu.Unlock()
+	m.met.jobsSubmitted.Inc()
+	m.log.Info("job submitted",
+		"job_id", id, "trace_id", st.TraceID,
+		"store", spec.storeLabel(), "plan", spec.planSummary())
 	// Persist outside the manager lock (snapshot writes hit the disk) but
 	// before enqueueing: the run goroutine's snapshots must come later.
 	m.persist(j)
@@ -576,6 +642,9 @@ func (m *Manager) run(j *job) {
 	j.mu.Unlock()
 	j.notify(st)
 	m.persist(j)
+	m.log.Info("job started",
+		"job_id", st.ID, "trace_id", st.TraceID,
+		"store", st.Spec.storeLabel(), "plan", st.Spec.planSummary())
 
 	oc := m.execute(ctx, j)
 	m.finish(j, oc)
@@ -628,7 +697,7 @@ func (m *Manager) execute(ctx context.Context, j *job) outcome {
 	if err != nil {
 		return outcome{err: err}
 	}
-	opt := core.Options{Parallelism: spec.Parallelism, Ctx: ctx}
+	opt := core.Options{Parallelism: spec.Parallelism, Ctx: ctx, PoolMetrics: m.met.pool}
 	if req.Resumable {
 		return m.executeSession(j, db, spec, req, opt)
 	}
@@ -727,7 +796,10 @@ func (m *Manager) executeFleet(ctx context.Context, j *job, spec JobSpec) outcom
 	// budget), but is built here so the cache keyspace is the registered
 	// store — shared across jobs — instead of a per-job wrapper, and so
 	// the counting wrapper sees exactly the queries that reach upstream.
-	budget := engine.NewBudget(spec.Budget)
+	// The shared gauge tracks live consumption across concurrent fleet
+	// jobs: this job's contribution is withdrawn once its run is over.
+	budget := engine.NewBudget(spec.Budget).Instrument(m.met.budgetUsed)
+	defer func() { m.met.budgetUsed.Add(-int64(budget.Used())) }()
 	stores := make([]federate.Store, len(spec.Stores))
 	for i, name := range spec.Stores {
 		registered, err := m.lookupStore(name)
@@ -754,7 +826,7 @@ func (m *Manager) executeFleet(ctx context.Context, j *job, spec JobSpec) outcom
 			j.set(func(js *JobStatus) { js.Skyline += st.Skyline })
 		},
 	}
-	fres, err := federate.DiscoverFleet(stores, core.Options{Ctx: ctx}, fo)
+	fres, err := federate.DiscoverFleet(stores, core.Options{Ctx: ctx, PoolMetrics: m.met.pool}, fo)
 	if err != nil {
 		// Keep the live upstream-query count countingDB accumulated: a
 		// hard store failure must not erase what the fleet already spent.
@@ -782,6 +854,7 @@ func (m *Manager) finish(j *job, oc outcome) {
 	// while holding j.mu.)
 	var built *answer.Store
 	var entry *answerEntry
+	var buildDur time.Duration
 	if spec := j.snapshotStatus().Spec; oc.err == nil && oc.complete &&
 		publishableAnswer(spec, oc.tuples) {
 		bandK := oc.band
@@ -790,7 +863,10 @@ func (m *Manager) finish(j *job, oc outcome) {
 		}
 		// Building is best-effort: a failure leaves the previous index
 		// serving.
+		t0 := time.Now()
 		if s, err := answer.Build(oc.tuples, answer.Options{BandK: bandK}); err == nil {
+			buildDur = time.Since(t0)
+			s.SetMetrics(m.met.answerShared)
 			built = s
 			m.mu.Lock()
 			entry = m.answers[spec.Store]
@@ -850,15 +926,62 @@ func (m *Manager) finish(j *job, oc outcome) {
 		st.Tuples = oc.tuples
 		st.Error = oc.err.Error()
 	}
+	published := false
 	if built != nil && entry != nil && st.State == StateDone {
-		entry.publish(built, st.ID)
+		published = entry.publish(built, st.ID)
 	}
 	out := j.status.clone()
 	j.mu.Unlock()
 	j.notify(out)
 	m.persist(j)
+	m.observeFinish(out, retry, published, buildDur)
 	if retry {
 		m.requeueAfter(out.ID, m.retryDelay())
+	}
+}
+
+// observeFinish folds one execution's ending into the metrics and the
+// structured log: terminal counters, job duration/queries, index-swap
+// accounting, and one lifecycle line per ending (errors carry the job
+// id, store and plan summary so a failure is diagnosable from the log
+// alone).
+func (m *Manager) observeFinish(st JobStatus, retry, published bool, buildDur time.Duration) {
+	attrs := []any{
+		"job_id", st.ID, "trace_id", st.TraceID,
+		"store", st.Spec.storeLabel(), "plan", st.Spec.planSummary(),
+		"queries", st.Queries, "skyline", st.Skyline,
+	}
+	if st.State.Terminal() && !st.StartedAt.IsZero() {
+		m.met.jobSeconds.Observe(st.FinishedAt.Sub(st.StartedAt))
+		m.met.jobQueries.Add(int64(st.Queries))
+		attrs = append(attrs, "duration", st.FinishedAt.Sub(st.StartedAt))
+	}
+	switch {
+	case retry:
+		m.met.jobsRetried.Inc()
+		m.log.Warn("job parked for retry (upstream rate limited)", attrs...)
+		return
+	case st.State == StateDone:
+		m.met.jobsDone.Inc()
+		if st.Error != "" {
+			attrs = append(attrs, "note", st.Error)
+		}
+		m.log.Info("job done", append(attrs, "complete", st.Complete)...)
+	case st.State == StateFailed:
+		m.met.jobsFailed.Inc()
+		m.log.Error("job failed", append(attrs, "error", st.Error)...)
+	case st.State == StateCancelled:
+		m.met.jobsCancelled.Inc()
+		m.log.Info("job cancelled", attrs...)
+	default: // parked by shutdown, back to queued
+		m.log.Info("job parked by shutdown", "job_id", st.ID, "trace_id", st.TraceID)
+	}
+	if published {
+		m.met.indexSwaps.Inc()
+		m.met.indexBuild.Observe(buildDur)
+		m.log.Info("answer index published",
+			"job_id", st.ID, "trace_id", st.TraceID, "store", st.Spec.Store,
+			"tuples", st.Skyline, "build", buildDur)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"hiddensky/internal/hidden"
+	"hiddensky/internal/obs"
 	"hiddensky/internal/query"
 )
 
@@ -57,8 +58,43 @@ type Client struct {
 	domains []query.Interval
 	names   []string
 	queries *atomic.Int64
-	backoff *atomic.Int64 // nanoseconds; 0 = DefaultRetryBackoff
+	backoff *atomic.Int64  // nanoseconds; 0 = DefaultRetryBackoff
+	metrics *ClientMetrics // nil: uninstrumented; shared by WithContext views
 }
+
+// ClientMetrics instruments a Client's upstream traffic. All fields
+// are optional; recording is atomic, adding no allocation to the
+// query path.
+type ClientMetrics struct {
+	// Queries counts search round trips answered 200 (the queries the
+	// upstream actually served — cache hits never reach here).
+	Queries *obs.Counter
+	// RateLimited counts 429 answers (each backoff-and-retry cycle can
+	// contribute up to two).
+	RateLimited *obs.Counter
+	// Retries counts backoff-and-retry cycles entered after a first 429.
+	Retries *obs.Counter
+	// QuerySeconds observes the latency of successful search round trips.
+	QuerySeconds *obs.Histogram
+}
+
+// NewClientMetrics registers a client's metric set on r, labelling every
+// series with the store name (so one registry serves many upstreams).
+func NewClientMetrics(r *obs.Registry, store string) *ClientMetrics {
+	l := `{store="` + obs.EscapeLabel(store) + `"}`
+	return &ClientMetrics{
+		Queries:      r.Counter("upstream_queries_total"+l, "search queries answered by the upstream (HTTP 200)"),
+		RateLimited:  r.Counter("upstream_rate_limited_total"+l, "HTTP 429 answers from the upstream"),
+		Retries:      r.Counter("upstream_retries_total"+l, "backoff-and-retry cycles after a 429"),
+		QuerySeconds: r.Histogram("upstream_query_seconds"+l, "latency of successful upstream search round trips"),
+	}
+}
+
+// SetMetrics attaches metrics to the client. Call it right after Dial,
+// before the client is shared across goroutines; views made later by
+// WithContext inherit the same bundle, so per-job handles keep feeding
+// the daemon-wide series.
+func (c *Client) SetMetrics(m *ClientMetrics) { c.metrics = m }
 
 // Dial fetches the remote schema and returns a ready client. httpClient
 // may be nil (http.DefaultClient).
@@ -144,6 +180,9 @@ func (c *Client) Query(q query.Q) (hidden.Result, error) {
 	if err == nil || !isRateLimited(err) {
 		return res, err
 	}
+	if m := c.metrics; m != nil && m.Retries != nil {
+		m.Retries.Inc()
+	}
 	wait := retryAfter
 	if wait <= 0 {
 		wait = time.Duration(c.backoff.Load())
@@ -177,6 +216,7 @@ func (c *Client) search(body []byte) (hidden.Result, time.Duration, error) {
 		return hidden.Result{}, 0, fmt.Errorf("web: building search request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return hidden.Result{}, 0, fmt.Errorf("web: search request: %w", err)
@@ -188,6 +228,9 @@ func (c *Client) search(body []byte) (hidden.Result, time.Duration, error) {
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusTooManyRequests:
+		if m := c.metrics; m != nil && m.RateLimited != nil {
+			m.RateLimited.Inc()
+		}
 		return hidden.Result{}, parseRetryAfter(resp.Header.Get("Retry-After")), errRemoteRateLimited
 	case http.StatusBadRequest:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
@@ -200,6 +243,14 @@ func (c *Client) search(body []byte) (hidden.Result, time.Duration, error) {
 		return hidden.Result{}, 0, fmt.Errorf("web: decoding search response: %w", err)
 	}
 	c.queries.Add(1)
+	if m := c.metrics; m != nil {
+		if m.Queries != nil {
+			m.Queries.Inc()
+		}
+		if m.QuerySeconds != nil {
+			m.QuerySeconds.Observe(time.Since(t0))
+		}
+	}
 	return hidden.Result{Tuples: sr.Tuples, Overflow: sr.Overflow}, 0, nil
 }
 

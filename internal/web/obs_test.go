@@ -1,0 +1,116 @@
+package web
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/obs"
+	"hiddensky/internal/query"
+)
+
+// TestClientServerMetricsParity runs instrumented client queries
+// against an instrumented server and checks the two registries agree:
+// the client's upstream_queries_total equals the server's
+// search_requests_total, and both /metrics and /v1/stats serve them.
+func TestClientServerMetricsParity(t *testing.T) {
+	db := testDB(t, 80, 3, 20, 5, capsAll(3, hidden.SQ), 0)
+	server := NewServer(db, nil)
+	srv := httptest.NewServer(server)
+	defer srv.Close()
+
+	c, err := Dial(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cm := NewClientMetrics(reg, "unit")
+	c.SetMetrics(cm)
+
+	const n = 7
+	for i := 0; i < n; i++ {
+		if _, err := c.Query(query.Q{{Attr: 0, Op: query.LE, Value: 10 + i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cm.Queries.Load(); got != n {
+		t.Fatalf("client counted %d upstream queries, want %d", got, n)
+	}
+	if got := cm.QuerySeconds.Snapshot().Count; got != n {
+		t.Fatalf("client latency histogram holds %d observations, want %d", got, n)
+	}
+
+	// Server side: same count, visible through the scrape endpoints.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE search_requests_total counter",
+		"search_requests_total 7",
+		"search_seconds_count 7",
+		"meta_requests_total 1", // Dial fetches /v1/meta once
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"name":"search_requests_total"`) {
+		t.Fatalf("GET /v1/stats: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestClientMetricsCount429 exercises the rate-limit and retry
+// counters against a server that answers 429 once before succeeding
+// (the client retries a 429 exactly once).
+func TestClientMetricsCount429(t *testing.T) {
+	db := testDB(t, 40, 2, 10, 4, capsAll(2, hidden.SQ), 0)
+	inner := NewServer(db, nil)
+	var fails int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/search" && fails < 1 {
+			fails++
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c, err := Dial(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cm := NewClientMetrics(reg, "flaky")
+	c.SetMetrics(cm)
+	if _, err := c.Query(query.Q{{Attr: 0, Op: query.LE, Value: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.RateLimited.Load(); got != 1 {
+		t.Errorf("rate-limited counter = %d, want 1", got)
+	}
+	if got := cm.Retries.Load(); got == 0 {
+		t.Error("retry counter never moved")
+	}
+	if got := cm.Queries.Load(); got != 1 {
+		t.Errorf("queries counter = %d, want 1 (only the 200 counts)", got)
+	}
+}

@@ -19,9 +19,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"hiddensky/internal/hidden"
 	"hiddensky/internal/jsonbuf"
+	"hiddensky/internal/obs"
 	"hiddensky/internal/query"
 )
 
@@ -73,6 +75,15 @@ type Server struct {
 	// database never changes, so it is rendered once at construction and
 	// served as static bytes.
 	meta []byte
+
+	// Request telemetry, exposed on GET /metrics (Prometheus text) and
+	// GET /v1/stats (JSON). The registry is the server's own, so many
+	// Servers in one process never collide.
+	reg           *obs.Registry
+	searches      *obs.Counter
+	rateLimited   *obs.Counter
+	metaRequests  *obs.Counter
+	searchSeconds *obs.Histogram
 }
 
 // NewServer wraps db; names optionally labels the attributes (padded with
@@ -97,9 +108,18 @@ func NewServer(db *hidden.DB, names []string) *Server {
 		})
 	}
 	s.meta, _ = jsonbuf.Encode(meta)
+	s.reg = obs.NewRegistry()
+	s.searches = s.reg.Counter("search_requests_total", "search requests answered with a top-k result (HTTP 200)")
+	s.rateLimited = s.reg.Counter("search_rate_limited_total", "search requests rejected by the rate limiter (HTTP 429)")
+	s.metaRequests = s.reg.Counter("meta_requests_total", "schema fetches served")
+	s.searchSeconds = s.reg.Histogram("search_seconds", "latency of successfully answered search requests")
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/meta", s.handleMeta)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
+	s.mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.reg.Snapshots())
+	})
 	// Errors outside the handlers answer the same JSON envelope as
 	// 400/429 — API clients should never have to parse a plain-text
 	// body. A method-less pattern ranks below the method-qualified one
@@ -115,6 +135,8 @@ func NewServer(db *hidden.DB, names []string) *Server {
 	}
 	s.mux.HandleFunc("/v1/meta", methodNotAllowed("GET, HEAD"))
 	s.mux.HandleFunc("/v1/search", methodNotAllowed("POST"))
+	s.mux.HandleFunc("/metrics", methodNotAllowed("GET, HEAD"))
+	s.mux.HandleFunc("/v1/stats", methodNotAllowed("GET, HEAD"))
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("web: no such endpoint %s %s", r.Method, r.URL.Path)})
 	})
@@ -126,7 +148,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// Registry exposes the server's metrics registry, so an embedding
+// daemon can graft extra series (e.g. process info) onto /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	s.metaRequests.Inc()
 	jsonbuf.WriteStatic(w, http.StatusOK, s.meta)
 }
 
@@ -141,9 +168,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	t0 := time.Now()
 	res, filters, err := s.db.QueryFull(q)
 	switch {
 	case errors.Is(err, hidden.ErrRateLimited):
+		s.rateLimited.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 		return
@@ -159,6 +188,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if resp.Tuples == nil {
 		resp.Tuples = [][]int{}
 	}
+	s.searches.Inc()
+	s.searchSeconds.Observe(time.Since(t0))
 	writeJSON(w, http.StatusOK, resp)
 }
 

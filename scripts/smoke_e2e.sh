@@ -49,10 +49,12 @@ say "booting skylined on $DAEMON_ADDR"
 PIDS+=($!)
 wait_http "http://$DAEMON_ADDR/v1/health"
 
+# The first job runs uncached so its counted queries are exactly the
+# upstream HTTP searches — the metrics parity check below depends on it.
 say "submitting a resumable job"
 created=$(curl -sf -XPOST "http://$DAEMON_ADDR/v1/jobs" \
   -H 'Content-Type: application/json' \
-  -d '{"store":"smoke","resumable":true,"use_cache":true}')
+  -d '{"store":"smoke","resumable":true}')
 job=$(echo "$created" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
 [ -n "$job" ] || { echo "smoke: no job id in: $created" >&2; exit 1; }
 say "job $job submitted"
@@ -76,8 +78,33 @@ for i in $(seq 1 300); do
 done
 say "job done: $(echo "$status" | sed -n 's/.*"queries":\([0-9]*\).*/queries=\1/p')"
 
+echo "$status" | grep -q '"trace_id":"' || {
+  echo "smoke: job status carries no trace id: $status" >&2; exit 1; }
+
 curl -sf "http://$DAEMON_ADDR/v1/jobs/$job/result" | grep -q '"tuples"' || {
   echo "smoke: result endpoint gave no tuples" >&2; exit 1; }
+
+# Observability parity: the job ran uncached, so its counted queries,
+# skylined's per-store upstream counter, and skyserve's served-search
+# counter must agree exactly — one number, three vantage points.
+say "scraping /metrics on both daemons"
+queries=$(echo "$status" | sed -n 's/.*"queries":\([0-9]*\).*/\1/p')
+[ -n "$queries" ] && [ "$queries" -gt 0 ] || {
+  echo "smoke: job reported no queries: $status" >&2; exit 1; }
+upstream=$(curl -sf "http://$DAEMON_ADDR/metrics" | \
+  awk '$1 == "upstream_queries_total{store=\"smoke\"}" { print $2 }')
+[ "$upstream" = "$queries" ] || {
+  echo "smoke: skylined upstream_queries_total=$upstream, job reported $queries" >&2; exit 1; }
+served=$(curl -sf "http://$SERVE_ADDR/metrics" | \
+  awk '$1 == "search_requests_total" { print $2 }')
+[ "$served" = "$queries" ] || {
+  echo "smoke: skyserve search_requests_total=$served, job reported $queries" >&2; exit 1; }
+say "metrics agree: job=$queries upstream=$upstream served=$served"
+
+curl -sf "http://$DAEMON_ADDR/v1/stats" | grep -q '"metrics":\[' || {
+  echo "smoke: skylined /v1/stats gave no metrics" >&2; exit 1; }
+curl -sf "http://$SERVE_ADDR/v1/stats" | grep -q '"name":"search_requests_total"' || {
+  echo "smoke: skyserve /v1/stats gave no metrics" >&2; exit 1; }
 
 say "submitting a filtered job (-where composes with an explicit algo end-to-end)"
 bad=$(curl -s -o /dev/null -w '%{http_code}' -XPOST "http://$DAEMON_ADDR/v1/jobs" \
