@@ -65,6 +65,7 @@ func main() {
 	k := flag.Int("k", 10, "top-k limit for CSV-backed stores")
 	rankName := flag.String("rank", "sum", "ranking for CSV-backed stores: sum | attrN | lex | random")
 	debugAddr := flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (empty = profiling off)")
+	spanBuffer := flag.Int("span-buffer", 0, "span ring-buffer capacity shared by all jobs (0 = default 8192; rounded up to a power of two)")
 	var stores storeFlags
 	flag.Var(&stores, "store", "name=target store (repeatable); target is a skyserve URL (http://...) or a CSV path")
 	flag.Parse()
@@ -80,6 +81,7 @@ func main() {
 		SnapshotDir:     *snapshots,
 		CacheSize:       *cacheSize,
 		CheckpointEvery: *checkpointEvery,
+		SpanBuffer:      *spanBuffer,
 		Logger:          obs.NewLogger(os.Stderr, "skylined"),
 	})
 	if err != nil {

@@ -48,7 +48,13 @@ func main() {
 	n := flag.Int("n", 20000, "dataset size for the answer-store scenarios")
 	conc := flag.Int("conc", 8, "concurrency of the parallel scenarios")
 	seed := flag.Int64("seed", 1, "generator seed")
+	check := flag.String("check", "", "gate mode: evaluate this BENCH_*.json against -slo and exit (no scenarios run)")
+	slo := flag.String("slo", "scripts/slo.json", "SLO spec for -check")
 	flag.Parse()
+
+	if *check != "" {
+		os.Exit(gate(*check, *slo))
+	}
 
 	scale := 1
 	if *quick {
@@ -113,6 +119,31 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "skyperf: wrote %s\n", *out)
 	}
+}
+
+// gate evaluates a committed report against the SLO spec and reports
+// every broken bound. scripts/slo_gate.sh wraps it for CI.
+func gate(benchPath, sloPath string) int {
+	spec, err := perf.ReadSLOSpec(sloPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyperf: %v\n", err)
+		return 1
+	}
+	r, err := perf.ReadReport(benchPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyperf: %v\n", err)
+		return 1
+	}
+	violations := spec.Evaluate(r)
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "skyperf: %s violates %d SLO bound(s) from %s:\n", benchPath, len(violations), sloPath)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  FAIL %s\n", v)
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "skyperf: %s meets all %d SLOs from %s\n", benchPath, len(spec.SLOs), sloPath)
+	return 0
 }
 
 // genData generates n random m-wide tuples.

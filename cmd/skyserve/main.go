@@ -66,6 +66,10 @@ func main() {
 		names[i] = a.Name
 	}
 	handler := web.NewServer(db, names)
+	// Access log on stderr: every search answered, with the caller's
+	// X-Trace-Id so a skylined job's trace can be joined to the
+	// upstream's view of the same queries.
+	handler.SetLogger(obs.NewLogger(os.Stderr, "skyserve"))
 	fmt.Fprintf(os.Stderr, "skyserve: serving %d tuples x %d attributes on http://%s (k=%d, limit=%d)\n",
 		db.Size(), db.NumAttrs(), *addr, *k, *limit)
 

@@ -1,0 +1,180 @@
+// Command skytrace inspects a skylined job's span trace: fetch it from
+// the daemon, summarize where the time and the counted queries went,
+// and export it for Perfetto.
+//
+// Usage:
+//
+//	skytrace -job j000001 [-url http://127.0.0.1:8090] [-top 10]
+//	skytrace -job j000001 -chrome trace.json    # export for Perfetto
+//	skytrace -job j000001 -json                 # raw TraceResponse
+//
+// The default output is an analyst's summary:
+//
+//   - the top-N slowest spans (the discovery's critical suspects);
+//   - counted upstream queries per lifecycle phase;
+//   - the cache hit ratio per subtree (which parent span's lookups
+//     were answered from memory vs. paid an upstream round trip).
+//
+// Traces are in-memory only: a job that predates the daemon's restart
+// answers with an empty span list.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hiddensky/internal/obs"
+	"hiddensky/internal/service"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8090", "skylined base URL")
+	job := flag.String("job", "", "job id (required)")
+	top := flag.Int("top", 10, "how many slowest spans to list")
+	chrome := flag.String("chrome", "", "write the Chrome trace-event export here and exit")
+	raw := flag.Bool("json", false, "print the raw TraceResponse JSON and exit")
+	flag.Parse()
+	if *job == "" {
+		fmt.Fprintln(os.Stderr, "skytrace: -job is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	c, err := service.Dial(*url, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *chrome != "" {
+		blob, err := c.TraceChrome(*job)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*chrome, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("skytrace: wrote %s (%d bytes) — open it at https://ui.perfetto.dev\n", *chrome, len(blob))
+		return
+	}
+
+	t, err := c.Trace(*job)
+	if err != nil {
+		fatal(err)
+	}
+	if *raw {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(t); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	summarize(t, *top)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "skytrace: %v\n", err)
+	os.Exit(1)
+}
+
+func summarize(t service.TraceResponse, top int) {
+	fmt.Printf("job %s  trace %s  state %s", t.JobID, t.TraceID, t.State)
+	if t.Phase != "" {
+		fmt.Printf("  phase %s", t.Phase)
+	}
+	fmt.Printf("  spans %d\n", len(t.Spans))
+	if t.Truncated {
+		fmt.Printf("  (ring buffer wrapped: %d spans recorded, oldest %d dropped)\n",
+			t.Recorded, t.Recorded-int64(len(t.Spans)))
+	}
+	if len(t.Spans) == 0 {
+		fmt.Println("no spans — the job has not started, or predates the daemon's restart")
+		return
+	}
+
+	// Top-N slowest spans.
+	byDur := make([]*obs.SpanRecord, len(t.Spans))
+	for i := range t.Spans {
+		byDur[i] = &t.Spans[i]
+	}
+	sort.Slice(byDur, func(i, j int) bool { return byDur[i].Duration > byDur[j].Duration })
+	if top > len(byDur) {
+		top = len(byDur)
+	}
+	fmt.Printf("\nslowest %d spans:\n", top)
+	for _, rec := range byDur[:top] {
+		fmt.Printf("  %s\n", obs.SummarizeSpan(rec))
+	}
+
+	// Counted upstream queries per lifecycle phase. Only "web.query"
+	// spans are counted queries; rate-limited and failed attempts carry
+	// other names by design.
+	queries := map[string]int{}
+	total := 0
+	for i := range t.Spans {
+		if t.Spans[i].Name == "web.query" {
+			queries[t.Spans[i].Phase]++
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Printf("\nupstream queries per phase (%d total):\n", total)
+		for _, phase := range sortedKeys(queries) {
+			fmt.Printf("  %-10s %d\n", phase, queries[phase])
+		}
+	}
+
+	// Cache hit ratio per subtree: group qcache.lookup spans by the
+	// name of their parent span, so "which part of the run was served
+	// from memory" is one glance.
+	names := map[uint64]string{}
+	for i := range t.Spans {
+		names[t.Spans[i].ID] = t.Spans[i].Name
+	}
+	type ratio struct{ hits, lookups int }
+	subtrees := map[string]*ratio{}
+	for i := range t.Spans {
+		rec := &t.Spans[i]
+		if rec.Name != "qcache.lookup" {
+			continue
+		}
+		parent := names[rec.Parent]
+		if parent == "" {
+			parent = "(root)"
+		}
+		r := subtrees[parent]
+		if r == nil {
+			r = &ratio{}
+			subtrees[parent] = r
+		}
+		r.lookups++
+		if o, _ := rec.AttrStr("outcome"); o == "hit" || o == "coalesced" {
+			r.hits++
+		}
+	}
+	if len(subtrees) > 0 {
+		fmt.Println("\ncache hit ratio per subtree:")
+		keys := make([]string, 0, len(subtrees))
+		for k := range subtrees {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			r := subtrees[k]
+			fmt.Printf("  under %-12s %d/%d hits (%.0f%%)\n",
+				k, r.hits, r.lookups, 100*float64(r.hits)/float64(r.lookups))
+		}
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -25,6 +25,7 @@ import (
 
 	"hiddensky/internal/engine"
 	"hiddensky/internal/hidden"
+	"hiddensky/internal/obs"
 	"hiddensky/internal/qcache"
 	"hiddensky/internal/query"
 	"hiddensky/internal/skyline"
@@ -113,6 +114,15 @@ type Options struct {
 	// is safely shared by many concurrent runs; a serving daemon passes
 	// the same bundle to every job so the series aggregate fleet-wide.
 	PoolMetrics *engine.PoolMetrics
+	// Tracer, when non-nil, records spans for this run: a "core.run"
+	// phase span around the whole execution plus one "engine.task" span
+	// per pool task (and whatever the interface beneath — cache, web
+	// client — records under the same tracer). Nil costs nothing.
+	Tracer *obs.Tracer
+	// TraceParent is the span id new root-level spans of this run hang
+	// under (0: top of the trace). Set by the serving layer to the
+	// job's root span.
+	TraceParent uint64
 }
 
 // ProgressEvent is a live snapshot of a discovery run, delivered through
@@ -209,6 +219,9 @@ func (c *ctx) newPool() *engine.Pool {
 	}
 	if c.opt.PoolMetrics != nil {
 		c.pool.Instrument(c.opt.PoolMetrics)
+	}
+	if c.opt.Tracer != nil {
+		c.pool.Trace(c.opt.Tracer, c.opt.TraceParent)
 	}
 	return c.pool
 }

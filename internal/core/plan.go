@@ -317,7 +317,33 @@ func Plan(db Interface, req Request) (*QueryPlan, error) {
 // plans). It owns the budget / progress / trace / checkpoint plumbing:
 // every path reports cost through Result.Queries and degrades to the
 // anytime partial result with ErrBudget.
+//
+// When opt.Tracer is set, the whole execution is recorded as one
+// "core.run" span (algorithm, band, final query count and skyline
+// size) and every span the layers beneath record — pool tasks, cache
+// lookups, upstream queries — hangs under it via opt.TraceParent.
 func (p *QueryPlan) Run(opt Options) (Result, error) {
+	if opt.Tracer == nil {
+		return p.run(opt)
+	}
+	sp := opt.Tracer.Start("core.run", opt.TraceParent)
+	sp.SetStr("algo", string(p.Algo))
+	if p.Band > 0 {
+		sp.SetInt("band", int64(p.Band))
+	}
+	if p.Resumable {
+		sp.SetStr("mode", "resumable")
+	}
+	opt.TraceParent = sp.ID()
+	res, err := p.run(opt)
+	sp.SetInt("queries", int64(res.Queries))
+	sp.SetInt("skyline", int64(len(res.Skyline)))
+	sp.End()
+	return res, err
+}
+
+// run is Run without the span envelope.
+func (p *QueryPlan) run(opt Options) (Result, error) {
 	if p.Resumable {
 		return p.Session().Resume(p.db, opt)
 	}
@@ -360,9 +386,17 @@ func (p *QueryPlan) Run(opt Options) (Result, error) {
 // error; supported ones compose freely (filtered band discovery,
 // filtered explicit-algorithm runs, filtered resumable sessions).
 func Run(db Interface, req Request, opt Options) (Result, error) {
+	planSpan := opt.Tracer.Start("core.plan", opt.TraceParent)
 	p, err := Plan(db, req)
 	if err != nil {
+		planSpan.Rename("core.plan_error")
+		planSpan.End()
 		return Result{}, err
 	}
+	if opt.Tracer != nil {
+		// p.String() allocates; build the attr only on traced runs.
+		planSpan.SetStr("plan", p.String())
+	}
+	planSpan.End()
 	return p.Run(opt)
 }

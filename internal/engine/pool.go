@@ -39,6 +39,8 @@ type PoolMetrics struct {
 type Pool struct {
 	ctx     context.Context // nil: never cancelled (see NewPoolContext)
 	metrics *PoolMetrics    // nil: uninstrumented (see Instrument)
+	tracer  *obs.Tracer     // nil: untraced (see Trace)
+	parent  uint64          // span id task spans hang under
 
 	mu       sync.Mutex
 	taskCond *sync.Cond // signals workers: queue non-empty or closing
@@ -84,6 +86,15 @@ func (p *Pool) Workers() int { return p.max }
 // daemon aggregates every job's pool into one set of series).
 func (p *Pool) Instrument(m *PoolMetrics) *Pool {
 	p.metrics = m
+	return p
+}
+
+// Trace records one "engine.task" span per executed task under parent.
+// Call it before the first Spawn. A nil tracer leaves the pool
+// untraced (and costs nothing on the task path).
+func (p *Pool) Trace(t *obs.Tracer, parent uint64) *Pool {
+	p.tracer = t
+	p.parent = parent
 	return p
 }
 
@@ -142,6 +153,7 @@ func (p *Pool) worker() {
 
 		var err error
 		if !skip {
+			sp := p.tracer.Start("engine.task", p.parent)
 			if m := p.metrics; m != nil && (m.Tasks != nil || m.TaskSeconds != nil) {
 				t0 := time.Now()
 				err = fn()
@@ -154,6 +166,10 @@ func (p *Pool) worker() {
 			} else {
 				err = fn()
 			}
+			if err != nil {
+				sp.SetStr("outcome", "error")
+			}
+			sp.End()
 		} else if m := p.metrics; m != nil && m.Dropped != nil {
 			m.Dropped.Inc()
 		}

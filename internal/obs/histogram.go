@@ -112,8 +112,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 
 // quantileFrom walks the captured buckets to the q-th rank and
 // interpolates linearly inside the matching bucket. Returns
-// microseconds.
+// microseconds. An empty distribution has no quantiles: without the
+// guard the walk would find no bucket and fall through to the last
+// bucket's bound (~9 minutes) — garbage for a histogram that never
+// saw an observation.
 func quantileFrom(counts []int64, total int64, q float64) float64 {
+	if total <= 0 {
+		return 0
+	}
 	rank := q * float64(total)
 	if rank < 1 {
 		rank = 1

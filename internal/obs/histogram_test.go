@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestEmptyHistogramQuantilesZero is the regression test for the
+// empty-snapshot edge case: a histogram that never saw an observation
+// must report 0 for every quantile — not NaN, and not the last bucket
+// bound that a zero-count bucket walk falls through to.
+func TestEmptyHistogramQuantilesZero(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	for name, v := range map[string]float64{
+		"mean": s.MeanMicros, "p50": s.P50Micros, "p95": s.P95Micros, "p99": s.P99Micros,
+	} {
+		if v != 0 {
+			t.Fatalf("%s = %v on empty histogram, want 0", name, v)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s = %v on empty histogram", name, v)
+		}
+	}
+	if len(s.Buckets) != 0 {
+		t.Fatalf("Buckets = %+v on empty histogram", s.Buckets)
+	}
+}
+
+// TestQuantileFromZeroTotal pins the helper directly: callers passing
+// total <= 0 (however they got there) get 0, never the terminal
+// bucket's ~9-minute bound.
+func TestQuantileFromZeroTotal(t *testing.T) {
+	var counts [histBuckets]int64
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := quantileFrom(counts[:], 0, q); got != 0 {
+			t.Fatalf("quantileFrom(empty, 0, %v) = %v, want 0", q, got)
+		}
+		if got := quantileFrom(counts[:], -1, q); got != 0 {
+			t.Fatalf("quantileFrom(empty, -1, %v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantilesNonEmpty(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	// All observations land in one power-of-two bucket; quantiles must
+	// interpolate inside it, not escape it.
+	lo, hi := bucketBounds(int(math.Log2(float64(100*time.Microsecond))) + 1)
+	for _, v := range []float64{s.P50Micros, s.P95Micros, s.P99Micros} {
+		if v < float64(lo)/1e3 || v > float64(hi)/1e3 {
+			t.Fatalf("quantile %v outside bucket [%v, %v]µs", v, float64(lo)/1e3, float64(hi)/1e3)
+		}
+	}
+}

@@ -1,0 +1,457 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the span layer: per-job distributed-style tracing built
+// on the same constraint as the metrics core — recording a span on a
+// serving hot path allocates nothing. A Tracer hands out value-type
+// Span handles whose End copies the finished record into a bounded
+// ring-buffer SpanStore slot, so the per-query cost is a time read,
+// a few stores into a stack struct, and one short per-slot mutex
+// hold. All rendering (JSON, Chrome trace events, summaries) happens
+// at export time.
+//
+// The span tree answers the question the paper's cost model is built
+// around: where did a job's counted queries and milliseconds actually
+// go — which core.Run phase, which engine.Pool task, which cache miss,
+// which upstream round trip.
+
+// maxSpanAttrs is the fixed attribute capacity of a span. Setters
+// beyond it are dropped silently — a span is a compact audit record,
+// not a log line.
+const maxSpanAttrs = 8
+
+// SpanAttr is one span annotation: a string value when Str is
+// non-empty, a numeric value otherwise.
+type SpanAttr struct {
+	Key string
+	Str string
+	Num int64
+}
+
+// SpanRecord is one finished span. It is a plain value (fixed-size
+// attribute array, no pointers beyond string headers) so the record
+// path can copy it into a pre-allocated ring slot without touching
+// the heap.
+type SpanRecord struct {
+	TraceID  string
+	ID       uint64
+	Parent   uint64
+	Name     string
+	Phase    string
+	Start    time.Time
+	Duration time.Duration
+
+	nattrs int
+	attrs  [maxSpanAttrs]SpanAttr
+}
+
+// Attrs returns the span's annotations (aliasing the record's array;
+// callers must not mutate).
+func (r *SpanRecord) Attrs() []SpanAttr { return r.attrs[:r.nattrs] }
+
+// AttrInt returns the named numeric annotation.
+func (r *SpanRecord) AttrInt(key string) (int64, bool) {
+	for i := 0; i < r.nattrs; i++ {
+		if r.attrs[i].Key == key && r.attrs[i].Str == "" {
+			return r.attrs[i].Num, true
+		}
+	}
+	return 0, false
+}
+
+// AttrStr returns the named string annotation.
+func (r *SpanRecord) AttrStr(key string) (string, bool) {
+	for i := 0; i < r.nattrs; i++ {
+		if r.attrs[i].Key == key && r.attrs[i].Str != "" {
+			return r.attrs[i].Str, true
+		}
+	}
+	return "", false
+}
+
+// spanWire is the JSON shape of a SpanRecord: timestamps in
+// microseconds (matching the perf harness and Chrome trace events),
+// attributes as one flat object.
+type spanWire struct {
+	TraceID string         `json:"trace_id"`
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	Phase   string         `json:"phase,omitempty"`
+	StartUs int64          `json:"start_us"`
+	DurUs   float64        `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r SpanRecord) MarshalJSON() ([]byte, error) {
+	w := spanWire{
+		TraceID: r.TraceID,
+		ID:      r.ID,
+		Parent:  r.Parent,
+		Name:    r.Name,
+		Phase:   r.Phase,
+		StartUs: r.Start.UnixMicro(),
+		DurUs:   float64(r.Duration) / 1e3,
+	}
+	if r.nattrs > 0 {
+		w.Attrs = make(map[string]any, r.nattrs)
+		for _, a := range r.attrs[:r.nattrs] {
+			if a.Str != "" {
+				w.Attrs[a.Key] = a.Str
+			} else {
+				w.Attrs[a.Key] = a.Num
+			}
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler (the skytrace CLI decodes
+// exported traces back into records).
+func (r *SpanRecord) UnmarshalJSON(data []byte) error {
+	var w spanWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*r = SpanRecord{
+		TraceID:  w.TraceID,
+		ID:       w.ID,
+		Parent:   w.Parent,
+		Name:     w.Name,
+		Phase:    w.Phase,
+		Start:    time.UnixMicro(w.StartUs).UTC(),
+		Duration: time.Duration(w.DurUs * 1e3),
+	}
+	keys := make([]string, 0, len(w.Attrs))
+	for k := range w.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch v := w.Attrs[k].(type) {
+		case string:
+			r.setStr(k, v)
+		case float64:
+			r.setInt(k, int64(v))
+		}
+	}
+	return nil
+}
+
+func (r *SpanRecord) setStr(key, v string) {
+	if r.nattrs < maxSpanAttrs {
+		r.attrs[r.nattrs] = SpanAttr{Key: key, Str: v}
+		r.nattrs++
+	}
+}
+
+func (r *SpanRecord) setInt(key string, v int64) {
+	if r.nattrs < maxSpanAttrs {
+		r.attrs[r.nattrs] = SpanAttr{Key: key, Num: v}
+		r.nattrs++
+	}
+}
+
+// Span is a live span handle. The zero value (what a nil Tracer's
+// Start returns) is inert: every method no-ops, so instrumented code
+// needs no nil checks. A Span is used by exactly one goroutine and
+// must not be copied after the first setter.
+type Span struct {
+	t   *Tracer
+	rec SpanRecord
+}
+
+// ID returns the span's id within its trace (0 for an inert span),
+// for parenting child spans.
+func (s *Span) ID() uint64 { return s.rec.ID }
+
+// SetStr annotates the span with a string value. v should be a
+// constant or an already-materialized string: the span keeps only the
+// header, so no allocation happens here.
+func (s *Span) SetStr(key, v string) {
+	if s.t != nil {
+		s.rec.setStr(key, v)
+	}
+}
+
+// SetInt annotates the span with a numeric value.
+func (s *Span) SetInt(key string, v int64) {
+	if s.t != nil {
+		s.rec.setInt(key, v)
+	}
+}
+
+// Rename replaces the span's name before End — for paths that decide
+// what a span was only at the end (a query that turned out to be a
+// terminal rate limit is not an answered upstream query).
+func (s *Span) Rename(name string) {
+	if s.t != nil {
+		s.rec.Name = name
+	}
+}
+
+// End stamps the duration and commits the record to the store. A span
+// that is never Ended is abandoned: it leaves no record and counts
+// nothing. End must be called at most once.
+func (s *Span) End() {
+	t := s.t
+	if t == nil {
+		return
+	}
+	s.rec.Duration = time.Since(s.rec.Start)
+	t.store.record(&s.rec)
+	t.recorded.Add(1)
+	s.t = nil
+}
+
+// Tracer mints spans for one trace (one job). All methods are safe on
+// a nil receiver — untraced runs pay only a nil check — and safe for
+// concurrent use, so one tracer is shared by every worker of a
+// parallel run.
+type Tracer struct {
+	store    *SpanStore
+	trace    string
+	ids      atomic.Uint64
+	recorded atomic.Int64
+	phase    atomic.Pointer[string]
+}
+
+// TraceID returns the trace this tracer records under ("" for nil).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.trace
+}
+
+// Recorded returns how many spans this tracer has committed. Compared
+// against the store's Collect result it detects ring truncation.
+func (t *Tracer) Recorded() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.recorded.Load()
+}
+
+// SetPhase labels subsequently started spans with a lifecycle phase
+// ("discover", "publish", ...). Phases change a handful of times per
+// job, so the one string-pointer allocation here is irrelevant.
+func (t *Tracer) SetPhase(phase string) {
+	if t == nil {
+		return
+	}
+	t.phase.Store(&phase)
+}
+
+// Phase returns the current phase label.
+func (t *Tracer) Phase() string {
+	if t == nil {
+		return ""
+	}
+	if p := t.phase.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Start begins a span under the given parent span id (0: a root
+// span). The returned handle lives on the caller's stack; End commits
+// it. Start on a nil tracer returns the inert zero Span.
+func (t *Tracer) Start(name string, parent uint64) Span {
+	if t == nil {
+		return Span{}
+	}
+	s := Span{t: t}
+	s.rec.TraceID = t.trace
+	s.rec.ID = t.ids.Add(1)
+	s.rec.Parent = parent
+	s.rec.Name = name
+	if p := t.phase.Load(); p != nil {
+		s.rec.Phase = *p
+	}
+	s.rec.Start = time.Now()
+	return s
+}
+
+// spanSlot is one ring position: its own mutex so Collect never
+// blocks the whole store and record never blocks on a scan.
+type spanSlot struct {
+	mu   sync.Mutex
+	used bool
+	rec  SpanRecord
+}
+
+// DefaultSpanCapacity is the ring size used when NewSpanStore is
+// given a non-positive capacity: enough for every span of a typical
+// discovery job with room for several jobs' history.
+const DefaultSpanCapacity = 8192
+
+// SpanStore is a bounded per-process ring buffer of finished spans.
+// Memory is fixed at construction; once the ring wraps, the oldest
+// spans are overwritten (Tracer.Recorded vs. Collect length tells an
+// exporter the trace was truncated). Safe for concurrent use.
+type SpanStore struct {
+	slots []spanSlot
+	mask  uint64
+	pos   atomic.Uint64
+}
+
+// NewSpanStore builds a ring holding capacity spans (rounded up to a
+// power of two; <= 0 picks DefaultSpanCapacity).
+func NewSpanStore(capacity int) *SpanStore {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	pow := 1
+	for pow < capacity {
+		pow <<= 1
+	}
+	return &SpanStore{slots: make([]spanSlot, pow), mask: uint64(pow - 1)}
+}
+
+// Capacity returns the ring size.
+func (s *SpanStore) Capacity() int { return len(s.slots) }
+
+// Tracer returns a tracer recording into this store under traceID.
+func (s *SpanStore) Tracer(traceID string) *Tracer {
+	return &Tracer{store: s, trace: traceID}
+}
+
+// record claims the next ring slot and copies rec into it. The claim
+// is one atomic add; the copy happens under the slot's own mutex, so
+// concurrent recorders only collide when the ring has fully wrapped
+// onto the same slot.
+func (s *SpanStore) record(rec *SpanRecord) {
+	sl := &s.slots[(s.pos.Add(1)-1)&s.mask]
+	sl.mu.Lock()
+	sl.rec = *rec
+	sl.used = true
+	sl.mu.Unlock()
+}
+
+// Collect returns every span of the trace still resident in the ring,
+// sorted by start time (span id breaking ties). Slots are locked one
+// at a time: the scan is exact per slot but not an atomic cut of the
+// whole ring — fine for trace export, which happens when the job is
+// quiescent or the caller tolerates a live view.
+func (s *SpanStore) Collect(traceID string) []SpanRecord {
+	var out []SpanRecord
+	for i := range s.slots {
+		sl := &s.slots[i]
+		sl.mu.Lock()
+		if sl.used && sl.rec.TraceID == traceID {
+			out = append(out, sl.rec)
+		}
+		sl.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// WriteChromeTrace renders spans in Chrome trace-event format (the
+// JSON object form: {"traceEvents": [...]}), which Perfetto and
+// chrome://tracing open directly. Every span becomes one complete
+// ("ph":"X") event; overlapping spans are spread across tids by
+// greedy interval partitioning so concurrent work renders as parallel
+// lanes instead of stacked slivers.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	ordered := append([]SpanRecord(nil), spans...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if !ordered[i].Start.Equal(ordered[j].Start) {
+			return ordered[i].Start.Before(ordered[j].Start)
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	// Greedy lane assignment: each span takes the lowest lane that is
+	// free at its start time.
+	var laneEnd []time.Time
+	lane := func(rec *SpanRecord) int {
+		end := rec.Start.Add(rec.Duration)
+		for i, e := range laneEnd {
+			if !e.After(rec.Start) {
+				laneEnd[i] = end
+				return i
+			}
+		}
+		laneEnd = append(laneEnd, end)
+		return len(laneEnd) - 1
+	}
+
+	type chromeEvent struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   int64          `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	events := make([]chromeEvent, 0, len(ordered))
+	for i := range ordered {
+		rec := &ordered[i]
+		cat := rec.Phase
+		if cat == "" {
+			cat = "span"
+		}
+		args := make(map[string]any, rec.nattrs+2)
+		args["span_id"] = rec.ID
+		if rec.Parent != 0 {
+			args["parent"] = rec.Parent
+		}
+		for _, a := range rec.Attrs() {
+			if a.Str != "" {
+				args[a.Key] = a.Str
+			} else {
+				args[a.Key] = a.Num
+			}
+		}
+		events = append(events, chromeEvent{
+			Name: rec.Name,
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   rec.Start.UnixMicro(),
+			Dur:  float64(rec.Duration) / 1e3,
+			Pid:  1,
+			Tid:  lane(rec),
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayUnit: "ms"})
+}
+
+// SummarizeSpan renders one span compactly for CLI output:
+// "web.query 1.2ms [discover] store=smoke status=200".
+func SummarizeSpan(rec *SpanRecord) string {
+	out := rec.Name + " " + rec.Duration.Round(time.Microsecond).String()
+	if rec.Phase != "" {
+		out += " [" + rec.Phase + "]"
+	}
+	for _, a := range rec.Attrs() {
+		if a.Str != "" {
+			out += " " + a.Key + "=" + a.Str
+		} else {
+			out += " " + a.Key + "=" + strconv.FormatInt(a.Num, 10)
+		}
+	}
+	return out
+}

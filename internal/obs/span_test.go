@@ -1,0 +1,336 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanBasics(t *testing.T) {
+	st := NewSpanStore(64)
+	tr := st.Tracer("t1")
+	if got := tr.TraceID(); got != "t1" {
+		t.Fatalf("TraceID = %q", got)
+	}
+	tr.SetPhase("discover")
+	root := tr.Start("job", 0)
+	child := tr.Start("web.query", root.ID())
+	child.SetStr("store", "s")
+	child.SetInt("tuples", 7)
+	child.End()
+	root.End()
+
+	spans := st.Collect("t1")
+	if len(spans) != 2 {
+		t.Fatalf("Collect returned %d spans, want 2", len(spans))
+	}
+	if tr.Recorded() != 2 {
+		t.Fatalf("Recorded = %d, want 2", tr.Recorded())
+	}
+	// Sorted by start: root first.
+	if spans[0].Name != "job" || spans[1].Name != "web.query" {
+		t.Fatalf("order = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[1].Parent != spans[0].ID {
+		t.Fatalf("child parent = %d, root id = %d", spans[1].Parent, spans[0].ID)
+	}
+	if spans[1].Phase != "discover" {
+		t.Fatalf("phase = %q", spans[1].Phase)
+	}
+	if s, ok := spans[1].AttrStr("store"); !ok || s != "s" {
+		t.Fatalf("store attr = %q, %v", s, ok)
+	}
+	if n, ok := spans[1].AttrInt("tuples"); !ok || n != 7 {
+		t.Fatalf("tuples attr = %d, %v", n, ok)
+	}
+	if spans[0].Duration <= 0 {
+		t.Fatalf("root duration = %v", spans[0].Duration)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.TraceID() != "" || tr.Recorded() != 0 || tr.Phase() != "" {
+		t.Fatal("nil tracer accessors should be zero")
+	}
+	tr.SetPhase("x")
+	sp := tr.Start("noop", 0)
+	if sp.ID() != 0 {
+		t.Fatalf("inert span id = %d", sp.ID())
+	}
+	sp.SetStr("k", "v")
+	sp.SetInt("n", 1)
+	sp.Rename("other")
+	sp.End()
+	sp.End() // double End on inert span must also be safe
+}
+
+func TestSpanAbandonedNotRecorded(t *testing.T) {
+	st := NewSpanStore(8)
+	tr := st.Tracer("t")
+	sp := tr.Start("will-abandon", 0)
+	_ = sp
+	done := tr.Start("done", 0)
+	done.End()
+	if got := tr.Recorded(); got != 1 {
+		t.Fatalf("Recorded = %d, want 1 (abandoned span must not count)", got)
+	}
+	spans := st.Collect("t")
+	if len(spans) != 1 || spans[0].Name != "done" {
+		t.Fatalf("Collect = %+v", spans)
+	}
+}
+
+func TestSpanRename(t *testing.T) {
+	st := NewSpanStore(8)
+	tr := st.Tracer("t")
+	sp := tr.Start("web.query", 0)
+	sp.Rename("web.rate_limited")
+	sp.End()
+	spans := st.Collect("t")
+	if len(spans) != 1 || spans[0].Name != "web.rate_limited" {
+		t.Fatalf("Collect = %+v", spans)
+	}
+}
+
+func TestSpanStoreRingTruncates(t *testing.T) {
+	st := NewSpanStore(4) // power of two already
+	if st.Capacity() != 4 {
+		t.Fatalf("Capacity = %d", st.Capacity())
+	}
+	tr := st.Tracer("t")
+	for i := 0; i < 10; i++ {
+		sp := tr.Start("s", 0)
+		sp.End()
+	}
+	spans := st.Collect("t")
+	if len(spans) != 4 {
+		t.Fatalf("Collect kept %d spans, want ring capacity 4", len(spans))
+	}
+	if tr.Recorded() != 10 {
+		t.Fatalf("Recorded = %d, want 10", tr.Recorded())
+	}
+	// The survivors are the newest 4 (ids 7..10).
+	for _, rec := range spans {
+		if rec.ID <= 6 {
+			t.Fatalf("old span id %d survived the wrap", rec.ID)
+		}
+	}
+}
+
+func TestSpanStoreRoundsCapacityUp(t *testing.T) {
+	if got := NewSpanStore(5).Capacity(); got != 8 {
+		t.Fatalf("Capacity = %d, want 8", got)
+	}
+	if got := NewSpanStore(0).Capacity(); got != DefaultSpanCapacity {
+		t.Fatalf("default Capacity = %d, want %d", got, DefaultSpanCapacity)
+	}
+}
+
+func TestSpanStoreIsolatesTraces(t *testing.T) {
+	st := NewSpanStore(16)
+	a := st.Tracer("a")
+	b := st.Tracer("b")
+	for i := 0; i < 3; i++ {
+		sp := a.Start("x", 0)
+		sp.End()
+	}
+	sp := b.Start("y", 0)
+	sp.End()
+	if got := len(st.Collect("a")); got != 3 {
+		t.Fatalf("trace a has %d spans", got)
+	}
+	if got := len(st.Collect("b")); got != 1 {
+		t.Fatalf("trace b has %d spans", got)
+	}
+	if got := len(st.Collect("missing")); got != 0 {
+		t.Fatalf("missing trace has %d spans", got)
+	}
+}
+
+func TestSpanAttrOverflowDropped(t *testing.T) {
+	st := NewSpanStore(8)
+	tr := st.Tracer("t")
+	sp := tr.Start("s", 0)
+	for i := 0; i < maxSpanAttrs+4; i++ {
+		sp.SetInt(fmt.Sprintf("k%d", i), int64(i))
+	}
+	sp.End()
+	spans := st.Collect("t")
+	if got := len(spans[0].Attrs()); got != maxSpanAttrs {
+		t.Fatalf("kept %d attrs, want %d", got, maxSpanAttrs)
+	}
+}
+
+func TestSpanConcurrentRecording(t *testing.T) {
+	st := NewSpanStore(1 << 12)
+	tr := st.Tracer("t")
+	var wg sync.WaitGroup
+	const G, N = 8, 100
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				sp := tr.Start("w", 0)
+				sp.SetInt("i", int64(i))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Recorded(); got != G*N {
+		t.Fatalf("Recorded = %d, want %d", got, G*N)
+	}
+	if got := len(st.Collect("t")); got != G*N {
+		t.Fatalf("Collect = %d spans, want %d", got, G*N)
+	}
+}
+
+func TestSpanRecordJSONRoundTrip(t *testing.T) {
+	st := NewSpanStore(8)
+	tr := st.Tracer("deadbeef")
+	tr.SetPhase("discover")
+	sp := tr.Start("web.query", 3)
+	sp.SetStr("store", "autos")
+	sp.SetInt("tuples", 42)
+	sp.End()
+	rec := st.Collect("deadbeef")[0]
+
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"trace_id":"deadbeef"`, `"name":"web.query"`, `"phase":"discover"`, `"store":"autos"`, `"tuples":42`, `"parent":3`} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("marshal missing %s in %s", want, blob)
+		}
+	}
+
+	var back SpanRecord
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != rec.TraceID || back.ID != rec.ID || back.Parent != rec.Parent ||
+		back.Name != rec.Name || back.Phase != rec.Phase {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, rec)
+	}
+	if s, ok := back.AttrStr("store"); !ok || s != "autos" {
+		t.Fatalf("store attr lost: %q %v", s, ok)
+	}
+	if n, ok := back.AttrInt("tuples"); !ok || n != 42 {
+		t.Fatalf("tuples attr lost: %d %v", n, ok)
+	}
+	if got := back.Start.UnixMicro(); got != rec.Start.UnixMicro() {
+		t.Fatalf("start µs %d vs %d", got, rec.Start.UnixMicro())
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	st := NewSpanStore(16)
+	tr := st.Tracer("t")
+	root := tr.Start("job", 0)
+	time.Sleep(time.Millisecond)
+	a := tr.Start("web.query", root.ID())
+	a.SetInt("tuples", 5)
+	a.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, st.Collect("t")); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   int64          `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid chrome trace JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("%d events, want 2", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Pid != 1 || ev.Ts <= 0 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+	}
+	// The child overlaps the root interval, so it must land on a
+	// different lane.
+	if doc.TraceEvents[0].Tid == doc.TraceEvents[1].Tid {
+		t.Fatalf("overlapping spans share tid %d", doc.TraceEvents[0].Tid)
+	}
+	if doc.TraceEvents[1].Args["tuples"] != float64(5) {
+		t.Fatalf("args = %+v", doc.TraceEvents[1].Args)
+	}
+}
+
+func TestSummarizeSpan(t *testing.T) {
+	rec := SpanRecord{Name: "web.query", Phase: "discover", Duration: 1500 * time.Microsecond}
+	rec.setStr("store", "s")
+	rec.setInt("tuples", 3)
+	got := SummarizeSpan(&rec)
+	for _, want := range []string{"web.query", "[discover]", "store=s", "tuples=3"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary %q missing %q", got, want)
+		}
+	}
+}
+
+// TestSpanRecordZeroAlloc pins the acceptance contract: recording a
+// fully annotated span on the query hot path costs 0 heap allocs/op.
+// The name matches CI's 'Alloc' run filter.
+func TestSpanRecordZeroAlloc(t *testing.T) {
+	st := NewSpanStore(1 << 10)
+	tr := st.Tracer("t")
+	tr.SetPhase("discover")
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("web.query", 1)
+		sp.SetStr("store", "s")
+		sp.SetInt("tuples", 9)
+		sp.SetInt("status", 200)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("span record path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestNilTracerZeroAlloc pins the other side: untraced runs pay nothing.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("web.query", 1)
+		sp.SetInt("tuples", 9)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkSpanRecord(b *testing.B) {
+	st := NewSpanStore(1 << 12)
+	tr := st.Tracer("bench")
+	tr.SetPhase("discover")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sp := tr.Start("web.query", 1)
+			sp.SetStr("store", "s")
+			sp.SetInt("tuples", 9)
+			sp.End()
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SLO declarations over a committed benchmark trajectory. A spec file
+// (scripts/slo.json) names scenarios from a BENCH_*.json report and
+// bounds the three numbers the harness measures; Evaluate turns a
+// report + spec into a list of violations. scripts/slo_gate.sh runs the
+// evaluation in CI so a perf regression fails the build with the exact
+// number that moved, instead of rotting silently in the trajectory
+// file.
+
+// SLO bounds one named scenario. Zero-valued bounds are not enforced;
+// MaxAllocsPerOp is a pointer so an explicit 0 (a zero-allocation
+// contract) stays distinguishable from "not bounded".
+type SLO struct {
+	// Name is the scenario's Result.Name in the report.
+	Name string `json:"name"`
+	// MinQPS is the throughput floor.
+	MinQPS float64 `json:"min_qps,omitempty"`
+	// MaxP99Micros is the tail-latency ceiling, in microseconds.
+	MaxP99Micros float64 `json:"max_p99_us,omitempty"`
+	// MaxAllocsPerOp is the allocation-rate ceiling (nil: unbounded).
+	MaxAllocsPerOp *float64 `json:"max_allocs_per_op,omitempty"`
+}
+
+// SLOSpec is the slo.json file shape.
+type SLOSpec struct {
+	// Note documents the spec's calibration policy for future editors.
+	Note string `json:"note,omitempty"`
+	SLOs []SLO  `json:"slos"`
+}
+
+// Violation is one broken bound, phrased for a CI log.
+type Violation struct {
+	// Name is the scenario that broke its bound.
+	Name string `json:"name"`
+	// Reason states the measured value against the bound.
+	Reason string `json:"reason"`
+}
+
+func (v Violation) String() string { return v.Name + ": " + v.Reason }
+
+// Evaluate checks every SLO in the spec against the report. A scenario
+// the report does not contain is itself a violation — a gate that
+// silently skips a renamed or dropped benchmark guards nothing.
+func (s *SLOSpec) Evaluate(r *Report) []Violation {
+	var out []Violation
+	add := func(name, format string, args ...any) {
+		out = append(out, Violation{Name: name, Reason: fmt.Sprintf(format, args...)})
+	}
+	for _, slo := range s.SLOs {
+		res, ok := r.Find(slo.Name)
+		if !ok {
+			add(slo.Name, "scenario missing from report %q", r.Label)
+			continue
+		}
+		if slo.MinQPS > 0 && res.QPS < slo.MinQPS {
+			add(slo.Name, "qps %.0f below floor %.0f", res.QPS, slo.MinQPS)
+		}
+		if slo.MaxP99Micros > 0 && res.P99Micros > slo.MaxP99Micros {
+			add(slo.Name, "p99 %.1fus above ceiling %.1fus", res.P99Micros, slo.MaxP99Micros)
+		}
+		if slo.MaxAllocsPerOp != nil && res.AllocsPerOp > *slo.MaxAllocsPerOp {
+			add(slo.Name, "allocs/op %.3f above ceiling %.3f", res.AllocsPerOp, *slo.MaxAllocsPerOp)
+		}
+	}
+	return out
+}
+
+// ParseSLOSpec decodes a spec and rejects the shapes that would make
+// the gate vacuous (no SLOs, an unnamed SLO, an SLO with no bounds).
+func ParseSLOSpec(data []byte) (*SLOSpec, error) {
+	var s SLOSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("perf: parsing SLO spec: %w", err)
+	}
+	if len(s.SLOs) == 0 {
+		return nil, fmt.Errorf("perf: SLO spec declares no SLOs")
+	}
+	for i, slo := range s.SLOs {
+		if slo.Name == "" {
+			return nil, fmt.Errorf("perf: SLO %d names no scenario", i)
+		}
+		if slo.MinQPS <= 0 && slo.MaxP99Micros <= 0 && slo.MaxAllocsPerOp == nil {
+			return nil, fmt.Errorf("perf: SLO %q sets no bounds", slo.Name)
+		}
+	}
+	return &s, nil
+}
+
+// ReadSLOSpec loads and validates a spec file.
+func ReadSLOSpec(path string) (*SLOSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSLOSpec(data)
+}
+
+// ReadReport loads a committed BENCH_*.json trajectory point.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: parsing report %s: %w", path, err)
+	}
+	return &r, nil
+}

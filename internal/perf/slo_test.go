@@ -1,0 +1,136 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func f(v float64) *float64 { return &v }
+
+func sloReport() *Report {
+	return &Report{
+		Label: "test",
+		Results: []Result{
+			{Name: "fast_path", QPS: 100000, P99Micros: 20, AllocsPerOp: 0.001},
+			{Name: "slow_path", QPS: 5000, P99Micros: 8000, AllocsPerOp: 60},
+		},
+	}
+}
+
+func TestEvaluatePassing(t *testing.T) {
+	spec := &SLOSpec{SLOs: []SLO{
+		{Name: "fast_path", MinQPS: 10000, MaxP99Micros: 500, MaxAllocsPerOp: f(0.5)},
+		{Name: "slow_path", MinQPS: 1000, MaxP99Micros: 100000, MaxAllocsPerOp: f(120)},
+	}}
+	if v := spec.Evaluate(sloReport()); len(v) != 0 {
+		t.Fatalf("violations on a passing report: %v", v)
+	}
+}
+
+// TestEvaluateCatchesP99Regression is the CI contract: doctoring a p99
+// upward past its ceiling must produce a violation.
+func TestEvaluateCatchesP99Regression(t *testing.T) {
+	spec := &SLOSpec{SLOs: []SLO{
+		{Name: "fast_path", MinQPS: 10000, MaxP99Micros: 500, MaxAllocsPerOp: f(0.5)},
+	}}
+	r := sloReport()
+	r.Results[0].P99Micros = 9500 // injected regression
+	v := spec.Evaluate(r)
+	if len(v) != 1 {
+		t.Fatalf("want exactly the p99 violation, got %v", v)
+	}
+	if v[0].Name != "fast_path" {
+		t.Fatalf("violation names %q", v[0].Name)
+	}
+	if got := v[0].String(); got != "fast_path: p99 9500.0us above ceiling 500.0us" {
+		t.Fatalf("violation reads %q", got)
+	}
+}
+
+func TestEvaluateCatchesEveryBound(t *testing.T) {
+	spec := &SLOSpec{SLOs: []SLO{
+		{Name: "fast_path", MinQPS: 200000, MaxP99Micros: 10, MaxAllocsPerOp: f(0.0001)},
+	}}
+	if v := spec.Evaluate(sloReport()); len(v) != 3 {
+		t.Fatalf("want qps+p99+allocs violations, got %v", v)
+	}
+}
+
+func TestEvaluateZeroAllocContract(t *testing.T) {
+	// An explicit MaxAllocsPerOp of 0 is enforceable (the pointer keeps
+	// it distinguishable from "unbounded").
+	spec := &SLOSpec{SLOs: []SLO{{Name: "fast_path", MaxAllocsPerOp: f(0)}}}
+	if v := spec.Evaluate(sloReport()); len(v) != 1 {
+		t.Fatalf("0.001 allocs/op must violate a max of 0: %v", v)
+	}
+	spec = &SLOSpec{SLOs: []SLO{{Name: "fast_path", MinQPS: 1}}}
+	if v := spec.Evaluate(sloReport()); len(v) != 0 {
+		t.Fatalf("nil MaxAllocsPerOp must not bound allocs: %v", v)
+	}
+}
+
+func TestEvaluateMissingScenarioIsViolation(t *testing.T) {
+	spec := &SLOSpec{SLOs: []SLO{{Name: "renamed_path", MinQPS: 1}}}
+	v := spec.Evaluate(sloReport())
+	if len(v) != 1 || v[0].Name != "renamed_path" {
+		t.Fatalf("missing scenario must violate: %v", v)
+	}
+}
+
+func TestParseSLOSpecRejectsVacuousShapes(t *testing.T) {
+	for _, bad := range []string{
+		`{`,
+		`{"slos":[]}`,
+		`{"slos":[{"min_qps":1}]}`,
+		`{"slos":[{"name":"x"}]}`,
+	} {
+		if _, err := ParseSLOSpec([]byte(bad)); err == nil {
+			t.Errorf("ParseSLOSpec(%s) accepted a vacuous spec", bad)
+		}
+	}
+	s, err := ParseSLOSpec([]byte(`{"slos":[{"name":"x","max_allocs_per_op":0}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SLOs[0].MaxAllocsPerOp == nil || *s.SLOs[0].MaxAllocsPerOp != 0 {
+		t.Fatal("explicit max_allocs_per_op: 0 lost in parsing")
+	}
+}
+
+func TestReadSLOSpecRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slo.json")
+	if err := os.WriteFile(path, []byte(`{"note":"n","slos":[{"name":"x","min_qps":5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadSLOSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Note != "n" || len(s.SLOs) != 1 || s.SLOs[0].MinQPS != 5 {
+		t.Fatalf("spec round trip: %+v", s)
+	}
+}
+
+// TestCommittedBaselineMeetsSLOs replays the repository's own gate: the
+// committed spec against both committed trajectory files. If this fails
+// the CI gate fails too — fix the regression or recalibrate the spec
+// deliberately.
+func TestCommittedBaselineMeetsSLOs(t *testing.T) {
+	spec, err := ReadSLOSpec("../../scripts/slo.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range []string{"../../BENCH_PR5.json", "../../BENCH_PR5.quick.json"} {
+		r, err := ReadReport(bench)
+		if os.IsNotExist(err) {
+			t.Skipf("%s not committed", bench)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := spec.Evaluate(r); len(v) != 0 {
+			t.Errorf("committed baseline %s violates the spec: %v", bench, v)
+		}
+	}
+}

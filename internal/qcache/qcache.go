@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"hiddensky/internal/hidden"
+	"hiddensky/internal/obs"
 	"hiddensky/internal/query"
 )
 
@@ -322,9 +323,9 @@ func (c *Cache) bind(id uint64, db Backend) *DB {
 	return &DB{cache: c, id: id, db: db, domains: domains}
 }
 
-// shardFor picks the lock domain of a key: FNV-1a over the key bytes,
-// masked to the (power-of-two) shard count.
-func (c *Cache) shardFor(key []byte) *shard {
+// fnv64 hashes key with FNV-1a. It doubles as the compact fingerprint
+// a traced lookup records as its "key" span attribute.
+func fnv64(key []byte) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -334,7 +335,13 @@ func (c *Cache) shardFor(key []byte) *shard {
 		h ^= uint64(b)
 		h *= prime64
 	}
-	return &c.shards[h&c.mask]
+	return h
+}
+
+// shardFor picks the lock domain of a key: FNV-1a over the key bytes,
+// masked to the (power-of-two) shard count.
+func (c *Cache) shardFor(key []byte) *shard {
+	return &c.shards[fnv64(key)&c.mask]
 }
 
 // lruFront moves e to the shard's most-recently-used position. Callers
@@ -400,6 +407,8 @@ type DB struct {
 	id      uint64
 	db      Backend
 	domains []query.Interval
+	tracer  *obs.Tracer // nil: untraced lookups
+	parent  uint64      // span id lookup spans hang under
 }
 
 // Unwrap returns the backend beneath the cache.
@@ -407,6 +416,19 @@ func (d *DB) Unwrap() Backend { return d.db }
 
 // Cache returns the shared store this view draws from.
 func (d *DB) Cache() *Cache { return d.cache }
+
+// WithTracer returns a view of this cached backend whose lookups each
+// record one "qcache.lookup" span under parent, annotated with the
+// canonical key's fingerprint and the outcome (hit / miss /
+// coalesced). The view shares the store and keyspace, so a serving
+// layer hands each job a traced handle without re-binding the backend.
+// Tracing adds no heap allocation to the hit path.
+func (d *DB) WithTracer(t *obs.Tracer, parent uint64) *DB {
+	v := *d
+	v.tracer = t
+	v.parent = parent
+	return &v
+}
 
 // keyStackAttrs is the attribute count up to which key derivation runs
 // entirely on the stack (scratch intervals + key bytes). Wider schemas
@@ -446,7 +468,10 @@ func (d *DB) Query(q query.Q) (hidden.Result, error) {
 		key = d.appendKey(make([]byte, 0, 8+16*len(d.domains)), nil, q)
 	}
 	c := d.cache
-	sh := c.shardFor(key)
+	h := fnv64(key)
+	sh := &c.shards[h&c.mask]
+	sp := d.tracer.Start("qcache.lookup", d.parent)
+	sp.SetInt("key", int64(h))
 
 	sh.mu.Lock()
 	c.lookups.Add(1)
@@ -455,6 +480,8 @@ func (d *DB) Query(q query.Q) (hidden.Result, error) {
 		sh.lruFront(e)
 		res := e.res
 		sh.mu.Unlock()
+		sp.SetStr("outcome", "hit")
+		sp.End()
 		// Copy outside the critical section: the snapshot's backing
 		// arrays are never mutated (entries are replaced wholesale and
 		// callers only ever receive copies), so the lock protects just
@@ -466,6 +493,8 @@ func (d *DB) Query(q query.Q) (hidden.Result, error) {
 		c.coalesced.Add(1)
 		sh.mu.Unlock()
 		<-fl.done
+		sp.SetStr("outcome", "coalesced")
+		sp.End()
 		if fl.err != nil {
 			return hidden.Result{}, fl.err
 		}
@@ -476,6 +505,7 @@ func (d *DB) Query(q query.Q) (hidden.Result, error) {
 	sh.inflight[skey] = fl
 	c.misses.Add(1)
 	sh.mu.Unlock()
+	sp.SetStr("outcome", "miss")
 
 	fl.res, fl.err = d.db.Query(q)
 
@@ -486,6 +516,7 @@ func (d *DB) Query(q query.Q) (hidden.Result, error) {
 	}
 	sh.mu.Unlock()
 	close(fl.done)
+	sp.End()
 
 	if fl.err != nil {
 		return hidden.Result{}, fl.err

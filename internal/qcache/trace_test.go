@@ -1,0 +1,83 @@
+package qcache
+
+import (
+	"testing"
+
+	"hiddensky/internal/obs"
+	"hiddensky/internal/query"
+)
+
+// TestTracedLookupSpans checks the span annotations a traced cached
+// view records: one "qcache.lookup" span per Query, the right
+// outcome, and the correct parent.
+func TestTracedLookupSpans(t *testing.T) {
+	db := mkDB(t, 50, rqCaps(2), 5, 0)
+	c := New(Config{})
+	st := obs.NewSpanStore(64)
+	tr := st.Tracer("t")
+	v := c.Wrap(db).WithTracer(tr, 7)
+
+	q := query.Q{{Attr: 0, Op: query.LT, Value: 10}}
+	if _, err := v.Query(q); err != nil { // miss
+		t.Fatal(err)
+	}
+	if _, err := v.Query(q); err != nil { // hit
+		t.Fatal(err)
+	}
+	spans := st.Collect("t")
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(spans))
+	}
+	wantOutcomes := []string{"miss", "hit"}
+	for i, rec := range spans {
+		if rec.Name != "qcache.lookup" {
+			t.Fatalf("span %d name = %q", i, rec.Name)
+		}
+		if rec.Parent != 7 {
+			t.Fatalf("span %d parent = %d, want 7", i, rec.Parent)
+		}
+		if got, _ := rec.AttrStr("outcome"); got != wantOutcomes[i] {
+			t.Fatalf("span %d outcome = %q, want %q", i, got, wantOutcomes[i])
+		}
+		if _, ok := rec.AttrInt("key"); !ok {
+			t.Fatalf("span %d has no key fingerprint", i)
+		}
+	}
+	// Both lookups canonicalize to one box: one fingerprint.
+	k0, _ := spans[0].AttrInt("key")
+	k1, _ := spans[1].AttrInt("key")
+	if k0 != k1 {
+		t.Fatalf("fingerprints differ: %d vs %d", k0, k1)
+	}
+}
+
+// TestTracedLookupHitZeroAlloc pins the acceptance contract on the
+// cache side: tracing adds no heap allocation to the warmed hit path.
+// (The name matches CI's 'Alloc' run filter, which runs without -race.)
+func TestTracedLookupHitZeroAlloc(t *testing.T) {
+	db := mkDB(t, 50, rqCaps(2), 5, 0)
+	c := New(Config{})
+	st := obs.NewSpanStore(1 << 10)
+	v := c.Wrap(db).WithTracer(st.Tracer("t"), 1)
+
+	q := query.Q{{Attr: 0, Op: query.LT, Value: 10}}
+	res, err := v.Query(q) // warm the entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hit path's only allocations are the answer copy itself
+	// (copyResult: tuple slice + flat backing array — 2, or 0 for an
+	// empty answer). The span must not add to that.
+	want := 0.0
+	if len(res.Tuples) > 0 {
+		want = 2.0
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := v.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > want {
+		t.Fatalf("traced hit path allocates %.1f allocs/op, want <= %.1f (tracing must add none)", allocs, want)
+	}
+}

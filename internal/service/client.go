@@ -67,6 +67,32 @@ func (c *Client) Result(id string) ([][]int, error) {
 	return resp.Tuples, err
 }
 
+// Trace fetches a job's span tree.
+func (c *Client) Trace(id string) (TraceResponse, error) {
+	var t TraceResponse
+	err := c.do(context.Background(), http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &t)
+	return t, err
+}
+
+// TraceChrome fetches a job's trace in Chrome trace-event format —
+// raw bytes, ready to save and open in Perfetto.
+func (c *Client) TraceChrome(id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet,
+		c.base+"/v1/jobs/"+id+"/trace?format=chrome", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: trace request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("service: trace endpoint answered %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
 // Health fetches the daemon's health summary.
 func (c *Client) Health() (Health, error) {
 	var h Health

@@ -27,6 +27,9 @@ import (
 //	GET    /v1/jobs/{id}         -> JobStatus
 //	DELETE /v1/jobs/{id}         -> JobStatus (cancels the job)
 //	GET    /v1/jobs/{id}/result  -> {tuples: [[...]]} (terminal jobs)
+//	GET    /v1/jobs/{id}/trace   -> TraceResponse: the job's span tree
+//	                                (?format=chrome renders Chrome
+//	                                trace events for Perfetto)
 //	GET    /v1/jobs/{id}/events  -> SSE stream of JobStatus updates:
 //	                                "progress" events while the job
 //	                                runs, one final "done" event.
@@ -72,6 +75,7 @@ func NewHandler(m *Manager) *Handler {
 	h.mux.HandleFunc("GET /v1/jobs/{id}", h.handleGet)
 	h.mux.HandleFunc("DELETE /v1/jobs/{id}", h.handleCancel)
 	h.mux.HandleFunc("GET /v1/jobs/{id}/result", h.handleResult)
+	h.mux.HandleFunc("GET /v1/jobs/{id}/trace", h.handleTrace)
 	h.mux.HandleFunc("GET /v1/jobs/{id}/events", h.handleEvents)
 	h.mux.HandleFunc("GET /v1/answer", h.handleAnswers)
 	h.mux.HandleFunc("POST /v1/answer/topk", answerEndpoint(h.m.AnswerTopK))
@@ -154,6 +158,24 @@ func (h *Handler) handleResult(w http.ResponseWriter, r *http.Request) {
 		tuples = [][]int{}
 	}
 	writeJSON(w, http.StatusOK, ResultResponse{Tuples: tuples})
+}
+
+// handleTrace serves a job's span tree: structured JSON by default,
+// Chrome trace-event format with ?format=chrome (pipe it into a file
+// and open it in Perfetto).
+func (h *Handler) handleTrace(w http.ResponseWriter, r *http.Request) {
+	t, err := h.m.Trace(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = obs.WriteChromeTrace(w, t.Spans)
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
 }
 
 // handleEvents streams job status updates as server-sent events until

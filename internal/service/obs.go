@@ -163,5 +163,6 @@ func (m *Manager) StatsFull() StatsDetail {
 func (m *Manager) instrumentStore(name string, db core.Interface) {
 	if wc, ok := db.(*web.Client); ok {
 		wc.SetMetrics(web.NewClientMetrics(m.reg, name))
+		wc.SetName(name) // traced query spans carry the store label
 	}
 }

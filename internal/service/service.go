@@ -74,6 +74,12 @@ type Config struct {
 	// (submit, start, park, terminal states, index publications), every
 	// line carrying the job id and trace id. nil: logging is off.
 	Logger *slog.Logger
+	// SpanBuffer bounds the per-process span ring the job traces are
+	// kept in (spans, rounded up to a power of two; <= 0 picks
+	// obs.DefaultSpanCapacity). Once it wraps, the oldest spans are
+	// overwritten and GET /v1/jobs/{id}/trace marks the trace
+	// truncated.
+	SpanBuffer int
 }
 
 // JobSpec describes one discovery job. It is the JSON body of
@@ -209,6 +215,12 @@ type JobStatus struct {
 	// GET response — grep the daemon log for it to follow one job
 	// submit → plan → discovery → index publish.
 	TraceID string `json:"trace_id,omitempty"`
+	// Phase is the job's current lifecycle phase (submit → start →
+	// discover → publish → done / failed / cancelled, or queued while
+	// parked). It rides every SSE event, so a stream consumer sees the
+	// transitions in order; the same label stamps the spans recorded
+	// during the phase.
+	Phase string `json:"phase,omitempty"`
 	// Queries counts the job's queries so far (cumulative across
 	// restarts for resumable jobs; upstream queries for fleet jobs
 	// until the final, algorithm-counted total replaces it).
@@ -257,6 +269,7 @@ type job struct {
 	retryMark  int  // query count at the last rate-limit park
 	noProgress int  // consecutive rate-limit retries with no new queries
 	subs       map[chan JobStatus]struct{}
+	tracer     *obs.Tracer // created on first run; reused across retries
 }
 
 // set applies f under the job lock and notifies watchers. The fan-out
@@ -311,6 +324,7 @@ type Manager struct {
 	reg   *obs.Registry
 	met   *managerMetrics
 	log   *slog.Logger
+	spans *obs.SpanStore // per-job span trees, bounded ring
 
 	mu      sync.Mutex
 	stores  map[string]core.Interface
@@ -340,6 +354,7 @@ func NewManager(cfg Config) (*Manager, error) {
 	}
 	m.reg = obs.NewRegistry()
 	m.met = newManagerMetrics(m.reg)
+	m.spans = obs.NewSpanStore(cfg.SpanBuffer)
 	if cfg.CacheSize != 0 {
 		m.cache = qcache.New(qcache.Config{MaxEntries: cfg.CacheSize})
 	}
@@ -428,6 +443,7 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		Spec:        spec,
 		State:       StateQueued,
 		TraceID:     obs.NewTraceID(),
+		Phase:       "submit",
 		SubmittedAt: time.Now().UTC(),
 	}}
 	m.jobs[id] = j
@@ -638,17 +654,42 @@ func (m *Manager) run(j *job) {
 	j.status.State = StateRunning
 	j.status.Error = "" // drop any retry note from a previous attempt
 	j.status.StartedAt = time.Now().UTC()
+	j.status.Phase = "start"
+	if j.tracer == nil {
+		// One tracer per job, created on the first attempt and reused
+		// across rate-limit retries, so the whole multi-attempt history
+		// lives under one trace id.
+		j.tracer = m.spans.Tracer(j.status.TraceID)
+	}
+	tr := j.tracer
 	st := j.status.clone()
 	j.mu.Unlock()
+	tr.SetPhase("start")
 	j.notify(st)
 	m.persist(j)
 	m.log.Info("job started",
 		"job_id", st.ID, "trace_id", st.TraceID,
 		"store", st.Spec.storeLabel(), "plan", st.Spec.planSummary())
 
-	oc := m.execute(ctx, j)
-	m.finish(j, oc)
+	// The root span covers one attempt end to end (a parked-and-retried
+	// job records one root per attempt under the same trace).
+	root := tr.Start("job", 0)
+	root.SetStr("store", st.Spec.storeLabel())
+	oc := m.execute(ctx, j, tr, root.ID())
+	m.finish(j, oc, tr, root.ID())
+	final := j.snapshotStatus()
+	root.SetStr("state", string(final.State))
+	root.SetInt("queries", int64(final.Queries))
+	root.SetInt("skyline", int64(final.Skyline))
+	root.End()
 	m.release()
+}
+
+// setPhase publishes a lifecycle phase: new spans get stamped with it,
+// and the job status (hence every SSE event) carries it.
+func (m *Manager) setPhase(j *job, tr *obs.Tracer, phase string) {
+	tr.SetPhase(phase)
+	j.set(func(st *JobStatus) { st.Phase = phase })
 }
 
 // release returns a concurrency slot and pulls the next queued job.
@@ -674,10 +715,11 @@ type outcome struct {
 // serialized session is never read while being mutated. All algorithm
 // dispatch lives in the core planner: the manager only compiles the
 // spec into a core.Request and hands it to core.Run.
-func (m *Manager) execute(ctx context.Context, j *job) outcome {
+func (m *Manager) execute(ctx context.Context, j *job, tr *obs.Tracer, root uint64) outcome {
 	spec := j.snapshotStatus().Spec
+	m.setPhase(j, tr, "discover")
 	if len(spec.Stores) > 0 {
-		return m.executeFleet(ctx, j, spec)
+		return m.executeFleet(ctx, j, spec, tr, root)
 	}
 	registered, err := m.lookupStore(spec.Store)
 	if err != nil {
@@ -685,19 +727,21 @@ func (m *Manager) execute(ctx context.Context, j *job) outcome {
 	}
 	db := registered
 	if wc, ok := db.(*web.Client); ok {
-		db = wc.WithContext(ctx)
+		db = wc.WithContext(ctx).WithTrace(tr, root)
 	}
 	if spec.UseCache && m.cache != nil {
 		// Key the shared cache by the registered store, not the per-job
 		// context-bound view: every job (and every restart) against the
-		// same store hits one warm keyspace.
-		db = m.cache.WrapAs(registered, db)
+		// same store hits one warm keyspace. The traced handle shares
+		// that keyspace — it only adds span recording.
+		db = m.cache.WrapAs(registered, db).WithTracer(tr, root)
 	}
 	req, err := spec.request()
 	if err != nil {
 		return outcome{err: err}
 	}
-	opt := core.Options{Parallelism: spec.Parallelism, Ctx: ctx, PoolMetrics: m.met.pool}
+	opt := core.Options{Parallelism: spec.Parallelism, Ctx: ctx, PoolMetrics: m.met.pool,
+		Tracer: tr, TraceParent: root}
 	if req.Resumable {
 		return m.executeSession(j, db, spec, req, opt)
 	}
@@ -786,7 +830,7 @@ func (c countingDB) Query(q query.Q) (hidden.Result, error) {
 // executeFleet runs a federated fleet job: every named store is
 // discovered (at most Parallelism at once) under one fleet-wide budget,
 // and the skylines merge into the global Pareto frontier.
-func (m *Manager) executeFleet(ctx context.Context, j *job, spec JobSpec) outcome {
+func (m *Manager) executeFleet(ctx context.Context, j *job, spec JobSpec, tr *obs.Tracer, root uint64) outcome {
 	req, err := spec.request()
 	if err != nil {
 		return outcome{err: err}
@@ -808,14 +852,14 @@ func (m *Manager) executeFleet(ctx context.Context, j *job, spec JobSpec) outcom
 		}
 		db := registered
 		if wc, ok := db.(*web.Client); ok {
-			db = wc.WithContext(ctx)
+			db = wc.WithContext(ctx).WithTrace(tr, root)
 		}
 		db = countingDB{Interface: db, j: j}
 		if spec.Budget > 0 {
 			db = engine.Limit(db, budget)
 		}
 		if spec.UseCache && m.cache != nil {
-			db = m.cache.WrapAs(registered, db)
+			db = m.cache.WrapAs(registered, db).WithTracer(tr, root)
 		}
 		stores[i] = federate.Store{Name: name, DB: db}
 	}
@@ -826,7 +870,8 @@ func (m *Manager) executeFleet(ctx context.Context, j *job, spec JobSpec) outcom
 			j.set(func(js *JobStatus) { js.Skyline += st.Skyline })
 		},
 	}
-	fres, err := federate.DiscoverFleet(stores, core.Options{Ctx: ctx, PoolMetrics: m.met.pool}, fo)
+	fres, err := federate.DiscoverFleet(stores, core.Options{Ctx: ctx, PoolMetrics: m.met.pool,
+		Tracer: tr, TraceParent: root}, fo)
 	if err != nil {
 		// Keep the live upstream-query count countingDB accumulated: a
 		// hard store failure must not erase what the fleet already spent.
@@ -846,7 +891,8 @@ const maxNoProgressRetries = 5
 
 // finish folds an execution outcome into the job's terminal (or parked)
 // state and persists it.
-func (m *Manager) finish(j *job, oc outcome) {
+func (m *Manager) finish(j *job, oc outcome, tr *obs.Tracer, root uint64) {
+	m.setPhase(j, tr, "publish")
 	// Compile the answer index before the job turns terminal and swap it
 	// in inside the same critical section that publishes the terminal
 	// state: any observer that sees the job done sees its answers live.
@@ -863,6 +909,8 @@ func (m *Manager) finish(j *job, oc outcome) {
 		}
 		// Building is best-effort: a failure leaves the previous index
 		// serving.
+		sp := tr.Start("answer.build", root)
+		sp.SetInt("tuples", int64(len(oc.tuples)))
 		t0 := time.Now()
 		if s, err := answer.Build(oc.tuples, answer.Options{BandK: bandK}); err == nil {
 			buildDur = time.Since(t0)
@@ -871,6 +919,10 @@ func (m *Manager) finish(j *job, oc outcome) {
 			m.mu.Lock()
 			entry = m.answers[spec.Store]
 			m.mu.Unlock()
+			sp.End()
+		} else {
+			sp.Rename("answer.build_failed")
+			sp.End()
 		}
 	}
 	j.mu.Lock()
@@ -930,6 +982,15 @@ func (m *Manager) finish(j *job, oc outcome) {
 	if built != nil && entry != nil && st.State == StateDone {
 		published = entry.publish(built, st.ID)
 	}
+	// The terminal phase is published in the same critical section as
+	// the terminal state: an SSE consumer sees phase "done" exactly
+	// when it sees state done.
+	if st.State.Terminal() {
+		st.Phase = string(st.State)
+	} else {
+		st.Phase = "queued" // parked (shutdown) or rate-limit retry
+	}
+	tr.SetPhase(st.Phase)
 	out := j.status.clone()
 	j.mu.Unlock()
 	j.notify(out)

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"fmt"
+	"io"
+
+	"hiddensky/internal/obs"
+)
+
+// TraceResponse is the body of GET /v1/jobs/{id}/trace: the job's span
+// tree as structured JSON, plus enough bookkeeping to judge it.
+type TraceResponse struct {
+	JobID   string   `json:"job_id"`
+	TraceID string   `json:"trace_id"`
+	State   JobState `json:"state"`
+	Phase   string   `json:"phase,omitempty"`
+	// Spans is the span tree, sorted by start time. Parent ids refer to
+	// other spans' ids within the same trace (0: a root).
+	Spans []obs.SpanRecord `json:"spans"`
+	// Recorded counts every span the job ever recorded; when it exceeds
+	// len(Spans), the ring buffer wrapped and the oldest spans are gone.
+	Recorded  int64 `json:"spans_recorded"`
+	Truncated bool  `json:"truncated,omitempty"`
+}
+
+// Trace returns a job's span tree. A job that has not started yet (or
+// predates the manager's restart — spans are in-memory only) answers
+// with an empty span list, not an error.
+func (m *Manager) Trace(id string) (TraceResponse, error) {
+	m.mu.Lock()
+	j := m.jobs[id]
+	m.mu.Unlock()
+	if j == nil {
+		return TraceResponse{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	j.mu.Lock()
+	st := j.status.clone()
+	tr := j.tracer
+	j.mu.Unlock()
+	out := TraceResponse{
+		JobID:   st.ID,
+		TraceID: st.TraceID,
+		State:   st.State,
+		Phase:   st.Phase,
+		Spans:   []obs.SpanRecord{},
+	}
+	if tr != nil {
+		out.Spans = m.spans.Collect(st.TraceID)
+		out.Recorded = tr.Recorded()
+		out.Truncated = out.Recorded > int64(len(out.Spans))
+	}
+	return out, nil
+}
+
+// WriteChromeTrace renders a job's span tree in Chrome trace-event
+// format (open it in Perfetto or chrome://tracing).
+func (m *Manager) WriteChromeTrace(w io.Writer, id string) error {
+	t, err := m.Trace(id)
+	if err != nil {
+		return err
+	}
+	return obs.WriteChromeTrace(w, t.Spans)
+}

@@ -60,6 +60,11 @@ type Client struct {
 	queries *atomic.Int64
 	backoff *atomic.Int64  // nanoseconds; 0 = DefaultRetryBackoff
 	metrics *ClientMetrics // nil: uninstrumented; shared by WithContext views
+
+	name       string      // store label for span annotations ("" ok)
+	tracer     *obs.Tracer // nil: untraced (see WithTrace)
+	spanParent uint64      // span id query spans hang under
+	traceID    string      // sent as X-Trace-Id when non-empty
 }
 
 // ClientMetrics instruments a Client's upstream traffic. All fields
@@ -95,6 +100,11 @@ func NewClientMetrics(r *obs.Registry, store string) *ClientMetrics {
 // WithContext inherit the same bundle, so per-job handles keep feeding
 // the daemon-wide series.
 func (c *Client) SetMetrics(m *ClientMetrics) { c.metrics = m }
+
+// SetName labels the client with its store name; traced query spans
+// carry it as their "store" attribute. Call it alongside SetMetrics,
+// before the client is shared; WithContext/WithTrace views inherit it.
+func (c *Client) SetName(name string) { c.name = name }
 
 // Dial fetches the remote schema and returns a ready client. httpClient
 // may be nil (http.DefaultClient).
@@ -152,6 +162,21 @@ func (c *Client) WithContext(ctx context.Context) *Client {
 	return &d
 }
 
+// WithTrace returns a view of the client that records one "web.query"
+// span per counted upstream query (store, canonical-key fingerprint,
+// tuples returned, HTTP status, retries, latency) under parent, and
+// stamps every search request with the trace's id as an X-Trace-Id
+// header so the server's access log correlates with this job. The
+// view shares the HTTP client, schema and query counter, exactly like
+// WithContext.
+func (c *Client) WithTrace(t *obs.Tracer, parent uint64) *Client {
+	d := *c
+	d.tracer = t
+	d.spanParent = parent
+	d.traceID = t.TraceID()
+	return &d
+}
+
 // reqCtx is the context requests are issued under.
 func (c *Client) reqCtx() context.Context {
 	if c.ctx != nil {
@@ -176,8 +201,25 @@ func (c *Client) Query(q query.Q) (hidden.Result, error) {
 	if err != nil {
 		return hidden.Result{}, err
 	}
+	// One span per counted upstream query: it opens before the first
+	// attempt so its latency covers any 429 backoff, Ends as
+	// "web.query" only when the upstream answered 200 (keeping the
+	// span count exactly equal to the counted queries), is renamed
+	// "web.rate_limited" for a terminal double-429, and is abandoned
+	// (never recorded) on transport or predicate errors.
+	sp := c.tracer.Start("web.query", c.spanParent)
+	if c.tracer != nil {
+		if c.name != "" {
+			sp.SetStr("store", c.name)
+		}
+		sp.SetInt("key", int64(c.queryKey(q)))
+	}
 	res, retryAfter, err := c.search(body)
-	if err == nil || !isRateLimited(err) {
+	if err == nil {
+		c.endQuerySpan(&sp, &res, 0)
+		return res, nil
+	}
+	if !isRateLimited(err) {
 		return res, err
 	}
 	if m := c.metrics; m != nil && m.Retries != nil {
@@ -195,9 +237,51 @@ func (c *Client) Query(q query.Q) (hidden.Result, error) {
 	}
 	res, retryAfter, err = c.search(body)
 	if err != nil && isRateLimited(err) {
+		sp.Rename("web.rate_limited")
+		sp.SetInt("status", http.StatusTooManyRequests)
+		sp.SetInt("retries", 1)
+		sp.End()
 		return hidden.Result{}, &RateLimitError{RetryAfter: retryAfter}
 	}
-	return res, err
+	if err != nil {
+		return res, err
+	}
+	c.endQuerySpan(&sp, &res, 1)
+	return res, nil
+}
+
+// endQuerySpan finishes a successful query's span.
+func (c *Client) endQuerySpan(sp *obs.Span, res *hidden.Result, retries int64) {
+	sp.SetInt("tuples", int64(len(res.Tuples)))
+	sp.SetInt("status", http.StatusOK)
+	sp.SetInt("retries", retries)
+	sp.End()
+}
+
+// queryKey fingerprints the query's canonical box under the remote
+// domains (FNV-1a over the interval bounds) — the same identity the
+// shared cache keys on, so a trace reader can tie a web.query span to
+// the qcache.lookup that missed. Computed only on traced queries.
+func (c *Client) queryKey(q query.Q) uint64 {
+	const keyStackAttrs = 16
+	var ivArr [keyStackAttrs]query.Interval
+	scratch := ivArr[:0]
+	if len(c.domains) > keyStackAttrs {
+		scratch = nil
+	}
+	box := q.CanonicalizeInto(scratch, c.domains)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, iv := range box.Dims {
+		h ^= uint64(int64(iv.Lo))
+		h *= prime64
+		h ^= uint64(int64(iv.Hi))
+		h *= prime64
+	}
+	return h
 }
 
 // errRemoteRateLimited marks a single 429 answer internally.
@@ -216,6 +300,9 @@ func (c *Client) search(body []byte) (hidden.Result, time.Duration, error) {
 		return hidden.Result{}, 0, fmt.Errorf("web: building search request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.traceID != "" {
+		req.Header.Set("X-Trace-Id", c.traceID)
+	}
 	t0 := time.Now()
 	resp, err := c.http.Do(req)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -84,6 +85,28 @@ type Server struct {
 	rateLimited   *obs.Counter
 	metaRequests  *obs.Counter
 	searchSeconds *obs.Histogram
+
+	log *slog.Logger // nil until SetLogger; access lines for searches
+}
+
+// SetLogger attaches a structured logger; the server then writes one
+// access-log line per search answer (200 and 429), echoing the
+// client's X-Trace-Id so daemon logs on both sides of the wire
+// correlate on one id. Call before serving.
+func (s *Server) SetLogger(log *slog.Logger) { s.log = log }
+
+// logSearch writes the access-log line for one search answer.
+func (s *Server) logSearch(r *http.Request, status, tuples int, d time.Duration) {
+	if s.log == nil {
+		return
+	}
+	s.log.Info("search",
+		"status", status,
+		"tuples", tuples,
+		"dur_us", d.Microseconds(),
+		"trace_id", r.Header.Get("X-Trace-Id"),
+		"remote", r.RemoteAddr,
+	)
 }
 
 // NewServer wraps db; names optionally labels the attributes (padded with
@@ -173,6 +196,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, hidden.ErrRateLimited):
 		s.rateLimited.Inc()
+		s.logSearch(r, http.StatusTooManyRequests, 0, time.Since(t0))
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 		return
@@ -190,6 +214,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.searches.Inc()
 	s.searchSeconds.Observe(time.Since(t0))
+	s.logSearch(r, http.StatusOK, len(resp.Tuples), time.Since(t0))
 	writeJSON(w, http.StatusOK, resp)
 }
 

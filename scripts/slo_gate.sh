@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# slo_gate.sh — evaluate a committed benchmark report against the
+# repository's performance SLOs (scripts/slo.json) and fail loudly on
+# any broken bound. CI runs it against the -quick bench it just
+# regenerated, so a perf regression fails the build with the exact
+# number that moved.
+#
+# Usage:  scripts/slo_gate.sh [BENCH_FILE]        (default BENCH_PR5.quick.json)
+#         SLO_SPEC=path/to/spec.json scripts/slo_gate.sh BENCH_PR5.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-BENCH_PR5.quick.json}"
+SLO="${SLO_SPEC:-scripts/slo.json}"
+
+if [ ! -f "$BENCH" ]; then
+    echo "slo_gate: benchmark report $BENCH not found" >&2
+    exit 1
+fi
+
+exec go run ./cmd/skyperf -check "$BENCH" -slo "$SLO"

@@ -101,6 +101,31 @@ served=$(curl -sf "http://$SERVE_ADDR/metrics" | \
   echo "smoke: skyserve search_requests_total=$served, job reported $queries" >&2; exit 1; }
 say "metrics agree: job=$queries upstream=$upstream served=$served"
 
+# Trace parity: the job ran uncached, so its span trace must carry
+# exactly one web.query span per counted query — the fourth vantage
+# point on the same number.
+say "fetching the job trace"
+trace=$(curl -sf "http://$DAEMON_ADDR/v1/jobs/$job/trace")
+spans=$(echo "$trace" | grep -o '"name":"web.query"' | wc -l | tr -d ' ')
+[ "$spans" = "$queries" ] || {
+  echo "smoke: trace has $spans web.query spans, job reported $queries" >&2; exit 1; }
+chrome=$(curl -sf "http://$DAEMON_ADDR/v1/jobs/$job/trace?format=chrome")
+echo "$chrome" | grep -q '"traceEvents"' || {
+  echo "smoke: chrome trace export lacks traceEvents: ${chrome:0:200}" >&2; exit 1; }
+say "trace agrees: $spans web.query spans"
+# CI archives one real exported trace as a build artifact.
+if [ -n "${TRACE_OUT:-}" ]; then
+  echo "$chrome" > "$TRACE_OUT"
+  say "exported chrome trace to $TRACE_OUT"
+fi
+
+say "summarizing the trace with skytrace"
+"$BIN/skytrace" -url "http://$DAEMON_ADDR" -job "$job" | grep -q "slowest" || {
+  echo "smoke: skytrace gave no summary" >&2; exit 1; }
+"$BIN/skytrace" -url "http://$DAEMON_ADDR" -job "$job" -chrome "$WORK/trace.json"
+grep -q '"traceEvents"' "$WORK/trace.json" || {
+  echo "smoke: skytrace -chrome wrote no traceEvents" >&2; exit 1; }
+
 curl -sf "http://$DAEMON_ADDR/v1/stats" | grep -q '"metrics":\[' || {
   echo "smoke: skylined /v1/stats gave no metrics" >&2; exit 1; }
 curl -sf "http://$SERVE_ADDR/v1/stats" | grep -q '"name":"search_requests_total"' || {
