@@ -66,6 +66,11 @@ func main() {
 	rankName := flag.String("rank", "sum", "ranking for CSV-backed stores: sum | attrN | lex | random")
 	debugAddr := flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (empty = profiling off)")
 	spanBuffer := flag.Int("span-buffer", 0, "span ring-buffer capacity shared by all jobs (0 = default 8192; rounded up to a power of two)")
+	sampleInterval := flag.Duration("sample-interval", 0, "time-series sampling interval for /v1/history and the health rollup (0 = 1s)")
+	sampleRetention := flag.Int("sample-retention", 0, "samples retained per series (0 = 512; rounded up to a power of two)")
+	maxFailureRate := flag.Float64("health-max-failure-rate", 0, "failed jobs/sec (1m window) before /healthz reports degraded (0 = 0.1, negative = disabled)")
+	max429Rate := flag.Float64("health-max-429-rate", 0, "upstream 429s/sec (1m window) before degraded (0 = 1.0, negative = disabled)")
+	maxEvictionRate := flag.Float64("health-max-eviction-rate", 0, "cache evictions/sec (1m window) before degraded (0 = 100, negative = disabled)")
 	var stores storeFlags
 	flag.Var(&stores, "store", "name=target store (repeatable); target is a skyserve URL (http://...) or a CSV path")
 	flag.Parse()
@@ -82,7 +87,14 @@ func main() {
 		CacheSize:       *cacheSize,
 		CheckpointEvery: *checkpointEvery,
 		SpanBuffer:      *spanBuffer,
-		Logger:          obs.NewLogger(os.Stderr, "skylined"),
+		SampleInterval:  *sampleInterval,
+		SampleRetention: *sampleRetention,
+		Health: service.HealthThresholds{
+			MaxFailureRate:     *maxFailureRate,
+			MaxRateLimitedRate: *max429Rate,
+			MaxEvictionRate:    *maxEvictionRate,
+		},
+		Logger: obs.NewLogger(os.Stderr, "skylined"),
 	})
 	if err != nil {
 		fatal(err)

@@ -108,6 +108,10 @@ func main() {
 		}
 	}
 
+	ri := r.CaptureRuntime()
+	fmt.Fprintf(os.Stderr, "skyperf: runtime peak_heap=%.1fMB gc_cycles=%d goroutines=%d\n",
+		float64(ri.PeakHeapBytes)/(1<<20), ri.GCCycles, ri.Goroutines)
+
 	if err := r.WriteJSON(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "skyperf: %v\n", err)
 		os.Exit(1)

@@ -35,6 +35,9 @@ func main() {
 	limit := flag.Int("limit", 0, "per-client query budget (0 = unlimited)")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	debugAddr := flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (empty = profiling off)")
+	sampleInterval := flag.Duration("sample-interval", 0, "time-series sampling interval for /v1/history and the health rollup (0 = 1s)")
+	sampleRetention := flag.Int("sample-retention", 0, "samples retained per series (0 = 512; rounded up to a power of two)")
+	max429Rate := flag.Float64("health-max-429-rate", web.DefaultMax429Rate, "search 429s/sec (1m window) before /healthz reports degraded (negative = disabled)")
 	flag.Parse()
 
 	if *in == "" {
@@ -70,6 +73,14 @@ func main() {
 	// X-Trace-Id so a skylined job's trace can be joined to the
 	// upstream's view of the same queries.
 	handler.SetLogger(obs.NewLogger(os.Stderr, "skyserve"))
+	handler.ConfigureSampler(obs.SamplerConfig{Interval: *sampleInterval, Retention: *sampleRetention})
+	if *max429Rate != web.DefaultMax429Rate {
+		// Negative values feed through as ≤0 thresholds, which the
+		// rollup treats as "check disabled".
+		handler.Health().SetThreshold("search_429_rate", *max429Rate)
+	}
+	stopSampling := handler.StartSampler()
+	defer stopSampling()
 	fmt.Fprintf(os.Stderr, "skyserve: serving %d tuples x %d attributes on http://%s (k=%d, limit=%d)\n",
 		db.Size(), db.NumAttrs(), *addr, *k, *limit)
 

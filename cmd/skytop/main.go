@@ -1,0 +1,391 @@
+// Command skytop is a live terminal ops console for the hiddensky
+// daemons. It polls one or more skylined / skyserve endpoints over
+// their public telemetry surface — GET /v1/history for the sampled
+// time series, GET /healthz for the health rollup, GET /v1/stats for
+// cache counters, GET /v1/jobs for the running-jobs table — and
+// renders a refreshing dashboard: sparkline QPS and p99, cache hit
+// ratio, goroutine/heap pressure and per-job progress. Nothing here
+// has privileged access; everything skytop shows, curl shows too.
+//
+// Usage:
+//
+//	skytop -url http://127.0.0.1:8090 -url http://127.0.0.1:8080
+//	skytop -url http://127.0.0.1:8090 -once        # one snapshot, no ANSI
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"hiddensky/internal/obs"
+)
+
+// sparkWidth bounds the trailing samples a sparkline shows.
+const sparkWidth = 32
+
+// urlFlags collects repeated -url flags.
+type urlFlags []string
+
+func (u *urlFlags) String() string { return strings.Join(*u, ",") }
+
+func (u *urlFlags) Set(v string) error {
+	*u = append(*u, strings.TrimRight(v, "/"))
+	return nil
+}
+
+func main() {
+	var urls urlFlags
+	flag.Var(&urls, "url", "daemon base URL (repeatable; default http://127.0.0.1:8090)")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval in live mode")
+	once := flag.Bool("once", false, "print one plain-text snapshot and exit (no ANSI, scriptable)")
+	last := flag.Int("last", 120, "history samples to fetch per refresh")
+	flag.Parse()
+	if len(urls) == 0 {
+		urls = urlFlags{"http://127.0.0.1:8090"}
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	if *once {
+		failed := 0
+		for _, u := range urls {
+			v := fetch(client, u, *last)
+			render(os.Stdout, v)
+			if v.err != nil {
+				failed++
+			}
+		}
+		if failed == len(urls) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	t := time.NewTicker(*interval)
+	defer t.Stop()
+	for {
+		var b strings.Builder
+		fmt.Fprintf(&b, "skytop  %s  %d target(s), %s refresh — Ctrl-C to quit\n\n",
+			time.Now().Format("15:04:05"), len(urls), interval)
+		for _, u := range urls {
+			render(&b, fetch(client, u, *last))
+		}
+		// Home + clear-to-end, not clear-screen: no flicker on redraw.
+		fmt.Print("\x1b[H\x1b[2J" + b.String())
+		select {
+		case <-ctx.Done():
+			fmt.Println("skytop: bye")
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// view is everything one refresh learned about one daemon.
+type view struct {
+	url     string
+	err     error // history fetch failed: daemon down or too old
+	history obs.HistorySnapshot
+	health  obs.HealthReport
+	stats   *statsDoc
+	jobs    []jobRow
+	hasJobs bool // /v1/jobs exists (skylined); skyserve 404s
+}
+
+// statsDoc is the slice of skylined's GET /v1/stats this console uses.
+// skyserve answers a bare metrics array there; cache/health stay nil.
+type statsDoc struct {
+	Health struct {
+		Jobs    int `json:"jobs"`
+		Running int `json:"running"`
+		Queued  int `json:"queued"`
+	} `json:"health"`
+	Cache *struct {
+		Lookups    int     `json:"lookups"`
+		Hits       int     `json:"hits"`
+		DedupRatio float64 `json:"dedup_ratio"`
+		Entries    int     `json:"entries"`
+	} `json:"cache"`
+}
+
+// jobRow is the slice of a JobStatus the table shows.
+type jobRow struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Phase   string `json:"phase"`
+	Queries int    `json:"queries"`
+	Skyline int    `json:"skyline"`
+	Spec    struct {
+		Store string `json:"store"`
+		Algo  string `json:"algo"`
+	} `json:"spec"`
+}
+
+func fetch(c *http.Client, url string, last int) view {
+	v := view{url: url}
+	v.err = getJSON(c, fmt.Sprintf("%s/v1/history?last=%d", url, last), &v.history)
+	if v.err != nil {
+		return v
+	}
+	_ = getJSON(c, url+"/healthz", &v.health)
+	var raw json.RawMessage
+	if getJSON(c, url+"/v1/stats", &raw) == nil && len(raw) > 0 && raw[0] == '{' {
+		v.stats = &statsDoc{}
+		_ = json.Unmarshal(raw, v.stats)
+	}
+	var jobs struct {
+		Jobs []jobRow `json:"jobs"`
+	}
+	if getJSON(c, url+"/v1/jobs", &jobs) == nil {
+		v.hasJobs = true
+		v.jobs = jobs.Jobs
+	}
+	return v
+}
+
+func getJSON(c *http.Client, url string, out any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// render writes one daemon's panel.
+func render(w io.Writer, v view) {
+	if v.err != nil {
+		fmt.Fprintf(w, "%s  UNREACHABLE: %v\n\n", v.url, v.err)
+		return
+	}
+	state := string(v.health.State)
+	if state == "" {
+		state = "unknown"
+	}
+	fmt.Fprintf(w, "%s  [%s]  %s", v.url, kindOf(v), state)
+	if v.health.Reason != "" {
+		fmt.Fprintf(w, " (%s)", v.health.Reason)
+	}
+	for _, c := range v.health.Checks {
+		if c.Breached {
+			fmt.Fprintf(w, "  !%s=%.1f/s>%.1f", c.Name, c.RatePerSec, c.Threshold)
+		}
+	}
+	fmt.Fprintln(w)
+
+	h := v.history
+	if qpsName, qps := qpsSeries(h); qpsName != "" {
+		fmt.Fprintf(w, "  qps   %s  %6.1f/s (1m)  %s\n", spark(qps), sumRate1m(h, qpsName), qpsName)
+	}
+	if p99Name, p99 := p99Series(h); p99Name != "" {
+		fmt.Fprintf(w, "  p99   %s  %8s       %s\n", spark(p99), fmtMicros(lastVal(p99)), p99Name)
+	}
+	fmt.Fprintf(w, "  go    goroutines=%.0f  heap=%s  gc_pause_p99=%s\n",
+		lastOf(h, "go_goroutines"), fmtBytes(lastOf(h, "go_heap_live_bytes")), fmtMicros(lastOf(h, "go_gc_pause_p99_us")))
+	if s := v.stats; s != nil {
+		if s.Cache != nil && s.Cache.Lookups > 0 {
+			fmt.Fprintf(w, "  cache hit=%.1f%%  dedup=%.1f%%  entries=%d\n",
+				100*float64(s.Cache.Hits)/float64(s.Cache.Lookups), 100*s.Cache.DedupRatio, s.Cache.Entries)
+		}
+		fmt.Fprintf(w, "  jobs  total=%d running=%d queued=%d\n", s.Health.Jobs, s.Health.Running, s.Health.Queued)
+	}
+	if v.hasJobs && len(v.jobs) > 0 {
+		fmt.Fprintf(w, "  %-10s %-10s %-10s %-10s %-8s %8s %8s\n", "JOB", "STATE", "PHASE", "STORE", "ALGO", "QUERIES", "SKYLINE")
+		rows := v.jobs
+		sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+		for _, j := range rows {
+			fmt.Fprintf(w, "  %-10s %-10s %-10s %-10s %-8s %8d %8d\n",
+				j.ID, j.State, j.Phase, j.Spec.Store, j.Spec.Algo, j.Queries, j.Skyline)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// kindOf guesses the daemon flavor from its API surface.
+func kindOf(v view) string {
+	if v.hasJobs {
+		return "skylined"
+	}
+	return "skyserve"
+}
+
+// family strips the label set from a series name.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// qpsSeries picks the panel's primary request counter and turns its
+// cumulative ring into per-second rates, summed across the family's
+// labeled series (skyserve has no upstream counters, skylined has no
+// search counters — the preference order lands on whichever exists).
+func qpsSeries(h obs.HistorySnapshot) (string, []float64) {
+	for _, want := range []string{"search_requests_total", "upstream_queries_total", "jobs_submitted_total"} {
+		var sum []float64
+		for _, s := range h.Series {
+			if family(s.Name) != want || len(s.Values) == 0 {
+				continue
+			}
+			if sum == nil {
+				sum = make([]float64, len(s.Values))
+			}
+			for i := range s.Values {
+				if i < len(sum) {
+					sum[i] += s.Values[i]
+				}
+			}
+		}
+		if sum != nil {
+			return want, deltas(sum, h.IntervalSeconds)
+		}
+	}
+	return "", nil
+}
+
+// p99Series picks a latency histogram and returns its p99 ring
+// (element-wise max across a labeled family).
+func p99Series(h obs.HistorySnapshot) (string, []float64) {
+	prefer := []string{"search_seconds", "upstream_query_seconds", "job_seconds"}
+	pick := func(match func(string) bool) (string, []float64) {
+		var name string
+		var out []float64
+		for _, s := range h.Series {
+			if !match(family(s.Name)) || len(s.P99) == 0 {
+				continue
+			}
+			name = family(s.Name)
+			if out == nil {
+				out = make([]float64, len(s.P99))
+			}
+			for i := range s.P99 {
+				if i < len(out) && s.P99[i] > out[i] {
+					out[i] = s.P99[i]
+				}
+			}
+		}
+		return name, out
+	}
+	for _, want := range prefer {
+		if name, out := pick(func(f string) bool { return f == want }); out != nil {
+			return name, out
+		}
+	}
+	// Fall back to any histogram that is not the runtime's own.
+	return pick(func(f string) bool { return !strings.HasPrefix(f, "go_") })
+}
+
+// deltas converts a cumulative ring to per-second rates. Negative
+// deltas (counter reset) clamp to zero; the first slot has no
+// predecessor and reports zero.
+func deltas(vals []float64, intervalSec float64) []float64 {
+	if intervalSec <= 0 {
+		intervalSec = 1
+	}
+	out := make([]float64, len(vals))
+	for i := 1; i < len(vals); i++ {
+		if d := vals[i] - vals[i-1]; d > 0 {
+			out[i] = d / intervalSec
+		}
+	}
+	return out
+}
+
+// sumRate1m sums the server-computed 1m windowed rate across a family.
+func sumRate1m(h obs.HistorySnapshot, fam string) float64 {
+	var sum float64
+	for _, s := range h.Series {
+		if family(s.Name) == fam {
+			sum += s.Rate1m
+		}
+	}
+	return sum
+}
+
+// lastOf returns a series' most recent sample (zero when absent).
+func lastOf(h obs.HistorySnapshot, name string) float64 {
+	for _, s := range h.Series {
+		if s.Name == name {
+			return lastVal(s.Values)
+		}
+	}
+	return 0
+}
+
+func lastVal(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	return vals[len(vals)-1]
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders the trailing samples as a fixed-width sparkline scaled
+// to the window's own max (an all-zero window is a flat baseline).
+func spark(vals []float64) string {
+	if len(vals) > sparkWidth {
+		vals = vals[len(vals)-sparkWidth:]
+	}
+	var max float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for i := len(vals); i < sparkWidth; i++ {
+		b.WriteByte(' ') // right-align a short history
+	}
+	for _, v := range vals {
+		idx := 0
+		if max > 0 && v > 0 {
+			idx = int(v / max * float64(len(sparkRunes)-1))
+			if idx < 1 {
+				idx = 1 // nonzero never renders as the zero glyph
+			}
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+func fmtMicros(us float64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.2fs", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.1fms", us/1e3)
+	default:
+		return fmt.Sprintf("%.0fus", us)
+	}
+}

@@ -40,7 +40,7 @@ func Write(w http.ResponseWriter, status int, v any) {
 		status = http.StatusInternalServerError
 		_ = json.NewEncoder(buf).Encode(map[string]string{"error": "encoding response: " + err.Error()})
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	_, _ = w.Write(buf.Bytes())
 	if buf.Cap() <= maxPooledBuf {
@@ -51,7 +51,7 @@ func Write(w http.ResponseWriter, status int, v any) {
 // WriteStatic writes a pre-encoded JSON body (see Encode) — zero
 // per-request encoding work for immutable responses.
 func WriteStatic(w http.ResponseWriter, status int, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	_, _ = w.Write(body)
 }

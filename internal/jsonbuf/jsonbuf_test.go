@@ -14,7 +14,7 @@ func TestWriteMatchesStreamingEncoder(t *testing.T) {
 	if rec.Code != 201 {
 		t.Fatalf("status %d", rec.Code)
 	}
-	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
 		t.Fatalf("content type %q", ct)
 	}
 	want, _ := json.Marshal(v)
@@ -44,6 +44,9 @@ func TestEncodeAndWriteStatic(t *testing.T) {
 	WriteStatic(rec, 200, body)
 	if rec.Body.String() != "{\"k\":5}\n" {
 		t.Fatalf("body %q", rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
 	}
 	if _, err := Encode(math.Inf(1)); err == nil {
 		t.Fatal("Encode accepted an unencodable value")

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// The health rollup: one coarse state — ready / degraded / unready —
+// derived from a readiness gate plus a set of windowed-rate checks, so
+// an operator (or a future cluster router deciding failover) gets a
+// single answer instead of re-deriving it from forty series.
+//
+// The state machine:
+//
+//	unready  — the readiness gate is closed (the daemon is still
+//	           recovering snapshots, or was never opened). GET /readyz
+//	           answers 503: don't route traffic here.
+//	degraded — the gate is open but at least one rate check is over
+//	           its threshold (jobs failing, upstream 429ing, cache
+//	           thrashing). /readyz stays 200 — the daemon still
+//	           serves — but the state is visible on /healthz and the
+//	           console.
+//	ready    — the gate is open and every check is under threshold.
+//
+// Transitions are recomputed on every evaluation from live windowed
+// rates, so degraded heals itself the moment the rate subsides out of
+// the window — ready → degraded → ready with no manual reset.
+
+// HealthState is the rollup verdict.
+type HealthState string
+
+// The three rollup states.
+const (
+	HealthReady    HealthState = "ready"
+	HealthDegraded HealthState = "degraded"
+	HealthUnready  HealthState = "unready"
+)
+
+// healthCheck is one windowed-rate rule.
+type healthCheck struct {
+	name      string
+	threshold float64 // breach when rate > threshold; <= 0 disables
+	rate      func() float64
+}
+
+// HealthRollup derives one state from a readiness gate and rate
+// checks. Safe for concurrent use. The zero value is not usable; call
+// NewHealthRollup.
+type HealthRollup struct {
+	mu     sync.Mutex
+	ready  bool
+	reason string
+	checks []*healthCheck
+}
+
+// NewHealthRollup returns a rollup whose gate starts closed with the
+// given reason (e.g. "recovering"). Open it with SetReady.
+func NewHealthRollup(unreadyReason string) *HealthRollup {
+	return &HealthRollup{reason: unreadyReason}
+}
+
+// SetReady opens the readiness gate.
+func (h *HealthRollup) SetReady() {
+	h.mu.Lock()
+	h.ready = true
+	h.reason = ""
+	h.mu.Unlock()
+}
+
+// SetUnready closes the gate with a reason.
+func (h *HealthRollup) SetUnready(reason string) {
+	h.mu.Lock()
+	h.ready = false
+	h.reason = reason
+	h.mu.Unlock()
+}
+
+// AddCheck registers a windowed-rate rule: the rollup reports degraded
+// while rate() > threshold. A threshold <= 0 disables the rule (it
+// still reports its rate for visibility). rate must be safe for
+// concurrent use — typically a Sampler.Rate closure.
+func (h *HealthRollup) AddCheck(name string, threshold float64, rate func() float64) {
+	h.mu.Lock()
+	h.checks = append(h.checks, &healthCheck{name: name, threshold: threshold, rate: rate})
+	h.mu.Unlock()
+}
+
+// SetThreshold adjusts a registered check's threshold (flag wiring).
+// Unknown names are ignored.
+func (h *HealthRollup) SetThreshold(name string, threshold float64) {
+	h.mu.Lock()
+	for _, c := range h.checks {
+		if c.name == name {
+			c.threshold = threshold
+		}
+	}
+	h.mu.Unlock()
+}
+
+// HealthCheckStatus is one rule's evaluation.
+type HealthCheckStatus struct {
+	Name       string  `json:"name"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Threshold  float64 `json:"threshold"`
+	Breached   bool    `json:"breached"`
+}
+
+// HealthReport is the body of GET /healthz and GET /readyz.
+type HealthReport struct {
+	State  HealthState         `json:"state"`
+	Ready  bool                `json:"ready"`
+	Reason string              `json:"reason,omitempty"`
+	Checks []HealthCheckStatus `json:"checks,omitempty"`
+}
+
+// Evaluate recomputes the rollup from the gate and every check's
+// current rate.
+func (h *HealthRollup) Evaluate() HealthReport {
+	h.mu.Lock()
+	ready, reason := h.ready, h.reason
+	checks := append([]*healthCheck(nil), h.checks...)
+	h.mu.Unlock()
+	// Rates are read outside h.mu: a rate closure may take other locks
+	// (the sampler's, a manager's) that must never nest inside ours.
+	rep := HealthReport{State: HealthReady, Ready: ready, Reason: reason}
+	for _, c := range checks {
+		st := HealthCheckStatus{Name: c.name, RatePerSec: c.rate(), Threshold: c.threshold}
+		st.Breached = c.threshold > 0 && st.RatePerSec > c.threshold
+		if st.Breached {
+			rep.State = HealthDegraded
+		}
+		rep.Checks = append(rep.Checks, st)
+	}
+	if !ready {
+		rep.State = HealthUnready
+	}
+	return rep
+}
+
+// writeHealth renders a report (obs stays dependency-free, so this is
+// plain encoding/json — these endpoints are polled, not hammered).
+func writeHealth(w http.ResponseWriter, status int, rep HealthReport) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	_, _ = w.Write(data)
+}
+
+// HealthzHandler serves the liveness view: always 200 (the process is
+// up and answering), body carrying the full rollup so one curl shows
+// state, gate reason and every check's rate.
+func HealthzHandler(h *HealthRollup) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeHealth(w, http.StatusOK, h.Evaluate())
+	})
+}
+
+// ReadyzHandler serves the routing decision: 200 while the daemon
+// should receive traffic (ready or degraded), 503 while unready —
+// load balancers and the e2e smoke wait on this instead of sleeping.
+func ReadyzHandler(h *HealthRollup) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rep := h.Evaluate()
+		status := http.StatusOK
+		if rep.State == HealthUnready {
+			status = http.StatusServiceUnavailable
+		}
+		writeHealth(w, status, rep)
+	})
+}

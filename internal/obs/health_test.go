@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHealthRollupStateMachine(t *testing.T) {
+	rate := 0.0
+	h := NewHealthRollup("booting")
+	h.AddCheck("err_rate", 1.0, func() float64 { return rate })
+
+	// Gate closed: unready regardless of checks.
+	rep := h.Evaluate()
+	if rep.State != HealthUnready || rep.Ready || rep.Reason != "booting" {
+		t.Fatalf("initial report = %+v, want unready/booting", rep)
+	}
+
+	// Gate open, check under threshold: ready.
+	h.SetReady()
+	if rep = h.Evaluate(); rep.State != HealthReady || !rep.Ready {
+		t.Fatalf("after SetReady = %+v, want ready", rep)
+	}
+
+	// Check breaches: degraded, and the report names the culprit.
+	rate = 2.5
+	rep = h.Evaluate()
+	if rep.State != HealthDegraded {
+		t.Fatalf("state = %v, want degraded", rep.State)
+	}
+	if len(rep.Checks) != 1 || !rep.Checks[0].Breached || rep.Checks[0].RatePerSec != 2.5 {
+		t.Fatalf("checks = %+v, want one breached at 2.5", rep.Checks)
+	}
+
+	// Rate subsides: self-heals to ready without a reset call.
+	rate = 0.2
+	if rep = h.Evaluate(); rep.State != HealthReady {
+		t.Fatalf("state after subsiding = %v, want ready", rep.State)
+	}
+
+	// Unready overrides degraded.
+	rate = 2.5
+	h.SetUnready("draining")
+	rep = h.Evaluate()
+	if rep.State != HealthUnready || rep.Reason != "draining" {
+		t.Fatalf("report = %+v, want unready/draining", rep)
+	}
+	if !rep.Checks[0].Breached {
+		t.Fatal("breached check hidden while unready; the report must keep it visible")
+	}
+}
+
+func TestHealthThresholds(t *testing.T) {
+	rate := 10.0
+	h := NewHealthRollup("")
+	h.SetReady()
+	h.AddCheck("a", 1.0, func() float64 { return rate })
+
+	// Exactly at threshold is not a breach (rate > threshold).
+	rate = 1.0
+	if rep := h.Evaluate(); rep.State != HealthReady {
+		t.Fatalf("at-threshold state = %v, want ready", rep.State)
+	}
+
+	// SetThreshold rewires a flag-configured limit.
+	h.SetThreshold("a", 0.5)
+	if rep := h.Evaluate(); rep.State != HealthDegraded {
+		t.Fatal("tightened threshold did not degrade")
+	}
+
+	// threshold <= 0 disables the rule but keeps its rate visible.
+	h.SetThreshold("a", -1)
+	rep := h.Evaluate()
+	if rep.State != HealthReady {
+		t.Fatalf("disabled check state = %v, want ready", rep.State)
+	}
+	if rep.Checks[0].RatePerSec != 1.0 {
+		t.Fatal("disabled check stopped reporting its rate")
+	}
+
+	// Unknown name is a no-op.
+	h.SetThreshold("nope", 3)
+}
+
+func TestHealthHandlers(t *testing.T) {
+	h := NewHealthRollup("recovering")
+
+	get := func(handler http.Handler) (*httptest.ResponseRecorder, HealthReport) {
+		w := httptest.NewRecorder()
+		handler.ServeHTTP(w, httptest.NewRequest("GET", "/", nil))
+		var rep HealthReport
+		if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+			t.Fatalf("bad body %q: %v", w.Body.String(), err)
+		}
+		if got := w.Header().Get("Content-Type"); got != "application/json; charset=utf-8" {
+			t.Fatalf("Content-Type = %q", got)
+		}
+		return w, rep
+	}
+
+	// Unready: healthz stays 200 (liveness), readyz answers 503.
+	w, rep := get(HealthzHandler(h))
+	if w.Code != http.StatusOK || rep.State != HealthUnready {
+		t.Fatalf("healthz unready: code=%d state=%v", w.Code, rep.State)
+	}
+	w, rep = get(ReadyzHandler(h))
+	if w.Code != http.StatusServiceUnavailable || rep.Reason != "recovering" {
+		t.Fatalf("readyz unready: code=%d reason=%q", w.Code, rep.Reason)
+	}
+
+	// Ready: both 200.
+	h.SetReady()
+	if w, _ = get(ReadyzHandler(h)); w.Code != http.StatusOK {
+		t.Fatalf("readyz ready code = %d", w.Code)
+	}
+
+	// Degraded: readyz still 200 — the daemon serves, routers keep it.
+	h.AddCheck("err", 1, func() float64 { return 5 })
+	w, rep = get(ReadyzHandler(h))
+	if w.Code != http.StatusOK || rep.State != HealthDegraded {
+		t.Fatalf("readyz degraded: code=%d state=%v", w.Code, rep.State)
+	}
+}

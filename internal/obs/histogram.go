@@ -110,6 +110,26 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// quantiles extracts the observation count and p50/p95/p99 (micros)
+// without building a Snapshot: the bucket capture lives on the stack,
+// so the time-series sampling path — which calls this once per
+// histogram per tick — stays allocation-free.
+func (h *Histogram) quantiles() (count int64, p50, p95, p99 float64) {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0, 0, 0, 0
+	}
+	return total,
+		quantileFrom(counts[:], total, 0.50),
+		quantileFrom(counts[:], total, 0.95),
+		quantileFrom(counts[:], total, 0.99)
+}
+
 // quantileFrom walks the captured buckets to the q-th rank and
 // interpolates linearly inside the matching bucket. Returns
 // microseconds. An empty distribution has no quantiles: without the

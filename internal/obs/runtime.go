@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime introspection bridged from runtime/metrics: GC pause
+// distribution, live heap bytes, goroutine count, scheduler latency.
+// Everything is registered as scrape-time GaugeFunc/CounterFunc
+// bridges on an ordinary Registry, so the series ride the same
+// Sampler rings and History endpoint as the application's own
+// telemetry — "goroutines over the last five minutes" costs the same
+// machinery as "QPS over the last five minutes".
+//
+// All funcs of one registration share a collector that reads the
+// whole sample batch at most once per collectInterval: a scrape (or a
+// sampler tick) touching eight series costs one metrics.Read, not
+// eight. metrics.Read reuses Float64Histogram buffers across calls,
+// so after the first read the collector allocates nothing — the
+// sampler's zero-allocation contract holds with runtime series
+// registered (pinned by TestSamplerZeroAllocSteadyState).
+
+// Preferred runtime/metrics names (fallbacks cover older toolchains).
+const (
+	rmGoroutines   = "/sched/goroutines:goroutines"
+	rmHeapLive     = "/gc/heap/live:bytes"
+	rmHeapObjects  = "/memory/classes/heap/objects:bytes"
+	rmGCCycles     = "/gc/cycles/total:gc-cycles"
+	rmGCPauses     = "/sched/pauses/total/gc:seconds"
+	rmGCPausesOld  = "/gc/pauses:seconds"
+	rmSchedLatency = "/sched/latencies:seconds"
+)
+
+// collectInterval is how stale a runtime sample batch may be before a
+// value read triggers a fresh metrics.Read.
+const collectInterval = 50 * time.Millisecond
+
+// runtimeCollector owns the sample batch shared by every registered
+// bridge func.
+type runtimeCollector struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	idx     map[string]int
+	last    time.Time
+}
+
+// newRuntimeCollector builds a collector over the subset of wanted
+// names this toolchain supports.
+func newRuntimeCollector(names []string) *runtimeCollector {
+	supported := map[string]bool{}
+	for _, d := range metrics.All() {
+		supported[d.Name] = true
+	}
+	c := &runtimeCollector{idx: map[string]int{}}
+	for _, n := range names {
+		if !supported[n] {
+			continue
+		}
+		c.idx[n] = len(c.samples)
+		c.samples = append(c.samples, metrics.Sample{Name: n})
+	}
+	return c
+}
+
+// has reports whether the toolchain supports the named metric.
+func (c *runtimeCollector) has(name string) bool {
+	_, ok := c.idx[name]
+	return ok
+}
+
+// refreshLocked re-reads the batch when stale. Caller holds c.mu.
+func (c *runtimeCollector) refreshLocked() {
+	if len(c.samples) == 0 || time.Since(c.last) < collectInterval {
+		return
+	}
+	metrics.Read(c.samples)
+	c.last = time.Now()
+}
+
+// value returns the named sample as a float64 (uint64 and float64
+// kinds; 0 for anything else).
+func (c *runtimeCollector) value(name string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refreshLocked()
+	i, ok := c.idx[name]
+	if !ok {
+		return 0
+	}
+	switch v := c.samples[i].Value; v.Kind() {
+	case metrics.KindUint64:
+		return float64(v.Uint64())
+	case metrics.KindFloat64:
+		return v.Float64()
+	}
+	return 0
+}
+
+// quantileMicros extracts the q-th quantile of the named
+// Float64Histogram sample, in microseconds (runtime histograms are in
+// seconds). Interpolation is bucket-midpoint — the same fidelity the
+// fixed-bucket obs.Histogram offers.
+func (c *runtimeCollector) quantileMicros(name string, q float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refreshLocked()
+	i, ok := c.idx[name]
+	if !ok {
+		return 0
+	}
+	v := c.samples[i].Value
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := v.Float64Histogram()
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, n := range h.Counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for bi, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		cum += float64(n)
+		if cum >= rank {
+			lo, hi := h.Buckets[bi], h.Buckets[bi+1]
+			// Runtime histograms use +-Inf sentinel edges; clamp to the
+			// finite neighbor so a tail observation reports a number.
+			if lo < 0 || lo != lo {
+				lo = 0
+			}
+			if hi > 1e12 || hi != hi {
+				hi = lo
+			}
+			return (lo + hi) / 2 * 1e6
+		}
+	}
+	return 0
+}
+
+// RegisterRuntime registers the runtime telemetry series on r:
+//
+//	go_goroutines            gauge    live goroutines
+//	go_heap_live_bytes       gauge    bytes of live heap objects
+//	go_gc_cycles_total       counter  completed GC cycles
+//	go_gc_pause_p50_us       gauge    GC stop-the-world pause p50
+//	go_gc_pause_p95_us       gauge    ... p95
+//	go_gc_pause_p99_us       gauge    ... p99
+//	go_sched_latency_p50_us  gauge    goroutine scheduling latency p50
+//	go_sched_latency_p99_us  gauge    ... p99
+//
+// Series whose runtime metric the toolchain lacks are skipped, never
+// registered as zeros.
+func RegisterRuntime(r *Registry) {
+	c := newRuntimeCollector([]string{
+		rmGoroutines, rmHeapLive, rmHeapObjects, rmGCCycles,
+		rmGCPauses, rmGCPausesOld, rmSchedLatency,
+	})
+	if c.has(rmGoroutines) {
+		r.GaugeFunc("go_goroutines", "live goroutines", func() float64 {
+			return c.value(rmGoroutines)
+		})
+	}
+	heap := rmHeapLive
+	if !c.has(heap) {
+		heap = rmHeapObjects
+	}
+	if c.has(heap) {
+		heap := heap
+		r.GaugeFunc("go_heap_live_bytes", "bytes of live heap objects after the last GC", func() float64 {
+			return c.value(heap)
+		})
+	}
+	if c.has(rmGCCycles) {
+		r.CounterFunc("go_gc_cycles_total", "completed GC cycles", func() float64 {
+			return c.value(rmGCCycles)
+		})
+	}
+	pauses := rmGCPauses
+	if !c.has(pauses) {
+		pauses = rmGCPausesOld
+	}
+	if c.has(pauses) {
+		pauses := pauses
+		for _, q := range []struct {
+			name string
+			q    float64
+		}{
+			{"go_gc_pause_p50_us", 0.50},
+			{"go_gc_pause_p95_us", 0.95},
+			{"go_gc_pause_p99_us", 0.99},
+		} {
+			q := q
+			r.GaugeFunc(q.name, "GC stop-the-world pause quantile since process start", func() float64 {
+				return c.quantileMicros(pauses, q.q)
+			})
+		}
+	}
+	if c.has(rmSchedLatency) {
+		for _, q := range []struct {
+			name string
+			q    float64
+		}{
+			{"go_sched_latency_p50_us", 0.50},
+			{"go_sched_latency_p99_us", 0.99},
+		} {
+			q := q
+			r.GaugeFunc(q.name, "goroutine time-to-run scheduling latency quantile since process start", func() float64 {
+				return c.quantileMicros(rmSchedLatency, q.q)
+			})
+		}
+	}
+}

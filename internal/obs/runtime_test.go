@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegisterRuntimeSeries(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	runtime.GC() // make sure at least one cycle exists
+
+	snaps := r.Snapshots()
+	byName := map[string]Snapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	gor, ok := byName["go_goroutines"]
+	if !ok {
+		t.Fatal("go_goroutines not registered")
+	}
+	if gor.Value < 1 {
+		t.Fatalf("go_goroutines = %v, want >= 1", gor.Value)
+	}
+	heap, ok := byName["go_heap_live_bytes"]
+	if !ok {
+		t.Fatal("go_heap_live_bytes not registered")
+	}
+	if heap.Value <= 0 {
+		t.Fatalf("go_heap_live_bytes = %v, want > 0", heap.Value)
+	}
+	gc, ok := byName["go_gc_cycles_total"]
+	if !ok {
+		t.Fatal("go_gc_cycles_total not registered")
+	}
+	if gc.Value < 1 {
+		t.Fatalf("go_gc_cycles_total = %v, want >= 1 after runtime.GC()", gc.Value)
+	}
+	for _, name := range []string{"go_gc_pause_p50_us", "go_gc_pause_p95_us", "go_gc_pause_p99_us"} {
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		// After a forced GC the pause distribution is non-empty; the
+		// quantile must be a sane pause (sub-second), not a +Inf bucket
+		// edge leaking through.
+		if s.Value < 0 || s.Value > 1e6 {
+			t.Fatalf("%s = %v µs, want within [0, 1s]", name, s.Value)
+		}
+	}
+	if _, ok := byName["go_sched_latency_p99_us"]; !ok {
+		t.Fatal("go_sched_latency_p99_us not registered")
+	}
+}
+
+func TestRuntimeSeriesRideSampler(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	s := NewSampler(r, SamplerConfig{Retention: 8})
+	base := time.Now()
+	s.SampleNow(base)
+	s.SampleNow(base.Add(time.Second))
+	h := s.History(0)
+	var sawRuntime bool
+	for _, sh := range h.Series {
+		if strings.HasPrefix(sh.Name, "go_") {
+			sawRuntime = true
+			if len(sh.Values) != 2 {
+				t.Fatalf("%s has %d samples, want 2", sh.Name, len(sh.Values))
+			}
+		}
+	}
+	if !sawRuntime {
+		t.Fatal("no go_* series in sampler history")
+	}
+}
+
+func TestRuntimeCollectorUnknownName(t *testing.T) {
+	c := newRuntimeCollector([]string{"/definitely/not/a/metric:units"})
+	if c.has("/definitely/not/a/metric:units") {
+		t.Fatal("collector claims to support a bogus metric")
+	}
+	if got := c.value("/definitely/not/a/metric:units"); got != 0 {
+		t.Fatalf("bogus metric value = %v, want 0", got)
+	}
+	if got := c.quantileMicros("/definitely/not/a/metric:units", 0.99); got != 0 {
+		t.Fatalf("bogus metric quantile = %v, want 0", got)
+	}
+}

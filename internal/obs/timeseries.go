@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The time-series layer: a background Sampler that snapshots every
+// series of a Registry at a fixed interval into power-of-two ring
+// buffers with bounded retention. Since-boot aggregates (the /metrics
+// surface) answer "how much, ever"; the rings answer the operator
+// questions — "how fast right now", "trending up or down", "what did
+// p99 look like two minutes ago" — without shipping raw samples
+// anywhere: retention is bounded in-process, and rates/quantile
+// histories are extracted on demand by GET /v1/history.
+//
+// The sampling path obeys the same contract as the record path: after
+// steady state (every series seen once, rings allocated) a tick
+// performs no allocation — ring writes are index stores into memory
+// laid out when the series first appeared. This is pinned by
+// TestSamplerZeroAllocSteadyState and raced by TestSamplerConcurrent.
+
+// DefaultSampleInterval is the tick used when SamplerConfig.Interval
+// is zero.
+const DefaultSampleInterval = time.Second
+
+// DefaultSampleRetention is the per-series sample count used when
+// SamplerConfig.Retention is zero (~8.5 minutes at the default
+// interval).
+const DefaultSampleRetention = 512
+
+// SamplerConfig tunes a Sampler.
+type SamplerConfig struct {
+	// Interval is the time between samples (default
+	// DefaultSampleInterval).
+	Interval time.Duration
+	// Retention bounds how many samples each series keeps, rounded up
+	// to a power of two (default DefaultSampleRetention). Older
+	// samples are overwritten in ring order.
+	Retention int
+}
+
+// sampleSeries is one registered series' ring. vals holds the scalar
+// value per tick (counter cumulative total, gauge value, histogram
+// observation count); histograms additionally ring their
+// p50/p95/p99 so tail latency has a history, not just a current value.
+type sampleSeries struct {
+	m             *metric
+	vals          []float64
+	p50, p95, p99 []float64 // histogram series only
+}
+
+// Sampler periodically snapshots a Registry into bounded rings.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	size     int // ring capacity, power of two
+	mask     int
+
+	mu     sync.Mutex
+	times  []int64 // unix nanos, shared by every series (one tick, one cut)
+	head   int     // next write slot
+	n      int     // samples recorded, <= size
+	series []*sampleSeries
+	seen   int // registry metrics already ringed (the registry only appends)
+
+	started atomic.Bool
+	stopc   chan struct{}
+	donec   chan struct{}
+}
+
+// NewSampler builds a sampler over reg. It does not start sampling —
+// call Start for the background loop, or SampleNow to drive ticks by
+// hand (tests, one-shot tools).
+func NewSampler(reg *Registry, cfg SamplerConfig) *Sampler {
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	retain := cfg.Retention
+	if retain <= 0 {
+		retain = DefaultSampleRetention
+	}
+	size := 1
+	for size < retain {
+		size <<= 1
+	}
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		size:     size,
+		mask:     size - 1,
+		times:    make([]int64, size),
+		stopc:    make(chan struct{}),
+		donec:    make(chan struct{}),
+	}
+}
+
+// Interval returns the configured sampling interval.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// Start launches the background sampling loop (once; extra calls are
+// no-ops). Stop ends it.
+func (s *Sampler) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	go s.loop()
+}
+
+func (s *Sampler) loop() {
+	defer close(s.donec)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case now := <-t.C:
+			s.SampleNow(now)
+		}
+	}
+}
+
+// Stop ends the background loop and waits for the in-flight tick.
+// Safe to call whether or not Start ran; safe to call twice.
+func (s *Sampler) Stop() {
+	if !s.started.CompareAndSwap(true, false) {
+		return
+	}
+	close(s.stopc)
+	<-s.donec
+}
+
+// syncSeries picks up series registered since the last tick. The
+// registry only ever appends, so comparing lengths is enough; ring
+// allocation happens exactly once per new series. Caller holds s.mu.
+func (s *Sampler) syncSeriesLocked() {
+	s.reg.mu.Lock()
+	if len(s.reg.metrics) > s.seen {
+		for _, m := range s.reg.metrics[s.seen:] {
+			ss := &sampleSeries{m: m, vals: make([]float64, s.size)}
+			if m.kind == kindHistogram {
+				ss.p50 = make([]float64, s.size)
+				ss.p95 = make([]float64, s.size)
+				ss.p99 = make([]float64, s.size)
+			}
+			s.series = append(s.series, ss)
+		}
+		s.seen = len(s.reg.metrics)
+	}
+	s.reg.mu.Unlock()
+}
+
+// SampleNow records one sample of every registered series, stamped
+// now. The background loop calls it every interval; tests and
+// snapshot tools may drive it directly (ticks must be handed
+// monotonically increasing times). Allocation-free once every series
+// has been seen.
+func (s *Sampler) SampleNow(now time.Time) {
+	s.mu.Lock()
+	s.syncSeriesLocked()
+	idx := s.head
+	s.times[idx] = now.UnixNano()
+	for _, ss := range s.series {
+		if ss.m.kind == kindHistogram {
+			count, p50, p95, p99 := ss.m.h.quantiles()
+			ss.vals[idx] = float64(count)
+			ss.p50[idx] = p50
+			ss.p95[idx] = p95
+			ss.p99[idx] = p99
+			continue
+		}
+		ss.vals[idx] = ss.m.value()
+	}
+	s.head = (idx + 1) & s.mask
+	if s.n < s.size {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// Len returns how many samples are currently retained.
+func (s *Sampler) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// idxBack returns the ring slot j steps behind the newest sample.
+// Caller holds s.mu and guarantees j < s.n.
+func (s *Sampler) idxBack(j int) int {
+	return (s.head - 1 - j + 2*s.size) & s.mask
+}
+
+// windowStartLocked returns how many steps back the earliest sample
+// within the window ending at the newest sample lies (0 when fewer
+// than two samples fall inside it). Caller holds s.mu.
+func (s *Sampler) windowStartLocked(window time.Duration) int {
+	if s.n < 2 {
+		return 0
+	}
+	cutoff := s.times[s.idxBack(0)] - window.Nanoseconds()
+	j := 0
+	for j+1 < s.n && s.times[s.idxBack(j+1)] >= cutoff {
+		j++
+	}
+	return j
+}
+
+// rateable reports whether a series' value is a monotone total whose
+// per-second derivative is meaningful: counters, counter funcs, and
+// histogram observation counts (whose rate is the series' QPS).
+func rateable(k kind) bool {
+	return k == kindCounter || k == kindCounterFunc || k == kindHistogram
+}
+
+// rateSeriesLocked computes ss's per-second rate over the window
+// ending at the newest sample. Counter resets (a decreasing value)
+// clamp to zero. Caller holds s.mu.
+func (s *Sampler) rateSeriesLocked(ss *sampleSeries, window time.Duration) float64 {
+	j := s.windowStartLocked(window)
+	if j == 0 {
+		return 0
+	}
+	last, first := s.idxBack(0), s.idxBack(j)
+	dt := float64(s.times[last]-s.times[first]) / 1e9
+	if dt <= 0 {
+		return 0
+	}
+	d := ss.vals[last] - ss.vals[first]
+	if d < 0 {
+		d = 0
+	}
+	return d / dt
+}
+
+// Rate returns the summed per-second rate over the trailing window of
+// every rateable series in the named family (labeled series of one
+// family — e.g. upstream_queries_total{store=...} — aggregate).
+// Returns 0 until two samples fall inside the window. This is the
+// primitive behind the health rollup's "X per second over the last
+// minute" checks.
+func (s *Sampler) Rate(family string, window time.Duration) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total float64
+	for _, ss := range s.series {
+		if ss.m.family != family || !rateable(ss.m.kind) {
+			continue
+		}
+		total += s.rateSeriesLocked(ss, window)
+	}
+	return total
+}
+
+// SeriesHistory is one series' retained samples, oldest first, aligned
+// with HistorySnapshot.TimesUnixMS. Values carries the sampled scalar
+// (cumulative total for counters, instantaneous value for gauges,
+// observation count for histograms); histogram series also carry their
+// quantile rings. Rate1m/Rate5m are the trailing per-second windowed
+// rates of rateable series at the newest sample.
+type SeriesHistory struct {
+	Name   string    `json:"name"`
+	Kind   string    `json:"kind"`
+	Values []float64 `json:"values"`
+	P50    []float64 `json:"p50_us,omitempty"`
+	P95    []float64 `json:"p95_us,omitempty"`
+	P99    []float64 `json:"p99_us,omitempty"`
+	Rate1m float64   `json:"rate_1m,omitempty"`
+	Rate5m float64   `json:"rate_5m,omitempty"`
+}
+
+// HistorySnapshot is the body of GET /v1/history: the shared sample
+// timestamps and every series' ring, oldest first.
+type HistorySnapshot struct {
+	IntervalSeconds float64         `json:"interval_seconds"`
+	TimesUnixMS     []int64         `json:"times_unix_ms"`
+	Series          []SeriesHistory `json:"series"`
+}
+
+// History snapshots the retained rings. last bounds how many trailing
+// samples are returned per series (<= 0: everything retained). A
+// series registered after sampling began reports zeros for ticks that
+// predate it.
+func (s *Sampler) History(last int) HistorySnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.n
+	if last > 0 && last < n {
+		n = last
+	}
+	out := HistorySnapshot{
+		IntervalSeconds: s.interval.Seconds(),
+		TimesUnixMS:     make([]int64, n),
+		Series:          make([]SeriesHistory, 0, len(s.series)),
+	}
+	for i := 0; i < n; i++ {
+		out.TimesUnixMS[i] = s.times[s.idxBack(n-1-i)] / 1e6
+	}
+	copyRing := func(ring []float64) []float64 {
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vals[i] = ring[s.idxBack(n-1-i)]
+		}
+		return vals
+	}
+	for _, ss := range s.series {
+		sh := SeriesHistory{Name: ss.m.name, Kind: ss.m.kind.String(), Values: copyRing(ss.vals)}
+		if ss.m.kind == kindHistogram {
+			sh.P50 = copyRing(ss.p50)
+			sh.P95 = copyRing(ss.p95)
+			sh.P99 = copyRing(ss.p99)
+		}
+		if rateable(ss.m.kind) {
+			sh.Rate1m = s.rateSeriesLocked(ss, time.Minute)
+			sh.Rate5m = s.rateSeriesLocked(ss, 5*time.Minute)
+		}
+		out.Series = append(out.Series, sh)
+	}
+	return out
+}

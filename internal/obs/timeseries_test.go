@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// tick drives n samples one interval apart starting at base, returning
+// the time of the last sample.
+func tick(s *Sampler, base time.Time, n int, interval time.Duration) time.Time {
+	now := base
+	for i := 0; i < n; i++ {
+		s.SampleNow(now)
+		now = now.Add(interval)
+	}
+	return now.Add(-interval)
+}
+
+func TestSamplerHistoryAndRates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "")
+	g := r.Gauge("depth", "")
+	h := r.Histogram("lat_seconds", "")
+	s := NewSampler(r, SamplerConfig{Interval: time.Second, Retention: 64})
+
+	base := time.Unix(1000, 0)
+	// 10 ticks, counter +5/tick, gauge = tick index, one observation/tick.
+	for i := 0; i < 10; i++ {
+		c.Add(5)
+		g.Set(int64(i))
+		h.Observe(time.Millisecond)
+		s.SampleNow(base.Add(time.Duration(i) * time.Second))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+
+	// Counter rate: +5 per second.
+	if got := s.Rate("reqs_total", time.Minute); got < 4.9 || got > 5.1 {
+		t.Fatalf("counter rate = %v, want ~5", got)
+	}
+	// Histogram rate: +1 observation per second.
+	if got := s.Rate("lat_seconds", time.Minute); got < 0.9 || got > 1.1 {
+		t.Fatalf("histogram rate = %v, want ~1", got)
+	}
+	// Gauges are not rateable.
+	if got := s.Rate("depth", time.Minute); got != 0 {
+		t.Fatalf("gauge rate = %v, want 0", got)
+	}
+	// Unknown family.
+	if got := s.Rate("nope", time.Minute); got != 0 {
+		t.Fatalf("unknown family rate = %v, want 0", got)
+	}
+
+	hist := s.History(0)
+	if hist.IntervalSeconds != 1 {
+		t.Fatalf("IntervalSeconds = %v, want 1", hist.IntervalSeconds)
+	}
+	if len(hist.TimesUnixMS) != 10 {
+		t.Fatalf("times len = %d, want 10", len(hist.TimesUnixMS))
+	}
+	for i := 1; i < len(hist.TimesUnixMS); i++ {
+		if hist.TimesUnixMS[i]-hist.TimesUnixMS[i-1] != 1000 {
+			t.Fatalf("times not 1s apart, oldest-first: %v", hist.TimesUnixMS)
+		}
+	}
+	byName := map[string]SeriesHistory{}
+	for _, sh := range hist.Series {
+		byName[sh.Name] = sh
+	}
+	cs, ok := byName["reqs_total"]
+	if !ok {
+		t.Fatal("reqs_total missing from history")
+	}
+	if cs.Kind != "counter" {
+		t.Fatalf("reqs_total kind = %q", cs.Kind)
+	}
+	if cs.Values[0] != 5 || cs.Values[9] != 50 {
+		t.Fatalf("counter values = %v, want 5..50", cs.Values)
+	}
+	if cs.Rate1m < 4.9 || cs.Rate1m > 5.1 {
+		t.Fatalf("counter Rate1m = %v, want ~5", cs.Rate1m)
+	}
+	gs := byName["depth"]
+	if gs.Values[0] != 0 || gs.Values[9] != 9 {
+		t.Fatalf("gauge values = %v, want 0..9", gs.Values)
+	}
+	if gs.Rate1m != 0 {
+		t.Fatalf("gauge Rate1m = %v, want 0", gs.Rate1m)
+	}
+	hs := byName["lat_seconds"]
+	if len(hs.P99) != 10 || hs.P99[9] <= 0 {
+		t.Fatalf("histogram p99 ring = %v, want 10 positive-tailed samples", hs.P99)
+	}
+	if hs.Values[9] != 10 {
+		t.Fatalf("histogram count series = %v, want ..10", hs.Values)
+	}
+
+	// last bounds trailing samples.
+	tail := s.History(3)
+	if len(tail.TimesUnixMS) != 3 {
+		t.Fatalf("History(3) times len = %d", len(tail.TimesUnixMS))
+	}
+	for _, sh := range tail.Series {
+		if len(sh.Values) != 3 {
+			t.Fatalf("History(3) series %s len = %d", sh.Name, len(sh.Values))
+		}
+	}
+	if got := tail.Series[0].Values; got[2] != byName[tail.Series[0].Name].Values[9] {
+		t.Fatalf("History(3) does not end at newest sample: %v", got)
+	}
+}
+
+func TestSamplerWindowExcludesOldSamples(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "")
+	s := NewSampler(r, SamplerConfig{Retention: 64})
+
+	base := time.Unix(1000, 0)
+	c.Add(100)
+	s.SampleNow(base)
+	c.Add(100)
+	s.SampleNow(base.Add(10 * time.Second))
+	// Two samples 10s apart: both inside 1m, rate = 100/10 = 10/s.
+	if got := s.Rate("reqs_total", time.Minute); got < 9.9 || got > 10.1 {
+		t.Fatalf("rate = %v, want ~10", got)
+	}
+	// Third sample two minutes later with no increments: the 1m window
+	// now holds only the newest sample — no pair, rate 0. The 5m window
+	// still spans the burst but averages it down.
+	s.SampleNow(base.Add(130 * time.Second))
+	if got := s.Rate("reqs_total", time.Minute); got != 0 {
+		t.Fatalf("rate after quiet 2m = %v, want 0", got)
+	}
+	if got := s.Rate("reqs_total", 5*time.Minute); got <= 0 || got >= 2 {
+		t.Fatalf("5m rate = %v, want small positive", got)
+	}
+}
+
+func TestSamplerCounterResetClampsToZero(t *testing.T) {
+	r := NewRegistry()
+	val := 1000.0
+	r.CounterFunc("restarts_total", "", func() float64 { return val })
+	s := NewSampler(r, SamplerConfig{Retention: 8})
+	base := time.Unix(0, 0)
+	s.SampleNow(base)
+	val = 5 // simulated process restart: cumulative total went backwards
+	s.SampleNow(base.Add(time.Second))
+	if got := s.Rate("restarts_total", time.Minute); got != 0 {
+		t.Fatalf("rate across reset = %v, want 0 (clamped)", got)
+	}
+}
+
+func TestSamplerRetentionWraps(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "")
+	s := NewSampler(r, SamplerConfig{Retention: 8}) // power of two already
+	base := time.Unix(0, 0)
+	for i := 0; i < 20; i++ {
+		c.Inc()
+		s.SampleNow(base.Add(time.Duration(i) * time.Second))
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8 (bounded)", s.Len())
+	}
+	h := s.History(0)
+	if len(h.TimesUnixMS) != 8 {
+		t.Fatalf("history len = %d, want 8", len(h.TimesUnixMS))
+	}
+	// Oldest retained sample is tick 12 (counter value 13), newest is
+	// tick 19 (counter value 20).
+	vals := h.Series[0].Values
+	if vals[0] != 13 || vals[7] != 20 {
+		t.Fatalf("wrapped ring = %v, want 13..20", vals)
+	}
+}
+
+func TestSamplerPicksUpNewSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a_total", "")
+	s := NewSampler(r, SamplerConfig{Retention: 8})
+	base := time.Unix(0, 0)
+	a.Inc()
+	s.SampleNow(base)
+
+	// A series registered after sampling began.
+	b := r.Counter("b_total", "")
+	b.Add(7)
+	s.SampleNow(base.Add(time.Second))
+
+	h := s.History(0)
+	byName := map[string][]float64{}
+	for _, sh := range h.Series {
+		byName[sh.Name] = sh.Values
+	}
+	if got := byName["b_total"]; len(got) != 2 || got[0] != 0 || got[1] != 7 {
+		t.Fatalf("late series = %v, want [0 7] (zero before first sight)", got)
+	}
+}
+
+func TestSamplerLabeledFamilyAggregates(t *testing.T) {
+	r := NewRegistry()
+	ca := r.Counter(`up_total{store="a"}`, "")
+	cb := r.Counter(`up_total{store="b"}`, "")
+	s := NewSampler(r, SamplerConfig{Retention: 8})
+	base := time.Unix(0, 0)
+	s.SampleNow(base)
+	ca.Add(3)
+	cb.Add(7)
+	s.SampleNow(base.Add(time.Second))
+	if got := s.Rate("up_total", time.Minute); got < 9.9 || got > 10.1 {
+		t.Fatalf("family rate = %v, want ~10 (3+7 over 1s)", got)
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ticks_total", "")
+	s := NewSampler(r, SamplerConfig{Interval: time.Millisecond, Retention: 64})
+	s.Start()
+	s.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Len() < 3 && time.Now().Before(deadline) {
+		c.Inc()
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if s.Len() < 3 {
+		t.Fatalf("background loop recorded %d samples, want >= 3", s.Len())
+	}
+	n := s.Len()
+	time.Sleep(5 * time.Millisecond)
+	if s.Len() != n {
+		t.Fatal("sampler still ticking after Stop")
+	}
+}
+
+// TestSamplerZeroAllocSteadyState is the tentpole's alloc contract: a
+// sampling tick over a populated registry — counters, gauges,
+// histograms, labeled families, and the runtime bridges — performs no
+// allocation once every series has a ring.
+func TestSamplerZeroAllocSteadyState(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	c := r.Counter("reqs_total", "")
+	g := r.Gauge("depth", "")
+	h := r.Histogram("lat_seconds", "")
+	r.Counter(`up_total{store="a"}`, "")
+	s := NewSampler(r, SamplerConfig{Retention: 64})
+
+	c.Add(10)
+	g.Set(3)
+	h.Observe(time.Millisecond)
+	base := time.Unix(1000, 0)
+	// Warmup: allocate every ring, and let the runtime collector size
+	// its Float64Histogram buffers (metrics.Read reuses them afterward).
+	now := tick(s, base, 4, time.Second)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		now = now.Add(time.Second)
+		s.SampleNow(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state sampling allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSamplerConcurrent races recording, sampling, and reading; run
+// under -race it proves the lock discipline.
+func TestSamplerConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "")
+	h := r.Histogram("lat_seconds", "")
+	s := NewSampler(r, SamplerConfig{Interval: 100 * time.Microsecond, Retention: 32})
+	s.Start()
+	defer s.Stop()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(time.Microsecond)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = s.History(16)
+			_ = s.Rate("reqs_total", time.Minute)
+			_ = s.Len()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			// New series appearing mid-flight.
+			r.Gauge("late_depth", "").Set(int64(i))
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkSamplerSample measures one tick over a registry shaped like
+// a loaded daemon's (runtime bridges + a few dozen app series).
+func BenchmarkSamplerSample(b *testing.B) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	for i := 0; i < 16; i++ {
+		r.Counter(string(rune('a'+i))+"_total", "").Add(int64(i))
+	}
+	h := r.Histogram("lat_seconds", "")
+	h.Observe(time.Millisecond)
+	s := NewSampler(r, SamplerConfig{Retention: 512})
+	base := time.Unix(1000, 0)
+	now := tick(s, base, 4, time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(time.Second)
+		s.SampleNow(now)
+	}
+}
+
+// BenchmarkSamplerHistory measures the read side (the /v1/history
+// handler's core) at default retention.
+func BenchmarkSamplerHistory(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 16; i++ {
+		r.Counter(string(rune('a'+i))+"_total", "").Add(int64(i))
+	}
+	s := NewSampler(r, SamplerConfig{Retention: 512})
+	tick(s, time.Unix(1000, 0), 512, time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.History(0)
+	}
+}

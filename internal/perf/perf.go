@@ -171,6 +171,25 @@ func quantile(sorted []int64, q float64) int64 {
 	return sorted[i]
 }
 
+// RuntimeInfo captures the process's machine pressure at the end of a
+// benchmark run, so a BENCH_*.json records not just how fast the
+// scenarios were but what they cost the runtime: a QPS win that
+// doubled peak heap or tripled GC cycles is a trade, not a win.
+type RuntimeInfo struct {
+	// PeakHeapBytes is the largest live heap observed across the run's
+	// scenario boundaries (HeapAlloc high-water mark; the true peak
+	// between measurements may be higher).
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// HeapAllocBytes is the live heap at capture time.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// GCCycles counts completed GC cycles over the process lifetime.
+	GCCycles uint32 `json:"gc_cycles"`
+	// PauseTotalMicros is the cumulative GC stop-the-world pause time.
+	PauseTotalMicros float64 `json:"pause_total_us"`
+	// Goroutines is the live goroutine count at capture time.
+	Goroutines int `json:"goroutines"`
+}
+
 // Report is a committed benchmark trajectory point: the machine it ran
 // on and every scenario result. cmd/skyperf emits it as BENCH_*.json.
 type Report struct {
@@ -181,7 +200,11 @@ type Report struct {
 	NumCPU     int      `json:"num_cpu"`
 	GoMaxProcs int      `json:"gomaxprocs"`
 	Notes      []string `json:"notes,omitempty"`
-	Results    []Result `json:"results"`
+	// Runtime is the end-of-run machine pressure (CaptureRuntime).
+	Runtime *RuntimeInfo `json:"runtime,omitempty"`
+	Results []Result     `json:"results"`
+
+	peakHeap uint64 // high-water HeapAlloc, updated after every Add
 }
 
 // NewReport stamps the runtime environment.
@@ -201,10 +224,33 @@ func NewReport(label string) *Report {
 func (r *Report) Add(w io.Writer, opt Options, fn func(worker, op int)) Result {
 	res := Run(opt, fn)
 	r.Results = append(r.Results, res)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > r.peakHeap {
+		r.peakHeap = ms.HeapAlloc
+	}
 	if w != nil {
 		fmt.Fprintln(w, res)
 	}
 	return res
+}
+
+// CaptureRuntime stamps the report with the process's current machine
+// pressure. Call it after the last Add, before writing the report.
+func (r *Report) CaptureRuntime() *RuntimeInfo {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > r.peakHeap {
+		r.peakHeap = ms.HeapAlloc
+	}
+	r.Runtime = &RuntimeInfo{
+		PeakHeapBytes:    r.peakHeap,
+		HeapAllocBytes:   ms.HeapAlloc,
+		GCCycles:         ms.NumGC,
+		PauseTotalMicros: float64(ms.PauseTotalNs) / 1e3,
+		Goroutines:       runtime.NumGoroutine(),
+	}
+	return r.Runtime
 }
 
 // Find returns the named result.

@@ -109,3 +109,37 @@ func TestReportRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCaptureRuntime: the runtime block records real machine pressure
+// and survives the JSON round trip, so BENCH_*.json carries it.
+func TestCaptureRuntime(t *testing.T) {
+	r := NewReport("rt")
+	// A scenario that allocates, so the heap high-water mark is real.
+	var sink [][]byte
+	r.Add(nil, Options{Name: "alloc", Ops: 200}, func(w, i int) {
+		sink = append(sink, make([]byte, 4096))
+	})
+	_ = sink
+	ri := r.CaptureRuntime()
+	if ri == nil || r.Runtime != ri {
+		t.Fatal("CaptureRuntime did not attach the block")
+	}
+	if ri.PeakHeapBytes == 0 || ri.HeapAllocBytes == 0 || ri.Goroutines < 1 {
+		t.Fatalf("implausible runtime block: %+v", ri)
+	}
+	if ri.PeakHeapBytes < ri.HeapAllocBytes {
+		t.Fatalf("peak %d below current heap %d", ri.PeakHeapBytes, ri.HeapAllocBytes)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Runtime == nil || back.Runtime.PeakHeapBytes != ri.PeakHeapBytes {
+		t.Fatalf("runtime block lost in round trip: %+v", back.Runtime)
+	}
+}

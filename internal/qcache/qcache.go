@@ -240,6 +240,20 @@ func (c *Cache) ShardStats() []ShardStat {
 	return out
 }
 
+// ShardStat snapshots one shard without allocating — the form the
+// metrics GaugeFuncs use, where ShardStats' slice-per-scrape would
+// show up on the sampler's tick path.
+func (c *Cache) ShardStat(i int) ShardStat {
+	sh := &c.shards[i]
+	sh.mu.Lock()
+	st := ShardStat{Entries: len(sh.entries), Evictions: int(sh.evictions)}
+	sh.mu.Unlock()
+	return st
+}
+
+// Evictions returns the lifetime eviction total across all shards.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }
+
 // Len returns the number of memoized answers currently held.
 func (c *Cache) Len() int {
 	n := 0

@@ -8,8 +8,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
+
+	"hiddensky/internal/obs"
 )
 
 // Client is the Go client for a skylined job service.
@@ -107,6 +110,51 @@ func (c *Client) StatsDetail() (StatsDetail, error) {
 	var d StatsDetail
 	err := c.do(context.Background(), http.MethodGet, "/v1/stats", nil, &d)
 	return d, err
+}
+
+// History fetches the daemon's retained time-series rings. last bounds
+// the trailing samples per series (<= 0: everything retained).
+func (c *Client) History(last int) (obs.HistorySnapshot, error) {
+	path := "/v1/history"
+	if last > 0 {
+		path += "?last=" + strconv.Itoa(last)
+	}
+	var h obs.HistorySnapshot
+	err := c.do(context.Background(), http.MethodGet, path, nil, &h)
+	return h, err
+}
+
+// Healthz fetches the daemon's health rollup (liveness view: the
+// endpoint answers 200 in every state).
+func (c *Client) Healthz() (obs.HealthReport, error) {
+	var rep obs.HealthReport
+	err := c.do(context.Background(), http.MethodGet, "/healthz", nil, &rep)
+	return rep, err
+}
+
+// Readyz asks the routing question: ready reports whether the daemon
+// should receive traffic (the endpoint's 200/503), rep carries the
+// rollup detail either way.
+func (c *Client) Readyz() (rep obs.HealthReport, ready bool, err error) {
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return rep, false, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return rep, false, fmt.Errorf("service: readyz request: %w", err)
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return rep, false, fmt.Errorf("service: readyz answered %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, false, fmt.Errorf("service: decoding readyz response: %w", err)
+	}
+	return rep, resp.StatusCode == http.StatusOK, nil
 }
 
 // Answers lists every store's answer-index status.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"hiddensky/internal/jsonbuf"
 	"hiddensky/internal/obs"
@@ -16,6 +17,14 @@ import (
 //	GET    /v1/stats             -> StatsDetail: health + every metric
 //	                                series as JSON + cache counters
 //	                                with per-shard detail
+//	GET    /v1/history           -> obs.HistorySnapshot: the retained
+//	                                time-series rings (?last=N bounds
+//	                                trailing samples per series)
+//	GET    /healthz              -> obs.HealthReport, always 200
+//	                                (liveness + full rollup detail)
+//	GET    /readyz               -> obs.HealthReport; 503 while the
+//	                                daemon is recovering or draining,
+//	                                200 once it should receive traffic
 //	GET    /metrics              -> the same registry in Prometheus
 //	                                text exposition format
 //	POST   /v1/jobs  {JobSpec}   -> JobStatus (201); 400 + the error
@@ -69,6 +78,9 @@ func NewHandler(m *Manager) *Handler {
 	h := &Handler{m: m, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /v1/health", h.handleHealth)
 	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
+	h.mux.HandleFunc("GET /v1/history", h.handleHistory)
+	h.mux.Handle("GET /healthz", obs.HealthzHandler(m.HealthRollup()))
+	h.mux.Handle("GET /readyz", obs.ReadyzHandler(m.HealthRollup()))
 	h.mux.Handle("GET /metrics", obs.MetricsHandler(m.Registry()))
 	h.mux.HandleFunc("POST /v1/jobs", h.handleSubmit)
 	h.mux.HandleFunc("GET /v1/jobs", h.handleList)
@@ -95,6 +107,21 @@ func (h *Handler) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.m.StatsFull())
+}
+
+// handleHistory serves the retained time-series rings. ?last=N bounds
+// the trailing samples per series.
+func (h *Handler) handleHistory(w http.ResponseWriter, r *http.Request) {
+	last := 0
+	if v := r.URL.Query().Get("last"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("service: bad last=%q (want a non-negative integer)", v)})
+			return
+		}
+		last = n
+	}
+	writeJSON(w, http.StatusOK, h.m.History(last))
 }
 
 func (h *Handler) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -170,7 +197,7 @@ func (h *Handler) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.URL.Query().Get("format") == "chrome" {
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		_ = obs.WriteChromeTrace(w, t.Spans)
 		return

@@ -3,6 +3,7 @@ package service
 import (
 	"log/slog"
 	"strconv"
+	"time"
 
 	"hiddensky/internal/answer"
 	"hiddensky/internal/core"
@@ -102,14 +103,51 @@ func (m *Manager) registerManagerFuncs() {
 	for i := 0; i < m.cache.NumShards(); i++ {
 		shard := i
 		l := `{shard="` + strconv.Itoa(shard) + `"}`
+		// ShardStat (singular) locks exactly one shard and allocates
+		// nothing — these funcs run on every sampler tick, where a
+		// ShardStats slice per shard per tick would break the sampling
+		// path's zero-allocation contract.
 		m.reg.GaugeFunc("qcache_shard_entries"+l, "memoized answers held by the shard", func() float64 {
-			return float64(m.cache.ShardStats()[shard].Entries)
+			return float64(m.cache.ShardStat(shard).Entries)
 		})
 		m.reg.CounterFunc("qcache_shard_evictions_total"+l, "entries the shard dropped over its lifetime", func() float64 {
-			return float64(m.cache.ShardStats()[shard].Evictions)
+			return float64(m.cache.ShardStat(shard).Evictions)
 		})
 	}
 }
+
+// registerHealthChecks builds the manager's rollup: the readiness gate
+// (closed until Recover when a snapshot store is configured) plus one
+// windowed-rate check per failure signal. The rate closures read the
+// sampler, never m.mu, so Evaluate can run from any handler.
+func (m *Manager) registerHealthChecks() {
+	m.health = obs.NewHealthRollup("recovering: snapshot jobs not yet replayed")
+	h := m.cfg.Health
+	m.health.AddCheck("job_failure_rate", threshold(h.MaxFailureRate, DefaultMaxFailureRate), func() float64 {
+		return m.sampler.Rate("jobs_failed_total", time.Minute)
+	})
+	m.health.AddCheck("upstream_429_rate", threshold(h.MaxRateLimitedRate, DefaultMaxRateLimitedRate), func() float64 {
+		return m.sampler.Rate("upstream_rate_limited_total", time.Minute)
+	})
+	if m.cache != nil {
+		m.health.AddCheck("qcache_eviction_rate", threshold(h.MaxEvictionRate, DefaultMaxEvictionRate), func() float64 {
+			return m.sampler.Rate("qcache_evictions_total", time.Minute)
+		})
+	}
+}
+
+// Sampler exposes the time-series layer (handlers, tests).
+func (m *Manager) Sampler() *obs.Sampler { return m.sampler }
+
+// HealthRollup exposes the rollup (handlers, flag wiring).
+func (m *Manager) HealthRollup() *obs.HealthRollup { return m.health }
+
+// History snapshots the retained time-series rings — the body of
+// GET /v1/history. last bounds trailing samples (<= 0: everything).
+func (m *Manager) History(last int) obs.HistorySnapshot { return m.sampler.History(last) }
+
+// HealthReport evaluates the rollup — the body of GET /healthz.
+func (m *Manager) HealthReport() obs.HealthReport { return m.health.Evaluate() }
 
 // Registry exposes the manager's metrics registry. cmd/skylined uses
 // it to serve /metrics; tests scrape it directly.

@@ -80,6 +80,50 @@ type Config struct {
 	// overwritten and GET /v1/jobs/{id}/trace marks the trace
 	// truncated.
 	SpanBuffer int
+	// SampleInterval is the time-series sampler's tick (<= 0:
+	// obs.DefaultSampleInterval). Every registry series is ringed at
+	// this cadence for GET /v1/history and the health rollup's
+	// windowed rates.
+	SampleInterval time.Duration
+	// SampleRetention bounds how many samples each series keeps (<= 0:
+	// obs.DefaultSampleRetention).
+	SampleRetention int
+	// Health tunes the rollup's degradation thresholds.
+	Health HealthThresholds
+}
+
+// HealthThresholds configures the manager's health rollup: a rate
+// check degrades the daemon while its 1-minute windowed rate exceeds
+// the threshold (events per second). Zero picks the default; negative
+// disables the check.
+type HealthThresholds struct {
+	// MaxFailureRate bounds failed jobs per second (default 0.1).
+	MaxFailureRate float64
+	// MaxRateLimitedRate bounds upstream 429s per second across all
+	// stores (default 1.0).
+	MaxRateLimitedRate float64
+	// MaxEvictionRate bounds shared-cache evictions per second
+	// (default 100) — sustained eviction churn means the cache is
+	// thrashing, not caching.
+	MaxEvictionRate float64
+}
+
+// Default health thresholds (events/second over the trailing minute).
+const (
+	DefaultMaxFailureRate     = 0.1
+	DefaultMaxRateLimitedRate = 1.0
+	DefaultMaxEvictionRate    = 100.0
+)
+
+// threshold resolves the zero/negative convention.
+func threshold(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0 // obs: <= 0 disables the check
+	}
+	return v
 }
 
 // JobSpec describes one discovery job. It is the JSON body of
@@ -318,13 +362,15 @@ func (j *job) notifyLocked(st JobStatus) {
 
 // Manager runs discovery jobs against named stores.
 type Manager struct {
-	cfg   Config
-	cache *qcache.Cache
-	snaps *snapshotStore // nil: no persistence
-	reg   *obs.Registry
-	met   *managerMetrics
-	log   *slog.Logger
-	spans *obs.SpanStore // per-job span trees, bounded ring
+	cfg     Config
+	cache   *qcache.Cache
+	snaps   *snapshotStore // nil: no persistence
+	reg     *obs.Registry
+	met     *managerMetrics
+	log     *slog.Logger
+	spans   *obs.SpanStore    // per-job span trees, bounded ring
+	sampler *obs.Sampler      // time-series rings over reg
+	health  *obs.HealthRollup // ready/degraded/unready rollup
 
 	mu      sync.Mutex
 	stores  map[string]core.Interface
@@ -359,13 +405,26 @@ func NewManager(cfg Config) (*Manager, error) {
 		m.cache = qcache.New(qcache.Config{MaxEntries: cfg.CacheSize})
 	}
 	m.registerManagerFuncs()
+	obs.RegisterRuntime(m.reg)
+	m.sampler = obs.NewSampler(m.reg, obs.SamplerConfig{
+		Interval:  cfg.SampleInterval,
+		Retention: cfg.SampleRetention,
+	})
+	m.registerHealthChecks()
 	if cfg.SnapshotDir != "" {
 		s, err := newSnapshotStore(cfg.SnapshotDir)
 		if err != nil {
 			return nil, err
 		}
 		m.snaps = s
+	} else {
+		// Without a snapshot store there is nothing to recover: the
+		// readiness gate opens immediately. With one, it stays closed
+		// until Recover has replayed the snapshots and rebuilt the
+		// answer indexes.
+		m.health.SetReady()
 	}
+	m.sampler.Start()
 	return m, nil
 }
 
@@ -1152,6 +1211,10 @@ func (m *Manager) Recover() (int, error) {
 	m.rebuildAnswersLocked()
 	m.schedule()
 	m.mu.Unlock()
+	// The readiness gate opens exactly here: every snapshot has been
+	// replayed and the last answer index rebuilt, so GET /readyz flips
+	// from 503 to 200 the moment recovered results are servable.
+	m.health.SetReady()
 	return resumed, nil
 }
 
@@ -1193,6 +1256,14 @@ func (m *Manager) Close(ctx context.Context) error {
 		return nil
 	}
 	m.closed = true
+	m.mu.Unlock()
+	// A draining daemon must leave load-balancer rotation before its
+	// jobs are interrupted, and the sampler loop must not outlive the
+	// manager. (Stop waits for the in-flight tick; it must not run
+	// under m.mu — sampled GaugeFuncs take m.mu themselves.)
+	m.health.SetUnready("shutting down")
+	m.sampler.Stop()
+	m.mu.Lock()
 	var open []*job
 	for _, j := range m.jobs {
 		j.mu.Lock()

@@ -1,0 +1,178 @@
+package web
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/obs"
+)
+
+// TestResponseContentTypes pins the explicit Content-Type of every
+// telemetry surface: Prometheus text (with the exposition version) on
+// /metrics, JSON with charset on stats/history/health.
+func TestResponseContentTypes(t *testing.T) {
+	db := testDB(t, 20, 2, 8, 2, capsAll(2, hidden.RQ), 0)
+	srv := httptest.NewServer(NewServer(db, nil))
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		path, want string
+	}{
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/v1/stats", "application/json; charset=utf-8"},
+		{"/v1/history", "application/json; charset=utf-8"},
+		{"/healthz", "application/json; charset=utf-8"},
+		{"/readyz", "application/json; charset=utf-8"},
+	} {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("Content-Type"); got != tc.want {
+			t.Errorf("%s Content-Type = %q, want %q", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestHistoryEndpoint(t *testing.T) {
+	db := testDB(t, 30, 2, 8, 2, capsAll(2, hidden.RQ), 0)
+	s := NewServer(db, nil)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// Drive some traffic, then two hand ticks one second apart so the
+	// windowed rate is defined without waiting a wall-clock second.
+	base := time.Now().Add(-2 * time.Second)
+	s.Sampler().SampleNow(base)
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(srv.URL+"/v1/search", "application/json", bytes.NewBufferString(`{"preds":[]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	s.Sampler().SampleNow(base.Add(time.Second))
+
+	resp, err := http.Get(srv.URL + "/v1/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h obs.HistorySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.TimesUnixMS) != 2 {
+		t.Fatalf("history has %d samples, want 2", len(h.TimesUnixMS))
+	}
+	var reqs, runtimeSeries bool
+	for _, sh := range h.Series {
+		if sh.Name == "search_requests_total" {
+			reqs = true
+			if sh.Values[1] != 5 {
+				t.Fatalf("search_requests_total = %v, want ..5", sh.Values)
+			}
+			if sh.Rate1m < 4.9 || sh.Rate1m > 5.1 {
+				t.Fatalf("search rate_1m = %v, want ~5", sh.Rate1m)
+			}
+		}
+		if strings.HasPrefix(sh.Name, "go_") {
+			runtimeSeries = true
+		}
+	}
+	if !reqs {
+		t.Fatal("search_requests_total missing from history")
+	}
+	if !runtimeSeries {
+		t.Fatal("runtime go_* series missing from history")
+	}
+
+	// ?last bounds trailing samples; a bad value answers 400.
+	resp2, _ := http.Get(srv.URL + "/v1/history?last=1")
+	var h2 obs.HistorySnapshot
+	_ = json.NewDecoder(resp2.Body).Decode(&h2)
+	resp2.Body.Close()
+	if len(h2.TimesUnixMS) != 1 {
+		t.Fatalf("?last=1 returned %d samples", len(h2.TimesUnixMS))
+	}
+	resp3, _ := http.Get(srv.URL + "/v1/history?last=bogus")
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?last=bogus answered %d, want 400", resp3.StatusCode)
+	}
+}
+
+// TestServerHealthDegradesOn429Burst drives the web server's only
+// health check end to end: ready with no traffic, degraded after a
+// sustained 429 burst, ready again once the burst ages out of the 1m
+// window.
+func TestServerHealthDegradesOn429Burst(t *testing.T) {
+	db := testDB(t, 30, 2, 8, 2, capsAll(2, hidden.RQ), 2) // tiny rate limit
+	s := NewServer(db, nil)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	readyz := func() (int, obs.HealthReport) {
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rep obs.HealthReport
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, rep
+	}
+
+	base := time.Now().Add(-5 * time.Minute)
+	s.Sampler().SampleNow(base)
+	s.Sampler().SampleNow(base.Add(time.Second))
+	if code, rep := readyz(); code != http.StatusOK || rep.State != obs.HealthReady {
+		t.Fatalf("idle server: code=%d state=%v, want 200/ready", code, rep.State)
+	}
+
+	// Exhaust the limiter, then hammer: every extra request 429s.
+	for i := 0; i < 30; i++ {
+		resp, _ := http.Post(srv.URL+"/v1/search", "application/json", bytes.NewBufferString(`{"preds":[]}`))
+		resp.Body.Close()
+	}
+	s.Sampler().SampleNow(base.Add(2 * time.Second))
+	code, rep := readyz()
+	if code != http.StatusOK {
+		t.Fatalf("degraded readyz = %d, want 200 (still serving)", code)
+	}
+	if rep.State != obs.HealthDegraded {
+		t.Fatalf("state after 429 burst = %v, want degraded", rep.State)
+	}
+
+	// Two quiet samples beyond the 1m window: the burst ages out.
+	s.Sampler().SampleNow(base.Add(3 * time.Minute))
+	s.Sampler().SampleNow(base.Add(3*time.Minute + time.Second))
+	if _, rep := readyz(); rep.State != obs.HealthReady {
+		t.Fatalf("state after quiet window = %v, want ready (self-healed)", rep.State)
+	}
+}
+
+func TestHealthEndpointsMethodNotAllowed(t *testing.T) {
+	db := testDB(t, 10, 2, 8, 2, capsAll(2, hidden.RQ), 0)
+	srv := httptest.NewServer(NewServer(db, nil))
+	defer srv.Close()
+	for _, path := range []string{"/healthz", "/readyz", "/v1/history"} {
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewBufferString("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s answered %d, want 405", path, resp.StatusCode)
+		}
+	}
+}

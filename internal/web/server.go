@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"hiddensky/internal/hidden"
@@ -86,6 +87,14 @@ type Server struct {
 	metaRequests  *obs.Counter
 	searchSeconds *obs.Histogram
 
+	// Time-series and health layer: the sampler rings every registry
+	// series for GET /v1/history; the rollup derives ready/degraded
+	// for GET /healthz and GET /readyz. The server constructs both but
+	// does not start the sampling loop — the embedding daemon calls
+	// StartSampler so tests and library users never leak a goroutine.
+	sampler *obs.Sampler
+	health  *obs.HealthRollup
+
 	log *slog.Logger // nil until SetLogger; access lines for searches
 }
 
@@ -136,6 +145,15 @@ func NewServer(db *hidden.DB, names []string) *Server {
 	s.rateLimited = s.reg.Counter("search_rate_limited_total", "search requests rejected by the rate limiter (HTTP 429)")
 	s.metaRequests = s.reg.Counter("meta_requests_total", "schema fetches served")
 	s.searchSeconds = s.reg.Histogram("search_seconds", "latency of successfully answered search requests")
+	obs.RegisterRuntime(s.reg)
+	s.sampler = obs.NewSampler(s.reg, obs.SamplerConfig{})
+	// A standalone search server has no recovery phase: the gate opens
+	// at construction, and health degrades only on sustained 429s.
+	s.health = obs.NewHealthRollup("")
+	s.health.SetReady()
+	s.health.AddCheck("search_429_rate", DefaultMax429Rate, func() float64 {
+		return s.sampler.Rate("search_rate_limited_total", time.Minute)
+	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/meta", s.handleMeta)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
@@ -143,6 +161,9 @@ func NewServer(db *hidden.DB, names []string) *Server {
 	s.mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.reg.Snapshots())
 	})
+	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
+	s.mux.Handle("GET /healthz", obs.HealthzHandler(s.health))
+	s.mux.Handle("GET /readyz", obs.ReadyzHandler(s.health))
 	// Errors outside the handlers answer the same JSON envelope as
 	// 400/429 — API clients should never have to parse a plain-text
 	// body. A method-less pattern ranks below the method-qualified one
@@ -160,6 +181,9 @@ func NewServer(db *hidden.DB, names []string) *Server {
 	s.mux.HandleFunc("/v1/search", methodNotAllowed("POST"))
 	s.mux.HandleFunc("/metrics", methodNotAllowed("GET, HEAD"))
 	s.mux.HandleFunc("/v1/stats", methodNotAllowed("GET, HEAD"))
+	s.mux.HandleFunc("/v1/history", methodNotAllowed("GET, HEAD"))
+	s.mux.HandleFunc("/healthz", methodNotAllowed("GET, HEAD"))
+	s.mux.HandleFunc("/readyz", methodNotAllowed("GET, HEAD"))
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("web: no such endpoint %s %s", r.Method, r.URL.Path)})
 	})
@@ -174,6 +198,46 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Registry exposes the server's metrics registry, so an embedding
 // daemon can graft extra series (e.g. process info) onto /metrics.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// DefaultMax429Rate is the search_429_rate health threshold: sustained
+// rate-limit rejections above one per second over the trailing minute
+// mark the server degraded.
+const DefaultMax429Rate = 1.0
+
+// ConfigureSampler replaces the server's sampler (interval/retention
+// flag wiring). Call before StartSampler; the health checks re-bind to
+// the new sampler automatically because they close over s.sampler.
+func (s *Server) ConfigureSampler(cfg obs.SamplerConfig) {
+	s.sampler = obs.NewSampler(s.reg, cfg)
+}
+
+// StartSampler launches the background sampling loop and returns the
+// function that stops it. Daemons call this once after flag wiring.
+func (s *Server) StartSampler() (stop func()) {
+	s.sampler.Start()
+	return s.sampler.Stop
+}
+
+// Sampler exposes the time-series layer (tests, embedding daemons).
+func (s *Server) Sampler() *obs.Sampler { return s.sampler }
+
+// Health exposes the rollup so daemons can tune thresholds via flags.
+func (s *Server) Health() *obs.HealthRollup { return s.health }
+
+// handleHistory serves the retained time-series rings. ?last=N bounds
+// the trailing samples per series.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	last := 0
+	if v := r.URL.Query().Get("last"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("web: bad last=%q (want a non-negative integer)", v)})
+			return
+		}
+		last = n
+	}
+	writeJSON(w, http.StatusOK, s.sampler.History(last))
+}
 
 func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
 	s.metaRequests.Inc()

@@ -272,7 +272,7 @@ func TestErrorsAreStructuredJSON(t *testing.T) {
 		if resp.StatusCode != wantStatus {
 			t.Fatalf("status %d, want %d", resp.StatusCode, wantStatus)
 		}
-		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
 			t.Fatalf("Content-Type %q, want application/json", ct)
 		}
 		var e struct {
@@ -342,7 +342,7 @@ func TestMethodNotAllowedIsStructuredJSON(t *testing.T) {
 	if allow := resp.Header.Get("Allow"); allow == "" {
 		t.Fatal("405 lost its Allow header")
 	}
-	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
 		t.Fatalf("Content-Type %q", ct)
 	}
 	var e struct {

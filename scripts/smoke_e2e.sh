@@ -29,25 +29,29 @@ say "generating dataset"
 "$BIN/datagen" -dataset anticorrelated -n 800 -m 3 -domain 50 -o "$WORK/data.csv"
 
 say "booting skyserve on $SERVE_ADDR"
-"$BIN/skyserve" -in "$WORK/data.csv" -k 5 -addr "$SERVE_ADDR" &
+"$BIN/skyserve" -in "$WORK/data.csv" -k 5 -addr "$SERVE_ADDR" -sample-interval 250ms &
 PIDS+=($!)
 
-wait_http() {
+# Readiness, not liveness: /readyz answers 503 until the daemon can
+# actually serve (skylined: snapshots replayed and answer indexes
+# rebuilt), so waiting on it replaces any fixed sleep.
+wait_ready() {
   local url=$1
   for _ in $(seq 1 100); do
-    if curl -sf "$url" >/dev/null 2>&1; then return 0; fi
+    if curl -sf "$url/readyz" >/dev/null 2>&1; then return 0; fi
     sleep 0.1
   done
-  echo "smoke: $url never came up" >&2
+  echo "smoke: $url/readyz never turned ready" >&2
   return 1
 }
-wait_http "http://$SERVE_ADDR/v1/meta"
+wait_ready "http://$SERVE_ADDR"
 
 say "booting skylined on $DAEMON_ADDR"
 "$BIN/skylined" -addr "$DAEMON_ADDR" -snapshots "$WORK/snapshots" \
-  -max-jobs 2 -checkpoint-every 4 -store smoke="http://$SERVE_ADDR" &
+  -max-jobs 2 -checkpoint-every 4 -sample-interval 250ms \
+  -store smoke="http://$SERVE_ADDR" &
 PIDS+=($!)
-wait_http "http://$DAEMON_ADDR/v1/health"
+wait_ready "http://$DAEMON_ADDR"
 
 # The first job runs uncached so its counted queries are exactly the
 # upstream HTTP searches — the metrics parity check below depends on it.
@@ -130,6 +134,32 @@ curl -sf "http://$DAEMON_ADDR/v1/stats" | grep -q '"metrics":\[' || {
   echo "smoke: skylined /v1/stats gave no metrics" >&2; exit 1; }
 curl -sf "http://$SERVE_ADDR/v1/stats" | grep -q '"name":"search_requests_total"' || {
   echo "smoke: skyserve /v1/stats gave no metrics" >&2; exit 1; }
+
+# Time-series history: both daemons sampled at 250ms through the job,
+# so the rings hold real samples and the 1m windowed rates are nonzero
+# — the job's upstream queries just happened.
+say "checking /v1/history on both daemons"
+for url in "http://$DAEMON_ADDR" "http://$SERVE_ADDR"; do
+  hist=$(curl -sf "$url/v1/history?last=64")
+  samples=$(echo "$hist" | sed -n 's/.*"times_unix_ms":\[\([^]]*\)\].*/\1/p' | awk -F, '{print NF}')
+  [ -n "$samples" ] && [ "$samples" -ge 2 ] || {
+    echo "smoke: $url/v1/history has $samples samples, want >=2" >&2; exit 1; }
+  nonzero=$(echo "$hist" | grep -o '"rate_1m":[0-9.eE+-]*' | cut -d: -f2 | awk '$1 > 0 { c++ } END { print c + 0 }')
+  [ "$nonzero" -ge 1 ] || {
+    echo "smoke: $url/v1/history shows no nonzero rate_1m" >&2; exit 1; }
+  say "$url history: $samples samples, $nonzero series with nonzero 1m rate"
+done
+
+say "rendering the ops console against both daemons"
+top=$("$BIN/skytop" -once -url "http://$DAEMON_ADDR" -url "http://$SERVE_ADDR")
+echo "$top" | grep -q "skylined" || {
+  echo "smoke: skytop shows no skylined panel: $top" >&2; exit 1; }
+echo "$top" | grep -q "skyserve" || {
+  echo "smoke: skytop shows no skyserve panel: $top" >&2; exit 1; }
+[ "$(echo "$top" | grep -c "ready")" -ge 2 ] || {
+  echo "smoke: skytop panels not both ready: $top" >&2; exit 1; }
+echo "$top" | grep -q "goroutines=" || {
+  echo "smoke: skytop shows no runtime telemetry: $top" >&2; exit 1; }
 
 say "submitting a filtered job (-where composes with an explicit algo end-to-end)"
 bad=$(curl -s -o /dev/null -w '%{http_code}' -XPOST "http://$DAEMON_ADDR/v1/jobs" \
