@@ -71,6 +71,8 @@ func main() {
 	maxFailureRate := flag.Float64("health-max-failure-rate", 0, "failed jobs/sec (1m window) before /healthz reports degraded (0 = 0.1, negative = disabled)")
 	max429Rate := flag.Float64("health-max-429-rate", 0, "upstream 429s/sec (1m window) before degraded (0 = 1.0, negative = disabled)")
 	maxEvictionRate := flag.Float64("health-max-eviction-rate", 0, "cache evictions/sec (1m window) before degraded (0 = 100, negative = disabled)")
+	batchWindow := flag.Duration("batch-window", 0, "coalesce concurrent /v1/answer/topk calls per store for up to this long and answer them in one fused batch sweep (0 = off)")
+	batchMax := flag.Int("batch-max", 0, "max coalesced vectors per batch sweep; the batch flushes early when reached (0 = 16)")
 	var stores storeFlags
 	flag.Var(&stores, "store", "name=target store (repeatable); target is a skyserve URL (http://...) or a CSV path")
 	flag.Parse()
@@ -89,6 +91,8 @@ func main() {
 		SpanBuffer:      *spanBuffer,
 		SampleInterval:  *sampleInterval,
 		SampleRetention: *sampleRetention,
+		BatchWindow:     *batchWindow,
+		BatchMax:        *batchMax,
 		Health: service.HealthThresholds{
 			MaxFailureRate:     *maxFailureRate,
 			MaxRateLimitedRate: *max429Rate,

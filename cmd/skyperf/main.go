@@ -13,17 +13,24 @@
 //     sharded layout;
 //   - the HTTP search wire: /v1/meta (pre-encoded static body) and
 //     /v1/search (pooled response encoding) served through the real
-//     handler stack.
+//     handler stack;
+//   - batch top-k: Store.TopKBatchInto scoring B weight vectors per
+//     fused column sweep (B = 1, 16, 256) against the single-vector
+//     arena path, with a derived per-vector view gated relative to it;
+//   - recovery: rebuilding the answer index from the JSON job snapshot
+//     (unmarshal + Build) vs. loading the binary columnar snapshot
+//     (answer.LoadBinary), the cold-start choice Recover makes.
 //
 // Usage:
 //
-//	skyperf [-quick] [-out BENCH_PR5.json] [-label text] [-n N] [-conc C]
+//	skyperf [-quick] [-out BENCH_PR9.json] [-label text] [-n N] [-conc C]
 //
-// scripts/bench.sh wraps it to regenerate the committed BENCH_PR5.json.
+// scripts/bench.sh wraps it to regenerate the committed BENCH_PR9.json.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -43,7 +50,7 @@ import (
 
 func main() {
 	out := flag.String("out", "", "write the JSON report here (default: stdout only)")
-	label := flag.String("label", "PR5 read-stack baseline", "report label")
+	label := flag.String("label", "PR9 batch scoring and binary snapshots", "report label")
 	quick := flag.Bool("quick", false, "reduced scale (CI smoke)")
 	n := flag.Int("n", 20000, "dataset size for the answer-store scenarios")
 	conc := flag.Int("conc", 8, "concurrency of the parallel scenarios")
@@ -76,7 +83,9 @@ func main() {
 	r := perf.NewReport(*label)
 	fmt.Fprintf(os.Stderr, "skyperf: %s, %s/%s, %d CPUs\n", r.GoVersion, r.GOOS, r.GOARCH, r.NumCPU)
 
-	answerScenarios(r, *n, *conc, scale, *seed)
+	s, band, ws := answerScenarios(r, *n, *conc, scale, *seed)
+	batchScenarios(r, s, ws, scale)
+	recoverScenarios(r, s, band, scale)
 	cacheScenarios(r, *conc, scale, *seed)
 	webScenarios(r, *conc, scale, *seed)
 
@@ -105,6 +114,18 @@ func main() {
 		if sh, ok := r.Find(fmt.Sprintf("qcache_lookup_sharded_c%d", *conc)); ok {
 			note("qcache parallel lookups at c=%d: %.0f -> %.0f qps (%.2fx) from the seed single-mutex cache to %d shards with binary keys and copy-outside-lock",
 				*conc, ref.QPS, sh.QPS, sh.QPS/ref.QPS, qcache.DefaultShards)
+		}
+	}
+	if single, ok := r.Find("answer_topk_unfiltered_arena_c1"); ok {
+		if batch, ok := r.Find("answer_batch_topk_b16_vectors_c1"); ok {
+			note("batch TopK at B=16: %.0f vectors/s vs %.0f single-vector qps (%.2fx) from the fused per-column sweep",
+				batch.QPS, single.QPS, batch.QPS/single.QPS)
+		}
+	}
+	if j, ok := r.Find("recover_json_c1"); ok {
+		if b, ok := r.Find("recover_binary_c1"); ok {
+			note("answer recovery p50: JSON re-index %.0fus -> binary snapshot load %.0fus (%.0fx faster cold start)",
+				j.P50Micros, b.P50Micros, j.P50Micros/b.P50Micros)
 		}
 	}
 
@@ -178,7 +199,10 @@ func weightSet(rng *rand.Rand, m int) [][]float64 {
 	return ws
 }
 
-func answerScenarios(r *perf.Report, n, conc, scale int, seed int64) {
+// answerScenarios measures the single-vector top-k paths and hands the
+// built store, band and weight rotation to the batch and recovery
+// scenarios so every answer measurement shares one data shape.
+func answerScenarios(r *perf.Report, n, conc, scale int, seed int64) (*answer.Store, [][]int, [][]float64) {
 	const m, bandK, k = 4, 10, 10
 	rng := rand.New(rand.NewSource(seed))
 	data := genData(rng, n, m, 1000)
@@ -239,6 +263,88 @@ func answerScenarios(r *perf.Report, n, conc, scale int, seed int64) {
 		}
 		if res.Items != nil {
 			fdst = res.Items
+		}
+	})
+	return s, band, ws
+}
+
+// batchScenarios measures TopKBatchInto at increasing batch widths. One
+// op is one fused sweep over all B vectors, so the raw sweep scenarios
+// report sweeps/sec; the derived *_vectors result restates the B=16
+// sweep per vector (QPS x16, latency and allocs /16) — that is the
+// number comparable to, and SLO-gated against, the single-vector path.
+func batchScenarios(r *perf.Report, s *answer.Store, ws [][]float64, scale int) {
+	const k = 10
+	for _, b := range []int{1, 16, 256} {
+		qs := make([]answer.TopKQuery, b)
+		for i := range qs {
+			qs[i] = answer.TopKQuery{Weights: ws[i%len(ws)], K: k}
+		}
+		var out []answer.TopKResult
+		sweeps := 40000 / scale / b
+		if sweeps < 400 {
+			sweeps = 400
+		}
+		res := r.Add(os.Stderr, perf.Options{
+			Name: fmt.Sprintf("answer_batch_sweep_b%d_c1", b), Concurrency: 1, Ops: sweeps,
+		}, func(w, i int) {
+			var err error
+			out, err = s.TopKBatchInto(qs, out[:0])
+			if err != nil {
+				panic(err)
+			}
+		})
+		if b == 16 {
+			derived := res
+			derived.Name = "answer_batch_topk_b16_vectors_c1"
+			derived.Ops = res.Ops * b
+			derived.QPS = res.QPS * float64(b)
+			derived.P50Micros = res.P50Micros / float64(b)
+			derived.P99Micros = res.P99Micros / float64(b)
+			derived.AllocsPerOp = res.AllocsPerOp / float64(b)
+			derived.BytesPerOp = res.BytesPerOp / float64(b)
+			derived.Latency = nil
+			r.Results = append(r.Results, derived)
+		}
+	}
+}
+
+// recoverScenarios measures the two cold-start paths service.Recover
+// chooses between: re-indexing from the JSON job snapshot (unmarshal
+// the tuples, answer.Build) vs. loading the binary columnar snapshot
+// (one checksum pass, then the bytes are the arena). Op counts differ
+// because Build is milliseconds and LoadBinary is microseconds; the
+// SLO gate compares their p50s, which op count does not move.
+func recoverScenarios(r *perf.Report, s *answer.Store, band [][]int, scale int) {
+	const bandK = 10
+	jsonSnap, err := json.Marshal(band)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyperf: marshal band: %v\n", err)
+		os.Exit(1)
+	}
+	binSnap := s.AppendBinary(nil)
+	fmt.Fprintf(os.Stderr, "skyperf: recovery snapshots: json %d bytes, binary %d bytes\n", len(jsonSnap), len(binSnap))
+
+	jops := 200 / scale
+	if jops < 20 {
+		jops = 20
+	}
+	r.Add(os.Stderr, perf.Options{
+		Name: "recover_json_c1", Concurrency: 1, Ops: jops,
+	}, func(w, i int) {
+		var tuples [][]int
+		if err := json.Unmarshal(jsonSnap, &tuples); err != nil {
+			panic(err)
+		}
+		if _, err := answer.Build(tuples, answer.Options{BandK: bandK}); err != nil {
+			panic(err)
+		}
+	})
+	r.Add(os.Stderr, perf.Options{
+		Name: "recover_binary_c1", Concurrency: 1, Ops: 20000 / scale,
+	}, func(w, i int) {
+		if _, err := answer.LoadBinary(binSnap); err != nil {
+			panic(err)
 		}
 	})
 }

@@ -192,6 +192,10 @@ func render(w io.Writer, v view) {
 	if qpsName, qps := qpsSeries(h); qpsName != "" {
 		fmt.Fprintf(w, "  qps   %s  %6.1f/s (1m)  %s\n", spark(qps), sumRate1m(h, qpsName), qpsName)
 	}
+	if vecs := batchSeries(h); vecs != nil {
+		fmt.Fprintf(w, "  batch %s  %6.1f/s (1m)  answer vectors (%.1f sweeps/s)\n",
+			spark(vecs), sumRate1m(h, "answer_batch_vectors_total"), sumRate1m(h, "answer_batch_sweeps_total"))
+	}
 	if p99Name, p99 := p99Series(h); p99Name != "" {
 		fmt.Fprintf(w, "  p99   %s  %8s       %s\n", spark(p99), fmtMicros(lastVal(p99)), p99Name)
 	}
@@ -257,6 +261,30 @@ func qpsSeries(h obs.HistorySnapshot) (string, []float64) {
 		}
 	}
 	return "", nil
+}
+
+// batchSeries returns the answer batch-vector counter's per-second
+// rates once the daemon has scored any batched vectors; idle panels
+// (and daemons without an answer path) skip the line entirely.
+func batchSeries(h obs.HistorySnapshot) []float64 {
+	var sum []float64
+	for _, s := range h.Series {
+		if family(s.Name) != "answer_batch_vectors_total" || len(s.Values) == 0 {
+			continue
+		}
+		if sum == nil {
+			sum = make([]float64, len(s.Values))
+		}
+		for i := range s.Values {
+			if i < len(sum) {
+				sum[i] += s.Values[i]
+			}
+		}
+	}
+	if sum == nil || sum[len(sum)-1] <= 0 {
+		return nil
+	}
+	return deltas(sum, h.IntervalSeconds)
 }
 
 // p99Series picks a latency histogram and returns its p99 ring

@@ -127,6 +127,13 @@ type Metrics struct {
 	SkylineSeconds *obs.Histogram
 	// DominatesSeconds observes Dominates latency.
 	DominatesSeconds *obs.Histogram
+	// BatchSeconds observes whole-batch TopKBatch latency (one
+	// observation per batch, not per vector).
+	BatchSeconds *obs.Histogram
+	// BatchSize observes the vector count of each batch, recorded as a
+	// dimensionless duration (1ns == 1 vector) so the power-of-two
+	// histogram's quantiles read directly as batch sizes.
+	BatchSize *obs.Histogram
 }
 
 // SetMetrics attaches metrics to the store. Call it right after Build,

@@ -156,3 +156,82 @@ func BenchmarkStoreTopKSharded(b *testing.B) {
 		dst = res.Items
 	}
 }
+
+// batchBenchWeights builds B distinct weight vectors (the skyperf
+// rotation: deterministic, all positive, no two collinear).
+func batchBenchWeights(m, bsz int) [][]float64 {
+	rng := rand.New(rand.NewSource(79))
+	ws := make([][]float64, bsz)
+	for i := range ws {
+		w := make([]float64, m)
+		for a := range w {
+			w[a] = 0.05 + rng.Float64()*4
+		}
+		ws[i] = w
+	}
+	return ws
+}
+
+// BenchmarkStoreTopKBatch is the headline batch figure: one op answers
+// B=16 distinct weight vectors in one fused sweep. Compare ns/op with
+// BenchmarkStoreTopKBatchSingleLoop (the same 16 vectors as 16
+// TopKAppend calls) — the acceptance floor is a 3x gap.
+func BenchmarkStoreTopKBatch(b *testing.B) {
+	for _, bsz := range []int{1, 16, 256} {
+		b.Run(sizeName(bsz), func(b *testing.B) {
+			s := benchStore(b, 20000)
+			ws := batchBenchWeights(4, bsz)
+			qs := make([]TopKQuery, bsz)
+			for i := range qs {
+				qs[i] = TopKQuery{Weights: ws[i], K: 10}
+			}
+			var out []TopKResult
+			var err error
+			out, err = s.TopKBatchInto(qs, out)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err = s.TopKBatchInto(qs, out)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(bsz*b.N)/b.Elapsed().Seconds(), "vectors/s")
+		})
+	}
+}
+
+// BenchmarkStoreTopKBatchSingleLoop answers the same 16 vectors as 16
+// independent single-vector calls: the "before" row of the batch figure.
+func BenchmarkStoreTopKBatchSingleLoop(b *testing.B) {
+	const bsz = 16
+	s := benchStore(b, 20000)
+	ws := batchBenchWeights(4, bsz)
+	var dst []Ranked
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range ws {
+			res, err := s.TopKAppend(TopKQuery{Weights: w, K: 10}, dst[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst = res.Items
+		}
+	}
+	b.ReportMetric(float64(bsz*b.N)/b.Elapsed().Seconds(), "vectors/s")
+}
+
+func sizeName(bsz int) string {
+	switch bsz {
+	case 1:
+		return "B1"
+	case 16:
+		return "B16"
+	default:
+		return "B256"
+	}
+}

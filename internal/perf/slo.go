@@ -17,6 +17,12 @@ import (
 // SLO bounds one named scenario. Zero-valued bounds are not enforced;
 // MaxAllocsPerOp is a pointer so an explicit 0 (a zero-allocation
 // contract) stays distinguishable from "not bounded".
+//
+// The two ratio bounds relate scenarios *within one report*, which is
+// what makes them machine-independent: "the batch path must beat the
+// single-vector path 4x" or "binary recovery must cost at most half a
+// JSON re-index" holds on a fast laptop and a throttled CI runner
+// alike, where any absolute floor would be calibrated for only one.
 type SLO struct {
 	// Name is the scenario's Result.Name in the report.
 	Name string `json:"name"`
@@ -26,6 +32,16 @@ type SLO struct {
 	MaxP99Micros float64 `json:"max_p99_us,omitempty"`
 	// MaxAllocsPerOp is the allocation-rate ceiling (nil: unbounded).
 	MaxAllocsPerOp *float64 `json:"max_allocs_per_op,omitempty"`
+	// MinQPSRatio, with QPSRatioOf, is a relative throughput floor: this
+	// scenario's QPS must be at least MinQPSRatio times the QPS of the
+	// QPSRatioOf scenario from the same report.
+	MinQPSRatio float64 `json:"min_qps_ratio,omitempty"`
+	QPSRatioOf  string  `json:"qps_ratio_of,omitempty"`
+	// MaxP50Ratio, with P50RatioOf, is a relative latency ceiling: this
+	// scenario's median must be at most MaxP50Ratio times the median of
+	// the P50RatioOf scenario from the same report.
+	MaxP50Ratio float64 `json:"max_p50_ratio,omitempty"`
+	P50RatioOf  string  `json:"p50_ratio_of,omitempty"`
 }
 
 // SLOSpec is the slo.json file shape.
@@ -68,6 +84,26 @@ func (s *SLOSpec) Evaluate(r *Report) []Violation {
 		if slo.MaxAllocsPerOp != nil && res.AllocsPerOp > *slo.MaxAllocsPerOp {
 			add(slo.Name, "allocs/op %.3f above ceiling %.3f", res.AllocsPerOp, *slo.MaxAllocsPerOp)
 		}
+		if slo.MinQPSRatio > 0 {
+			base, ok := r.Find(slo.QPSRatioOf)
+			switch {
+			case !ok:
+				add(slo.Name, "ratio baseline %q missing from report %q", slo.QPSRatioOf, r.Label)
+			case res.QPS < slo.MinQPSRatio*base.QPS:
+				add(slo.Name, "qps %.0f is %.2fx of %s (%.0f), below floor %.2fx",
+					res.QPS, res.QPS/base.QPS, slo.QPSRatioOf, base.QPS, slo.MinQPSRatio)
+			}
+		}
+		if slo.MaxP50Ratio > 0 {
+			base, ok := r.Find(slo.P50RatioOf)
+			switch {
+			case !ok:
+				add(slo.Name, "ratio baseline %q missing from report %q", slo.P50RatioOf, r.Label)
+			case res.P50Micros > slo.MaxP50Ratio*base.P50Micros:
+				add(slo.Name, "p50 %.1fus is %.2fx of %s (%.1fus), above ceiling %.2fx",
+					res.P50Micros, res.P50Micros/base.P50Micros, slo.P50RatioOf, base.P50Micros, slo.MaxP50Ratio)
+			}
+		}
 	}
 	return out
 }
@@ -86,7 +122,14 @@ func ParseSLOSpec(data []byte) (*SLOSpec, error) {
 		if slo.Name == "" {
 			return nil, fmt.Errorf("perf: SLO %d names no scenario", i)
 		}
-		if slo.MinQPS <= 0 && slo.MaxP99Micros <= 0 && slo.MaxAllocsPerOp == nil {
+		if (slo.MinQPSRatio > 0) != (slo.QPSRatioOf != "") {
+			return nil, fmt.Errorf("perf: SLO %q needs both min_qps_ratio and qps_ratio_of", slo.Name)
+		}
+		if (slo.MaxP50Ratio > 0) != (slo.P50RatioOf != "") {
+			return nil, fmt.Errorf("perf: SLO %q needs both max_p50_ratio and p50_ratio_of", slo.Name)
+		}
+		if slo.MinQPS <= 0 && slo.MaxP99Micros <= 0 && slo.MaxAllocsPerOp == nil &&
+			slo.MinQPSRatio <= 0 && slo.MaxP50Ratio <= 0 {
 			return nil, fmt.Errorf("perf: SLO %q sets no bounds", slo.Name)
 		}
 	}

@@ -78,12 +78,47 @@ func TestEvaluateMissingScenarioIsViolation(t *testing.T) {
 	}
 }
 
+// TestEvaluateRatioBounds pins the relative bounds: fast_path is 20x
+// slow_path's QPS and 1/400th its p50, so ratio floors and ceilings on
+// either side of those marks must pass and fail accordingly — and a
+// ratio whose baseline scenario is missing must itself violate.
+func TestEvaluateRatioBounds(t *testing.T) {
+	r := sloReport()
+	r.Results[0].P50Micros = 10
+	r.Results[1].P50Micros = 4000
+	pass := &SLOSpec{SLOs: []SLO{
+		{Name: "fast_path", MinQPSRatio: 4, QPSRatioOf: "slow_path",
+			MaxP50Ratio: 0.5, P50RatioOf: "slow_path"},
+	}}
+	if v := pass.Evaluate(r); len(v) != 0 {
+		t.Fatalf("20x qps / 0.0025x p50 must satisfy 4x / 0.5x: %v", v)
+	}
+	fail := &SLOSpec{SLOs: []SLO{
+		{Name: "fast_path", MinQPSRatio: 50, QPSRatioOf: "slow_path",
+			MaxP50Ratio: 0.001, P50RatioOf: "slow_path"},
+	}}
+	if v := fail.Evaluate(r); len(v) != 2 {
+		t.Fatalf("want the qps-ratio and p50-ratio violations, got %v", v)
+	}
+	missing := &SLOSpec{SLOs: []SLO{
+		{Name: "fast_path", MinQPSRatio: 2, QPSRatioOf: "gone_path"},
+	}}
+	v := missing.Evaluate(r)
+	if len(v) != 1 || v[0].Name != "fast_path" {
+		t.Fatalf("missing ratio baseline must violate: %v", v)
+	}
+}
+
 func TestParseSLOSpecRejectsVacuousShapes(t *testing.T) {
 	for _, bad := range []string{
 		`{`,
 		`{"slos":[]}`,
 		`{"slos":[{"min_qps":1}]}`,
 		`{"slos":[{"name":"x"}]}`,
+		`{"slos":[{"name":"x","min_qps_ratio":2}]}`,
+		`{"slos":[{"name":"x","qps_ratio_of":"y"}]}`,
+		`{"slos":[{"name":"x","max_p50_ratio":0.5}]}`,
+		`{"slos":[{"name":"x","p50_ratio_of":"y"}]}`,
 	} {
 		if _, err := ParseSLOSpec([]byte(bad)); err == nil {
 			t.Errorf("ParseSLOSpec(%s) accepted a vacuous spec", bad)
@@ -121,7 +156,7 @@ func TestCommittedBaselineMeetsSLOs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, bench := range []string{"../../BENCH_PR5.json", "../../BENCH_PR5.quick.json"} {
+	for _, bench := range []string{"../../BENCH_PR9.json", "../../BENCH_PR9.quick.json"} {
 		r, err := ReadReport(bench)
 		if os.IsNotExist(err) {
 			t.Skipf("%s not committed", bench)

@@ -34,6 +34,9 @@ var ErrNoAnswer = errors.New("service: no answer index for store yet")
 type answerEntry struct {
 	handle answer.Handle
 	job    atomic.Value // string: source job id (mirrors jobID for readers)
+	// co, when non-nil, coalesces concurrent single-vector top-k calls
+	// against this store into shared fused sweeps (Config.BatchWindow).
+	co *topkCoalescer
 
 	mu    sync.Mutex // serializes publish; jobID is guarded by it
 	jobID string
@@ -128,7 +131,11 @@ func answerSource(st JobStatus) bool {
 
 // rebuildAnswers republishes answer indexes from recovered terminal
 // jobs: for each store, the latest (highest job id) complete result
-// wins. Callers hold m.mu.
+// wins. Each index is loaded from the job's binary columnar snapshot
+// when one is present and intact — the on-disk layout is the arena
+// layout, so recovery decodes slices instead of re-running Build — and
+// falls back to re-indexing the JSON snapshot's tuples otherwise.
+// Callers hold m.mu.
 func (m *Manager) rebuildAnswersLocked() {
 	latest := map[string]*job{}
 	for _, id := range m.order {
@@ -147,11 +154,53 @@ func (m *Manager) rebuildAnswersLocked() {
 		if bandK <= 0 {
 			bandK = 1
 		}
+		if s, ok := m.loadBinaryAnswer(j.status, bandK); ok {
+			s.SetMetrics(m.met.answerShared)
+			m.answers[store].publish(s, j.status.ID)
+			continue
+		}
 		if s, err := answer.Build(j.status.Tuples, answer.Options{BandK: bandK}); err == nil {
 			s.SetMetrics(m.met.answerShared)
 			m.answers[store].publish(s, j.status.ID)
+			m.met.recoverJSON.Inc()
+			m.log.Info("answer index recovered",
+				"source", "json", "store", store, "job_id", j.status.ID,
+				"tuples", s.Len())
 		}
 	}
+}
+
+// loadBinaryAnswer tries to recover a job's answer index from its
+// binary columnar snapshot. A missing file is the normal case for jobs
+// that predate the format (no log noise); a corrupt or mismatched one
+// is logged and rejected, costing only the fallback re-index.
+func (m *Manager) loadBinaryAnswer(st JobStatus, bandK int) (*answer.Store, bool) {
+	if m.snaps == nil {
+		return nil, false
+	}
+	data, err := m.snaps.loadAnswer(st.ID)
+	if err != nil {
+		return nil, false
+	}
+	s, err := answer.LoadBinary(data)
+	if err != nil {
+		m.log.Warn("binary answer snapshot rejected; re-indexing from JSON",
+			"job_id", st.ID, "store", st.Spec.Store, "error", err)
+		return nil, false
+	}
+	// The JSON job snapshot is the source of truth: a binary block that
+	// disagrees with it on shape (a stale file from a reused id, an
+	// operator copy-paste) must lose to a re-index.
+	if s.BandK() != bandK || (len(st.Tuples) > 0 && s.NumAttrs() != len(st.Tuples[0])) {
+		m.log.Warn("binary answer snapshot shape mismatch; re-indexing from JSON",
+			"job_id", st.ID, "store", st.Spec.Store)
+		return nil, false
+	}
+	m.met.recoverBinary.Inc()
+	m.log.Info("answer index recovered",
+		"source", "binary", "store", st.Spec.Store, "job_id", st.ID,
+		"tuples", s.Len())
+	return s, true
 }
 
 // --- wire types of the /v1/answer endpoints ---
@@ -212,13 +261,8 @@ type AnswerTopKResponse struct {
 // handed to the next request.
 var rankedPool = sync.Pool{New: func() any { return new([]answer.Ranked) }}
 
-// AnswerTopK answers a top-k request from the store's materialized
-// index, without issuing any upstream query.
-func (m *Manager) AnswerTopK(req AnswerTopKRequest) (AnswerTopKResponse, error) {
-	s, err := m.AnswerStore(req.Store)
-	if err != nil {
-		return AnswerTopKResponse{}, err
-	}
+// toQuery compiles the wire request's query fields.
+func (req AnswerTopKRequest) toQuery() answer.TopKQuery {
 	q := answer.TopKQuery{Weights: req.Weights, K: req.K, Normalized: req.Normalized}
 	if len(req.Filter) > 0 {
 		q.Filter = make([]answer.Range, 0, len(req.Filter))
@@ -226,18 +270,17 @@ func (m *Manager) AnswerTopK(req AnswerTopKRequest) (AnswerTopKResponse, error) 
 			q.Filter = append(q.Filter, r.toRange())
 		}
 	}
-	buf := rankedPool.Get().(*[]answer.Ranked)
-	res, err := s.TopKAppend(q, (*buf)[:0])
-	if err != nil {
-		rankedPool.Put(buf)
-		return AnswerTopKResponse{}, err
-	}
+	return q
+}
+
+// topkResponse copies one ranked result into the wire shape.
+func topkResponse(store string, k, bandK int, res answer.TopKResult) AnswerTopKResponse {
 	n := len(res.Items)
 	resp := AnswerTopKResponse{
-		Store:  req.Store,
-		K:      req.K,
+		Store:  store,
+		K:      k,
 		Exact:  res.Exact,
-		BandK:  s.BandK(),
+		BandK:  bandK,
 		Tuples: make([][]int, 0, n),
 		Scores: make([]float64, 0, n),
 		Levels: make([]int, 0, n),
@@ -247,11 +290,142 @@ func (m *Manager) AnswerTopK(req AnswerTopKRequest) (AnswerTopKResponse, error) 
 		resp.Scores = append(resp.Scores, it.Score)
 		resp.Levels = append(resp.Levels, it.Level)
 	}
+	return resp
+}
+
+// AnswerTopK answers a top-k request from the store's materialized
+// index, without issuing any upstream query. With Config.BatchWindow
+// set, concurrent calls against the same store share fused column
+// sweeps through the per-store coalescer instead of sweeping alone.
+func (m *Manager) AnswerTopK(req AnswerTopKRequest) (AnswerTopKResponse, error) {
+	m.mu.Lock()
+	e := m.answers[req.Store]
+	m.mu.Unlock()
+	if e == nil {
+		return AnswerTopKResponse{}, fmt.Errorf("%w: %q", ErrUnknownStore, req.Store)
+	}
+	s := e.handle.Load()
+	if s == nil {
+		return AnswerTopKResponse{}, fmt.Errorf("%w: %q", ErrNoAnswer, req.Store)
+	}
+	q := req.toQuery()
+	if e.co != nil {
+		// Validate before joining the window: a malformed query answers
+		// its own 400 without failing the batch it would have joined.
+		if err := s.CheckQuery(q); err != nil {
+			return AnswerTopKResponse{}, err
+		}
+		res, err := e.co.do(s, q)
+		if err != nil {
+			return AnswerTopKResponse{}, err
+		}
+		return topkResponse(req.Store, req.K, s.BandK(), res), nil
+	}
+	buf := rankedPool.Get().(*[]answer.Ranked)
+	res, err := s.TopKAppend(q, (*buf)[:0])
+	if err != nil {
+		rankedPool.Put(buf)
+		return AnswerTopKResponse{}, err
+	}
+	resp := topkResponse(req.Store, req.K, s.BandK(), res)
 	if res.Items != nil {
 		*buf = res.Items
 	}
 	rankedPool.Put(buf)
 	return resp, nil
+}
+
+// AnswerTopKBatchRequest is the body of POST /v1/answer/topk_batch:
+// many weight vectors against one store's index, scored in fused
+// column sweeps (each attribute column is read once per cache-resident
+// block for the whole batch, not once per vector).
+type AnswerTopKBatchRequest struct {
+	Store string `json:"store"`
+	// Queries are the batch members; results come back in the same
+	// order. One invalid member fails the whole batch (400), naming its
+	// index.
+	Queries []AnswerTopKBatchQuery `json:"queries"`
+}
+
+// AnswerTopKBatchQuery is one member of a batch top-k request — the
+// per-query fields of AnswerTopKRequest without the store name.
+type AnswerTopKBatchQuery struct {
+	Weights    []float64     `json:"weights"`
+	K          int           `json:"k"`
+	Normalized bool          `json:"normalized,omitempty"`
+	Filter     []AnswerRange `json:"filter,omitempty"`
+}
+
+func (q AnswerTopKBatchQuery) toQuery() answer.TopKQuery {
+	return AnswerTopKRequest{Weights: q.Weights, K: q.K, Normalized: q.Normalized, Filter: q.Filter}.toQuery()
+}
+
+// AnswerTopKBatchResponse answers each batch member in request order.
+type AnswerTopKBatchResponse struct {
+	Store   string                  `json:"store"`
+	BandK   int                     `json:"band_k"`
+	Results []AnswerTopKBatchResult `json:"results"`
+}
+
+// AnswerTopKBatchResult is one member's ranking (the per-query fields
+// of AnswerTopKResponse).
+type AnswerTopKBatchResult struct {
+	K      int       `json:"k"`
+	Exact  bool      `json:"exact"`
+	Tuples [][]int   `json:"tuples"`
+	Scores []float64 `json:"scores"`
+	Levels []int     `json:"levels"`
+}
+
+// AnswerTopKBatch answers a batch of top-k requests against one store
+// in fused column sweeps.
+func (m *Manager) AnswerTopKBatch(req AnswerTopKBatchRequest) (AnswerTopKBatchResponse, error) {
+	s, err := m.AnswerStore(req.Store)
+	if err != nil {
+		return AnswerTopKBatchResponse{}, err
+	}
+	qs := make([]answer.TopKQuery, len(req.Queries))
+	for i, q := range req.Queries {
+		qs[i] = q.toQuery()
+	}
+	results, err := m.batchTopK(s, qs)
+	if err != nil {
+		return AnswerTopKBatchResponse{}, err
+	}
+	resp := AnswerTopKBatchResponse{
+		Store:   req.Store,
+		BandK:   s.BandK(),
+		Results: make([]AnswerTopKBatchResult, len(results)),
+	}
+	for i, res := range results {
+		n := len(res.Items)
+		r := AnswerTopKBatchResult{
+			K:      req.Queries[i].K,
+			Exact:  res.Exact,
+			Tuples: make([][]int, 0, n),
+			Scores: make([]float64, 0, n),
+			Levels: make([]int, 0, n),
+		}
+		for _, it := range res.Items {
+			r.Tuples = append(r.Tuples, it.Tuple)
+			r.Scores = append(r.Scores, it.Score)
+			r.Levels = append(r.Levels, it.Level)
+		}
+		resp.Results[i] = r
+	}
+	return resp, nil
+}
+
+// batchTopK is the one funnel every batch sweep goes through (explicit
+// batch requests and coalesced windows alike), so the sweep/vector
+// counters mean the same thing everywhere.
+func (m *Manager) batchTopK(s *answer.Store, qs []answer.TopKQuery) ([]answer.TopKResult, error) {
+	results, err := s.TopKBatch(qs)
+	if err == nil {
+		m.met.batchSweeps.Inc()
+		m.met.batchVectors.Add(int64(len(qs)))
+	}
+	return results, err
 }
 
 // AnswerSkylineRequest is the body of POST /v1/answer/skyline: the

@@ -172,6 +172,14 @@ func (c *Client) AnswerTopK(req AnswerTopKRequest) (AnswerTopKResponse, error) {
 	return resp, err
 }
 
+// TopKBatch answers many weight vectors against one store's answer
+// index in fused column sweeps — one POST, results in request order.
+func (c *Client) TopKBatch(req AnswerTopKBatchRequest) (AnswerTopKBatchResponse, error) {
+	var resp AnswerTopKBatchResponse
+	err := c.do(context.Background(), http.MethodPost, "/v1/answer/topk_batch", req, &resp)
+	return resp, err
+}
+
 // AnswerSkyline asks the answer index for a (subspace) skyline.
 func (c *Client) AnswerSkyline(req AnswerSkylineRequest) (AnswerSkylineResponse, error) {
 	var resp AnswerSkylineResponse

@@ -1,0 +1,125 @@
+package service
+
+// Opt-in coalescing of the single-vector answer read path: with
+// Config.BatchWindow set, a POST /v1/answer/topk call does not sweep
+// the columns alone — it parks in the store's accumulation window, and
+// the window flushes as one fused TopKBatch sweep when either the
+// window elapses or BatchMax callers have gathered. Under concurrent
+// load the per-vector cost drops toward the batch path's amortized
+// sweep; an isolated call pays at most the window in added latency.
+//
+// The coalescer carries (store, query) pairs rather than store names:
+// each caller pins the exact index snapshot it loaded, so a hot-swap
+// mid-window splits the flush into per-snapshot groups instead of
+// answering early callers from an index they never saw.
+
+import (
+	"sync"
+	"time"
+
+	"hiddensky/internal/answer"
+)
+
+// DefaultBatchMax bounds a coalescing window's batch when
+// Config.BatchMax is unset.
+const DefaultBatchMax = 16
+
+// pendingTopK is one parked caller.
+type pendingTopK struct {
+	store *answer.Store
+	query answer.TopKQuery
+	done  chan struct{}
+	res   answer.TopKResult
+	err   error
+}
+
+// topkCoalescer is one store's accumulation window.
+type topkCoalescer struct {
+	m      *Manager
+	window time.Duration
+	max    int
+
+	mu      sync.Mutex
+	gen     uint64 // bumped at every flush; a timer for an older gen is stale
+	pending []*pendingTopK
+}
+
+func newTopkCoalescer(m *Manager) *topkCoalescer {
+	max := m.cfg.BatchMax
+	if max <= 0 {
+		max = DefaultBatchMax
+	}
+	return &topkCoalescer{m: m, window: m.cfg.BatchWindow, max: max}
+}
+
+// do parks one validated query in the window and blocks until its
+// flush has answered it. The first caller of a window arms the flush
+// timer; the BatchMax-th flushes immediately on its own goroutine (the
+// timer then finds a newer generation and stands down).
+func (c *topkCoalescer) do(s *answer.Store, q answer.TopKQuery) (answer.TopKResult, error) {
+	p := &pendingTopK{store: s, query: q, done: make(chan struct{})}
+	c.mu.Lock()
+	c.pending = append(c.pending, p)
+	if len(c.pending) >= c.max {
+		batch := c.takeLocked()
+		c.mu.Unlock()
+		c.run(batch)
+	} else {
+		if len(c.pending) == 1 {
+			gen := c.gen
+			time.AfterFunc(c.window, func() { c.flush(gen) })
+		}
+		c.mu.Unlock()
+	}
+	<-p.done
+	return p.res, p.err
+}
+
+// takeLocked claims the pending window. Callers hold c.mu.
+func (c *topkCoalescer) takeLocked() []*pendingTopK {
+	batch := c.pending
+	c.pending = nil
+	c.gen++
+	return batch
+}
+
+// flush is the timer path: claim the window unless a max-flush beat it.
+func (c *topkCoalescer) flush(gen uint64) {
+	c.mu.Lock()
+	if gen != c.gen || len(c.pending) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	c.run(batch)
+}
+
+// run answers a claimed window: group by index snapshot, one fused
+// sweep per group, results handed back in member order.
+func (c *topkCoalescer) run(batch []*pendingTopK) {
+	var order []*answer.Store
+	groups := map[*answer.Store][]*pendingTopK{}
+	for _, p := range batch {
+		if _, seen := groups[p.store]; !seen {
+			order = append(order, p.store)
+		}
+		groups[p.store] = append(groups[p.store], p)
+	}
+	for _, s := range order {
+		members := groups[s]
+		qs := make([]answer.TopKQuery, len(members))
+		for i, p := range members {
+			qs[i] = p.query
+		}
+		results, err := c.m.batchTopK(s, qs)
+		for i, p := range members {
+			if err != nil {
+				p.err = err
+			} else {
+				p.res = results[i]
+			}
+			close(p.done)
+		}
+	}
+}

@@ -49,6 +49,10 @@ import (
 //
 //	GET  /v1/answer                     -> {answers: {store: {loaded, info, job}}}
 //	POST /v1/answer/topk      {AnswerTopKRequest}      -> AnswerTopKResponse
+//	POST /v1/answer/topk_batch {AnswerTopKBatchRequest} -> AnswerTopKBatchResponse
+//	                                (many weight vectors against one
+//	                                store, scored in fused column
+//	                                sweeps; results in request order)
 //	POST /v1/answer/skyline   {AnswerSkylineRequest}   -> AnswerSkylineResponse
 //	POST /v1/answer/dominates {AnswerDominatesRequest} -> AnswerDominatesResponse
 
@@ -91,6 +95,7 @@ func NewHandler(m *Manager) *Handler {
 	h.mux.HandleFunc("GET /v1/jobs/{id}/events", h.handleEvents)
 	h.mux.HandleFunc("GET /v1/answer", h.handleAnswers)
 	h.mux.HandleFunc("POST /v1/answer/topk", answerEndpoint(h.m.AnswerTopK))
+	h.mux.HandleFunc("POST /v1/answer/topk_batch", answerEndpoint(h.m.AnswerTopKBatch))
 	h.mux.HandleFunc("POST /v1/answer/skyline", answerEndpoint(h.m.AnswerSkyline))
 	h.mux.HandleFunc("POST /v1/answer/dominates", answerEndpoint(h.m.AnswerDominates))
 	return h

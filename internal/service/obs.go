@@ -36,6 +36,11 @@ type managerMetrics struct {
 	indexBuild   *obs.Histogram
 	answerShared *answer.Metrics
 
+	batchSweeps   *obs.Counter
+	batchVectors  *obs.Counter
+	recoverBinary *obs.Counter
+	recoverJSON   *obs.Counter
+
 	pool       *engine.PoolMetrics
 	budgetUsed *obs.Gauge
 }
@@ -56,7 +61,14 @@ func newManagerMetrics(r *obs.Registry) *managerMetrics {
 			TopKSeconds:      r.Histogram("answer_topk_seconds", "answer index top-k latency"),
 			SkylineSeconds:   r.Histogram("answer_skyline_seconds", "answer index subspace-skyline latency"),
 			DominatesSeconds: r.Histogram("answer_dominates_seconds", "answer index dominance-test latency"),
+			BatchSeconds:     r.Histogram("answer_batch_seconds", "answer index batch top-k latency (whole batch, one observation per sweep)"),
+			BatchSize:        r.Histogram("answer_batch_size", "weight vectors per batch top-k sweep (dimensionless; 1ns == 1 vector)"),
 		},
+
+		batchSweeps:   r.Counter("answer_batch_sweeps_total", "fused column sweeps issued by the batch top-k path (explicit batches and coalesced windows)"),
+		batchVectors:  r.Counter("answer_batch_vectors_total", "weight vectors answered through the batch top-k path"),
+		recoverBinary: r.Counter(`answer_recover_source_total{source="binary"}`, "answer indexes recovered from binary columnar snapshots"),
+		recoverJSON:   r.Counter(`answer_recover_source_total{source="json"}`, "answer indexes recovered by re-indexing JSON job snapshots"),
 
 		pool: &engine.PoolMetrics{
 			Tasks:       r.Counter("engine_pool_tasks_total", "worker-pool tasks executed"),

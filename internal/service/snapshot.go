@@ -37,25 +37,56 @@ func (s *snapshotStore) path(id string) string {
 	return filepath.Join(s.dir, id+".json")
 }
 
-// save atomically writes the snapshot.
+// save atomically writes the snapshot. Compact encoding: snapshots are
+// machine-read on the recovery path, and a band job's tuple list
+// dominates the payload — indentation only inflates the write.
 func (s *snapshotStore) save(snap jobSnapshot) error {
-	data, err := json.MarshalIndent(snap, "", " ")
+	data, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("service: encoding snapshot: %w", err)
 	}
-	tmp, err := os.CreateTemp(s.dir, snap.Status.ID+".tmp-*")
+	return s.write(snap.Status.ID+".json", snap.Status.ID, data)
+}
+
+// saveAnswer atomically writes a job's binary columnar answer snapshot
+// (an answer.AppendBinary block) next to its JSON snapshot. The .ans
+// suffix keeps it invisible to load's job scan.
+func (s *snapshotStore) saveAnswer(id string, data []byte) error {
+	return s.write(id+".ans", id, data)
+}
+
+// loadAnswer reads a job's binary answer snapshot (os.ErrNotExist when
+// the job never published one).
+func (s *snapshotStore) loadAnswer(id string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(s.dir, id+".ans"))
+}
+
+// write commits data to name atomically and durably: the temp file is
+// fsynced before the rename and the directory after it, so a crash at
+// any point leaves either the previous file or the complete new one —
+// never a rename that made a torn write visible.
+func (s *snapshotStore) write(name, id string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, id+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("service: snapshot temp file: %w", err)
 	}
 	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("service: writing snapshot: %w", errors.Join(werr, cerr))
+		return fmt.Errorf("service: writing snapshot: %w", errors.Join(werr, serr, cerr))
 	}
-	if err := os.Rename(tmp.Name(), s.path(snap.Status.ID)); err != nil {
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("service: committing snapshot: %w", err)
+	}
+	// Without a directory sync the rename itself can be lost on power
+	// failure. Best-effort: not every filesystem supports fsync on a
+	// directory handle, and the data file above is already durable.
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
 	}
 	return nil
 }

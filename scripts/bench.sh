@@ -1,22 +1,22 @@
 #!/usr/bin/env bash
-# Regenerate the repository's perf baseline (BENCH_PR5.json): run the
+# Regenerate the repository's perf baseline (BENCH_PR9.json): run the
 # named micro-benchmarks with -benchmem, then drive the serving read
 # stack under concurrent load with cmd/skyperf and emit the JSON
 # trajectory file the README's Performance section quotes.
 #
 # Usage:
-#   scripts/bench.sh            # full scale, writes BENCH_PR5.json
+#   scripts/bench.sh            # full scale, writes BENCH_PR9.json
 #   scripts/bench.sh -quick     # reduced scale (CI smoke), writes
-#                               # BENCH_PR5.quick.json so the committed
+#                               # BENCH_PR9.quick.json so the committed
 #                               # full-scale baseline is never clobbered
 #   BENCH_OUT=other.json scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-DEFAULT_OUT=BENCH_PR5.json
+DEFAULT_OUT=BENCH_PR9.json
 for arg in "$@"; do
   if [ "$arg" = "-quick" ]; then
-    DEFAULT_OUT=BENCH_PR5.quick.json
+    DEFAULT_OUT=BENCH_PR9.quick.json
   fi
 done
 OUT=${BENCH_OUT:-$DEFAULT_OUT}

@@ -5,12 +5,12 @@
 # regenerated, so a perf regression fails the build with the exact
 # number that moved.
 #
-# Usage:  scripts/slo_gate.sh [BENCH_FILE]        (default BENCH_PR5.quick.json)
-#         SLO_SPEC=path/to/spec.json scripts/slo_gate.sh BENCH_PR5.json
+# Usage:  scripts/slo_gate.sh [BENCH_FILE]        (default BENCH_PR9.quick.json)
+#         SLO_SPEC=path/to/spec.json scripts/slo_gate.sh BENCH_PR9.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${1:-BENCH_PR5.quick.json}"
+BENCH="${1:-BENCH_PR9.quick.json}"
 SLO="${SLO_SPEC:-scripts/slo.json}"
 
 if [ ! -f "$BENCH" ]; then

@@ -216,6 +216,50 @@ say "answer topk ordered: $(echo "$answer" | sed -n 's/.*"scores":\[\([^]]*\)\].
 "$BIN/skyanswer" -url "http://$DAEMON_ADDR" -store smoke -topk -w 1,1,1 -k 3 | \
   grep -q "top-3" || { echo "smoke: skyanswer -topk failed" >&2; exit 1; }
 
+say "answering a batch of weight vectors in one POST"
+batch=$(curl -sf -XPOST "http://$DAEMON_ADDR/v1/answer/topk_batch" \
+  -H 'Content-Type: application/json' \
+  -d '{"store":"smoke","queries":[{"weights":[1,0.5,2],"k":5},{"weights":[2,1,1],"k":3}]}')
+members=$(echo "$batch" | grep -o '"scores":\[' | wc -l | tr -d ' ')
+[ "$members" = "2" ] || {
+  echo "smoke: batch answered $members members, want 2: $batch" >&2; exit 1; }
+single_scores=$(echo "$answer" | sed -n 's/.*"scores":\[\([^]]*\)\].*/\1/p')
+batch_scores=$(echo "$batch" | grep -o '"scores":\[[^]]*\]' | head -1 | sed 's/"scores":\[\(.*\)\]/\1/')
+[ "$batch_scores" = "$single_scores" ] || {
+  echo "smoke: batch member 0 scores [$batch_scores] diverge from the single endpoint [$single_scores]" >&2; exit 1; }
+say "batch member 0 matches the single topk endpoint"
+
+# Kill and restart skylined over the same snapshot directory: /readyz
+# must flip down and back up, and the answer index must come back from
+# the binary columnar snapshot (not a JSON re-index) with identical
+# answers — no upstream query spent.
+say "killing skylined and restarting over $WORK/snapshots"
+kill "${PIDS[1]}"
+wait "${PIDS[1]}" 2>/dev/null || true
+curl -sf "http://$DAEMON_ADDR/readyz" >/dev/null 2>&1 && {
+  echo "smoke: readyz still answers after skylined was killed" >&2; exit 1; }
+"$BIN/skylined" -addr "$DAEMON_ADDR" -snapshots "$WORK/snapshots" \
+  -max-jobs 2 -checkpoint-every 4 -sample-interval 250ms \
+  -store smoke="http://$SERVE_ADDR" 2>"$WORK/skylined2.log" &
+PIDS+=($!)
+wait_ready "http://$DAEMON_ADDR"
+say "readyz flipped back to 200 after restart"
+
+grep -q 'source=binary' "$WORK/skylined2.log" || {
+  echo "smoke: restarted skylined did not recover the answer index from the binary snapshot:" >&2
+  cat "$WORK/skylined2.log" >&2; exit 1; }
+recovered=$(curl -sf "http://$DAEMON_ADDR/metrics" | \
+  awk '$1 == "answer_recover_source_total{source=\"binary\"}" { print $2 }')
+[ "$recovered" = "1" ] || {
+  echo "smoke: answer_recover_source_total{source=binary}=$recovered, want 1" >&2; exit 1; }
+answer2=$(curl -sf -XPOST "http://$DAEMON_ADDR/v1/answer/topk" \
+  -H 'Content-Type: application/json' \
+  -d '{"store":"smoke","weights":[1,0.5,2],"k":5}')
+scores2=$(echo "$answer2" | sed -n 's/.*"scores":\[\([^]]*\)\].*/\1/p')
+[ "$scores2" = "$single_scores" ] || {
+  echo "smoke: binary-recovered answers diverge: [$scores2] vs [$single_scores]" >&2; exit 1; }
+say "answer index recovered from the binary snapshot, answers identical"
+
 say "exercising skyquery -resume against the same server"
 set +e
 "$BIN/skyquery" -url "http://$SERVE_ADDR" -budget 25 -resume "$WORK/session.json" -tuples=false
