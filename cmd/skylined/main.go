@@ -42,6 +42,7 @@ import (
 	"hiddensky/internal/datagen"
 	"hiddensky/internal/hidden"
 	"hiddensky/internal/obs"
+	"hiddensky/internal/retry"
 	"hiddensky/internal/service"
 	"hiddensky/internal/web"
 )
@@ -73,6 +74,13 @@ func main() {
 	maxEvictionRate := flag.Float64("health-max-eviction-rate", 0, "cache evictions/sec (1m window) before degraded (0 = 100, negative = disabled)")
 	batchWindow := flag.Duration("batch-window", 0, "coalesce concurrent /v1/answer/topk calls per store for up to this long and answer them in one fused batch sweep (0 = off)")
 	batchMax := flag.Int("batch-max", 0, "max coalesced vectors per batch sweep; the batch flushes early when reached (0 = 16)")
+	upstreamRetries := flag.Int("upstream-retries", 0, "attempts per upstream query for remote stores, transparently absorbing 429s and transient faults (0 = 4, 1 = no retries)")
+	upstreamBackoff := flag.Duration("upstream-backoff", 0, "base upstream retry backoff, doubled per attempt with jitter (0 = 250ms)")
+	upstreamBackoffMax := flag.Duration("upstream-backoff-max", 0, "upstream retry backoff cap; Retry-After hints are honored up to this long (0 = 5s)")
+	upstreamTimeout := flag.Duration("upstream-timeout", 0, "per-attempt timeout for remote store queries (0 = no per-attempt deadline)")
+	retryMaxDelay := flag.Duration("retry-max-delay", 0, "cap on the escalating park-and-retry delay for interrupted resumable jobs (0 = 8x the base delay)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive upstream-failure job endings before a store's circuit opens and runs park without querying (0 = 3, negative = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "base circuit cooldown before half-open probes; doubles per consecutive open (0 = 30s)")
 	var stores storeFlags
 	flag.Var(&stores, "store", "name=target store (repeatable); target is a skyserve URL (http://...) or a CSV path")
 	flag.Parse()
@@ -84,15 +92,18 @@ func main() {
 	}
 
 	mgr, err := service.NewManager(service.Config{
-		MaxConcurrent:   *maxJobs,
-		SnapshotDir:     *snapshots,
-		CacheSize:       *cacheSize,
-		CheckpointEvery: *checkpointEvery,
-		SpanBuffer:      *spanBuffer,
-		SampleInterval:  *sampleInterval,
-		SampleRetention: *sampleRetention,
-		BatchWindow:     *batchWindow,
-		BatchMax:        *batchMax,
+		MaxConcurrent:    *maxJobs,
+		SnapshotDir:      *snapshots,
+		CacheSize:        *cacheSize,
+		CheckpointEvery:  *checkpointEvery,
+		SpanBuffer:       *spanBuffer,
+		SampleInterval:   *sampleInterval,
+		SampleRetention:  *sampleRetention,
+		BatchWindow:      *batchWindow,
+		BatchMax:         *batchMax,
+		MaxRetryDelay:    *retryMaxDelay,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 		Health: service.HealthThresholds{
 			MaxFailureRate:     *maxFailureRate,
 			MaxRateLimitedRate: *max429Rate,
@@ -103,6 +114,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Any upstream flag set installs an explicit retry policy on remote
+	// stores; unset fields fall back to the policy defaults (4 attempts,
+	// 250ms base, 5s cap, jittered).
+	upstreamPolicy := retry.Policy{
+		Attempts:          *upstreamRetries,
+		BaseBackoff:       *upstreamBackoff,
+		MaxBackoff:        *upstreamBackoffMax,
+		PerAttemptTimeout: *upstreamTimeout,
+	}
+	tuneUpstream := *upstreamRetries != 0 || *upstreamBackoff != 0 ||
+		*upstreamBackoffMax != 0 || *upstreamTimeout != 0
 	for _, s := range stores {
 		name, target, ok := strings.Cut(s, "=")
 		if !ok || name == "" || target == "" {
@@ -111,6 +133,9 @@ func main() {
 		db, desc, err := openStore(target, *k, *rankName)
 		if err != nil {
 			fatal(fmt.Errorf("store %q: %w", name, err))
+		}
+		if wc, ok := db.(*web.Client); ok && tuneUpstream {
+			wc.SetRetryPolicy(upstreamPolicy)
 		}
 		if err := mgr.AddStore(name, db); err != nil {
 			fatal(err)

@@ -38,12 +38,15 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"time"
 
 	"hiddensky/internal/answer"
+	"hiddensky/internal/chaos"
 	"hiddensky/internal/hidden"
 	"hiddensky/internal/perf"
 	"hiddensky/internal/qcache"
 	"hiddensky/internal/query"
+	"hiddensky/internal/retry"
 	"hiddensky/internal/skyline"
 	"hiddensky/internal/web"
 )
@@ -88,6 +91,7 @@ func main() {
 	recoverScenarios(r, s, band, scale)
 	cacheScenarios(r, *conc, scale, *seed)
 	webScenarios(r, *conc, scale, *seed)
+	chaosScenarios(r, *conc, scale, *seed)
 
 	note := func(format string, args ...any) {
 		s := fmt.Sprintf(format, args...)
@@ -416,6 +420,73 @@ func cacheScenarios(r *perf.Report, conc, scale int, seed int64) {
 			fmt.Fprintf(os.Stderr, "skyperf: %s: %d misses for %d distinct boxes — measured window was not pure hits\n",
 				cfg.name, st.Misses, len(qs))
 			os.Exit(1)
+		}
+	}
+}
+
+// chaosScenarios measures p99 under injected faults: the same query
+// traffic served clean and through the chaos layer behind the hardened
+// retry wrapper, one scenario per recoverable preset. Each op is one
+// logical query — injected 429s, 5xx and resets are absorbed inside the
+// op, so the latency distribution prices the retries the profile forces.
+// The retry policy uses microsecond backoff (the schedule, not the
+// sleeping, is what is being measured), and the scenarios run
+// single-threaded: the fault schedule is a pure function of the global
+// attempt counter, so c=1 makes every run — and the worst consecutive
+// fault streak — deterministic. These scenarios chart the fault overhead
+// in BENCH files and are deliberately not SLO-gated.
+func chaosScenarios(r *perf.Report, conc, scale int, seed int64) {
+	const m = 3
+	rng := rand.New(rand.NewSource(seed + 3))
+	data := genData(rng, 5000, m, 100)
+	caps := make([]hidden.Capability, m)
+	for i := range caps {
+		caps[i] = hidden.RQ
+	}
+	qs := make([]query.Q, 256)
+	for i := range qs {
+		qs[i] = query.Q{
+			{Attr: i % m, Op: query.LE, Value: 10 + i/m},
+			{Attr: (i + 1) % m, Op: query.GE, Value: i % 9},
+		}
+	}
+	policy := retry.Policy{
+		Attempts:      12,
+		BaseBackoff:   50 * time.Microsecond,
+		MaxBackoff:    500 * time.Microsecond,
+		RetryAfterCap: 500 * time.Microsecond,
+		NoJitter:      true,
+	}
+	ops := 40000 / scale
+	for _, name := range []string{"off", "bursty", "flaky", "hostile"} {
+		profile := chaos.Profile{Name: "off"}
+		if name != "off" {
+			profile = chaos.Presets()[name]
+			// The preset's millisecond latency floor belongs to smoke
+			// runs; here it would drown the retry overhead being charted.
+			profile.Latency, profile.LatencyJitter = 0, 0
+		}
+		db, err := hidden.New(hidden.Config{Data: data, Caps: caps, K: 10})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skyperf: build hidden db: %v\n", err)
+			os.Exit(1)
+		}
+		in := chaos.New(profile)
+		hardened := chaos.Harden(in.Wrap(db), policy, seed)
+		r.Add(os.Stderr, perf.Options{
+			Name: fmt.Sprintf("chaos_query_%s_c1", name), Concurrency: 1, Ops: ops,
+		}, func(w, i int) {
+			if _, err := hardened.Query(qs[i%len(qs)]); err != nil {
+				panic(err)
+			}
+		})
+		if name != "off" {
+			var faults int64
+			for _, v := range in.Counts() {
+				faults += v
+			}
+			fmt.Fprintf(os.Stderr, "skyperf: chaos %s: %d faults absorbed over %d attempts (%d retries)\n",
+				name, faults, in.Attempts(), hardened.Retries())
 		}
 	}
 }

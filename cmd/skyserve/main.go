@@ -18,10 +18,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-
+	"strings"
 	"syscall"
 	"time"
 
+	"hiddensky/internal/chaos"
 	"hiddensky/internal/datagen"
 	"hiddensky/internal/hidden"
 	"hiddensky/internal/obs"
@@ -38,6 +39,7 @@ func main() {
 	sampleInterval := flag.Duration("sample-interval", 0, "time-series sampling interval for /v1/history and the health rollup (0 = 1s)")
 	sampleRetention := flag.Int("sample-retention", 0, "samples retained per series (0 = 512; rounded up to a power of two)")
 	max429Rate := flag.Float64("health-max-429-rate", web.DefaultMax429Rate, "search 429s/sec (1m window) before /healthz reports degraded (negative = disabled)")
+	chaosSpec := flag.String("chaos", "", "fault-injection profile shaping /v1/search: a preset ("+strings.Join(chaos.PresetNames(), " | ")+"), a field spec like rl=7:2,err=13,lat=2ms, or off")
 	flag.Parse()
 
 	if *in == "" {
@@ -81,13 +83,41 @@ func main() {
 	}
 	stopSampling := handler.StartSampler()
 	defer stopSampling()
+
+	// -chaos places the fault injector in front of /v1/search only: meta,
+	// metrics and health endpoints stay clean so operators can watch the
+	// chaos they asked for. Injection counters join the server's registry
+	// as chaos_faults_injected_total{kind=...}.
+	var root http.Handler = handler
+	if *chaosSpec != "" {
+		profile, err := chaos.ParseProfile(*chaosSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if profile.Active() {
+			in := chaos.New(profile)
+			in.SetLogger(obs.NewLogger(os.Stderr, "chaos"))
+			in.Instrument(handler.Registry())
+			if profile.DriftEvery > 0 {
+				// Default drift rotation: cycle domination-consistent
+				// rankings so answers change while skylines do not.
+				weights := make([]float64, db.NumAttrs())
+				for i := range weights {
+					weights[i] = float64(len(weights) - i)
+				}
+				in.SetDrift(db, hidden.AttrRank{}, hidden.WeightedRank{Weights: weights}, hidden.SumRank{})
+			}
+			root = in.Middleware(handler)
+			fmt.Fprintf(os.Stderr, "skyserve: chaos profile active: %s\n", profile.String())
+		}
+	}
 	fmt.Fprintf(os.Stderr, "skyserve: serving %d tuples x %d attributes on http://%s (k=%d, limit=%d)\n",
 		db.Size(), db.NumAttrs(), *addr, *k, *limit)
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests instead
 	// of dying mid-response: discovery clients see complete answers (or
 	// clean connection refusals), never truncated JSON.
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	srv := &http.Server{Addr: *addr, Handler: root}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

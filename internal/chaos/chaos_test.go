@@ -1,0 +1,279 @@
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/obs"
+	"hiddensky/internal/query"
+	"hiddensky/internal/retry"
+)
+
+func capsAll(m int, c hidden.Capability) []hidden.Capability {
+	out := make([]hidden.Capability, m)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+func testDB(t *testing.T, n, m, domain, k int) *hidden.DB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	data := make([][]int, n)
+	for i := range data {
+		row := make([]int, m)
+		for j := range row {
+			row[j] = rng.Intn(domain)
+		}
+		data[i] = row
+	}
+	return hidden.MustNew(hidden.Config{Data: data, Caps: capsAll(m, hidden.RQ), K: k})
+}
+
+func TestFaultAtBurstSchedule(t *testing.T) {
+	p := Profile{RateLimitEvery: 5, RateLimitBurst: 2}
+	limited := []int64{5, 6, 10, 11, 15, 16}
+	idx := 0
+	for n := int64(1); n <= 17; n++ {
+		want := Kind("")
+		if idx < len(limited) && limited[idx] == n {
+			want = KindRateLimit
+			idx++
+		}
+		if got := p.FaultAt(n); got != want {
+			t.Fatalf("FaultAt(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestFaultAtPrecedence(t *testing.T) {
+	p := Profile{RateLimitEvery: 6, ErrorEvery: 6, ResetEvery: 6}
+	if got := p.FaultAt(6); got != KindRateLimit {
+		t.Fatalf("collision resolved to %q, want rate_limit", got)
+	}
+	p.RateLimitEvery = 0
+	if got := p.FaultAt(6); got != KindReset {
+		t.Fatalf("collision resolved to %q, want reset", got)
+	}
+}
+
+func TestFaultAtDown(t *testing.T) {
+	p := Profile{Down: true}
+	if p.FaultAt(1) != KindReset || p.FaultAt(2) != KindServerError || p.FaultAt(3) != KindReset {
+		t.Fatal("down profile must alternate reset / server_error")
+	}
+}
+
+// TestInjectedScheduleExact drives the in-process wrapper with a plain
+// pass-through consumer and asserts the injector's per-kind counts match
+// the pure schedule to the unit.
+func TestInjectedScheduleExact(t *testing.T) {
+	db := testDB(t, 50, 2, 20, 3)
+	p := Profile{RateLimitEvery: 4, RateLimitBurst: 2, ErrorEvery: 9, TruncateEvery: 13}
+	in := New(p)
+	wrapped := in.Wrap(db)
+	const attempts = 200
+	var failures int64
+	for i := 0; i < attempts; i++ {
+		_, err := wrapped.Query(query.Q{{Attr: 0, Op: query.LE, Value: 10}})
+		if err != nil {
+			failures++
+		}
+	}
+	if got := in.Attempts(); got != attempts {
+		t.Fatalf("Attempts = %d, want %d", got, attempts)
+	}
+	want := p.ScheduledCounts(attempts)
+	got := in.Counts()
+	var scheduled int64
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("count[%s] = %d, want %d (all: %v)", k, got[k], w, got)
+		}
+		scheduled += w
+	}
+	if failures != scheduled {
+		t.Fatalf("observed %d failures, schedule says %d", failures, scheduled)
+	}
+	if served := in.Served(); served != attempts-scheduled {
+		t.Fatalf("Served = %d, want %d", served, attempts-scheduled)
+	}
+	if evs := in.Events(); int64(len(evs)) != scheduled {
+		t.Fatalf("event log has %d entries, want %d", len(evs), scheduled)
+	}
+}
+
+func TestInjectedErrorsUnwrap(t *testing.T) {
+	rl := &RateLimitedError{After: 2 * time.Second}
+	if !errors.Is(rl, hidden.ErrRateLimited) {
+		t.Fatal("injected 429 must unwrap to hidden.ErrRateLimited")
+	}
+	if retry.AfterHint(rl) != 2*time.Second {
+		t.Fatal("injected 429 lost its Retry-After hint")
+	}
+	fe := &FaultError{Kind: KindReset}
+	if !errors.Is(fe, retry.ErrUnavailable) {
+		t.Fatal("injected reset must unwrap to retry.ErrUnavailable")
+	}
+	if errors.Is(fe, hidden.ErrRateLimited) {
+		t.Fatal("injected reset must not look like a rate limit")
+	}
+}
+
+// TestHardenedAbsorbsScheduledFaults proves the retry wrapper turns a
+// hostile interface back into a clean one: every query eventually
+// succeeds and the answers match a fault-free twin exactly.
+func TestHardenedAbsorbsScheduledFaults(t *testing.T) {
+	clean := testDB(t, 80, 2, 25, 3)
+	faulty := testDB(t, 80, 2, 25, 3)
+	in := New(Profile{RateLimitEvery: 5, RateLimitBurst: 2, ErrorEvery: 13, ResetEvery: 17})
+	h := Harden(in.Wrap(faulty), retry.Policy{
+		BaseBackoff: 50 * time.Microsecond, MaxBackoff: time.Millisecond, Attempts: 8, NoJitter: true,
+	}, 1)
+	for v := 0; v < 25; v++ {
+		q := query.Q{{Attr: 0, Op: query.LE, Value: v}}
+		want, err := clean.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.Query(q)
+		if err != nil {
+			t.Fatalf("hardened query failed: %v", err)
+		}
+		if len(got.Tuples) != len(want.Tuples) || got.Overflow != want.Overflow {
+			t.Fatalf("answer diverged under faults: got %d tuples (overflow=%v), want %d (%v)",
+				len(got.Tuples), got.Overflow, len(want.Tuples), want.Overflow)
+		}
+	}
+	if h.Retries() == 0 {
+		t.Fatal("no retries recorded despite scheduled faults")
+	}
+	// Both databases served exactly the same number of real queries.
+	if clean.QueriesIssued() != faulty.QueriesIssued() {
+		t.Fatalf("underlying query counts diverged: clean %d, faulty %d",
+			clean.QueriesIssued(), faulty.QueriesIssued())
+	}
+}
+
+// TestHardenedGivesUpUnderOutage: a Down profile exhausts the policy and
+// the final error surfaces unchanged (transient, not a rate limit).
+func TestHardenedGivesUpUnderOutage(t *testing.T) {
+	db := testDB(t, 10, 2, 10, 2)
+	in := New(Profile{Down: true})
+	h := Harden(in.Wrap(db), retry.Policy{BaseBackoff: 10 * time.Microsecond, Attempts: 3, NoJitter: true}, 1)
+	_, err := h.Query(nil)
+	if !errors.Is(err, retry.ErrUnavailable) {
+		t.Fatalf("outage error = %v, want retry.ErrUnavailable", err)
+	}
+	if in.Attempts() != 3 {
+		t.Fatalf("attempts = %d, want 3", in.Attempts())
+	}
+}
+
+func TestQuotaShaping(t *testing.T) {
+	db := testDB(t, 20, 2, 10, 2)
+	in := New(Profile{QuotaBurst: 5, QuotaRefill: time.Hour}) // never refills in-test
+	wrapped := in.Wrap(db)
+	for i := 0; i < 5; i++ {
+		if _, err := wrapped.Query(nil); err != nil {
+			t.Fatalf("query %d within quota failed: %v", i, err)
+		}
+	}
+	_, err := wrapped.Query(nil)
+	if !errors.Is(err, hidden.ErrRateLimited) {
+		t.Fatalf("over-quota error = %v, want rate limited", err)
+	}
+	if hint := retry.AfterHint(err); hint <= 0 {
+		t.Fatal("quota rejection must carry a Retry-After hint")
+	}
+	if in.Count(KindQuota) != 1 {
+		t.Fatalf("quota count = %d", in.Count(KindQuota))
+	}
+}
+
+func TestDriftRotatesRanking(t *testing.T) {
+	db := hidden.MustNew(hidden.Config{
+		Data: [][]int{{1, 9}, {9, 1}, {5, 5}},
+		Caps: capsAll(2, hidden.RQ),
+		K:    1,
+	})
+	in := New(Profile{DriftEvery: 2})
+	in.SetDrift(db, hidden.AttrRank{Attr: 1}, hidden.SumRank{})
+	wrapped := in.Wrap(db)
+	top := func() []int {
+		res, err := wrapped.Query(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Top()
+	}
+	if got := top(); got[0] != 1 { // SumRank initial: tuple {1,9}
+		t.Fatalf("initial top = %v", got)
+	}
+	// Second serve trips the drift to AttrRank{1}.
+	top()
+	if got := top(); got[0] != 9 {
+		t.Fatalf("post-drift top = %v, want [9 1]", got)
+	}
+	if in.Count(KindDrift) < 1 {
+		t.Fatal("drift not counted")
+	}
+}
+
+func TestParseProfilePresetsAndOverrides(t *testing.T) {
+	p, err := ParseProfile("hostile,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "hostile" || p.Seed != 9 || p.RateLimitEvery != 6 {
+		t.Fatalf("preset override parsed wrong: %+v", p)
+	}
+	p, err = ParseProfile("rl=7:2,ra=1s,err=13,stall=97:50ms,quota=20:100ms,drift=50,down")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RateLimitEvery != 7 || p.RateLimitBurst != 2 || p.RetryAfter != time.Second ||
+		p.ErrorEvery != 13 || p.StallEvery != 97 || p.Stall != 50*time.Millisecond ||
+		p.QuotaBurst != 20 || p.QuotaRefill != 100*time.Millisecond || p.DriftEvery != 50 || !p.Down {
+		t.Fatalf("field spec parsed wrong: %+v", p)
+	}
+	if _, err := ParseProfile("bogus=1"); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	off, err := ParseProfile("off")
+	if err != nil || off.Active() {
+		t.Fatalf("off profile: %+v, %v", off, err)
+	}
+	// String round-trips through ParseProfile.
+	spec := p.String()
+	p2, err := ParseProfile(spec)
+	if err != nil {
+		t.Fatalf("round-trip of %q: %v", spec, err)
+	}
+	p.Name, p2.Name = "", ""
+	if p != p2 {
+		t.Fatalf("round-trip drifted:\n  %+v\n  %+v", p, p2)
+	}
+}
+
+func TestInstrumentRegistersPerKindCounters(t *testing.T) {
+	in := New(Profile{RateLimitEvery: 2})
+	reg := obs.NewRegistry()
+	in.Instrument(reg)
+	db := testDB(t, 10, 2, 10, 2)
+	w := in.Wrap(db)
+	w.Query(nil)
+	w.Query(nil) // attempt 2: injected 429
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `chaos_faults_injected_total{kind="rate_limit"} 1`) {
+		t.Fatalf("metric missing:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,225 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"hiddensky/internal/core"
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+	"hiddensky/internal/retry"
+)
+
+// The exactness-under-failure suite: for every algorithm family and
+// request shape, a discovery run against a chaos-wrapped, hardened
+// interface must return the identical skyline set and exact query
+// accounting a fault-free twin produces, under every recoverable fault
+// profile — injected faults are errors or latency only, never silently
+// wrong answers, so absorbing them by retry restores the clean run bit
+// for bit.
+
+// exactPolicy absorbs every recoverable profile's worst consecutive
+// fault run quickly: microsecond backoff, Retry-After hints capped so
+// the polite preset's 1s advertisements do not slow the suite down.
+func exactPolicy() retry.Policy {
+	return retry.Policy{
+		Attempts:      10,
+		BaseBackoff:   50 * time.Microsecond,
+		MaxBackoff:    500 * time.Microsecond,
+		RetryAfterCap: 500 * time.Microsecond,
+		NoJitter:      true,
+	}
+}
+
+// mkTwin returns a builder of identical databases: every call compiles
+// the same seeded data, so a clean and a fault-injected run see twins.
+func mkTwin(seed int64, n, m, domain, k int, caps []hidden.Capability) func() *hidden.DB {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]int, n)
+	for i := range data {
+		row := make([]int, m)
+		for j := range row {
+			row[j] = rng.Intn(domain)
+		}
+		data[i] = row
+	}
+	return func() *hidden.DB {
+		return hidden.MustNew(hidden.Config{Data: data, Caps: caps, K: k})
+	}
+}
+
+// exactConfig is one cell of the request matrix.
+type exactConfig struct {
+	name string
+	mk   func() *hidden.DB
+	req  core.Request
+	opt  core.Options
+	// parallel runs may legitimately spend a different (scheduler-
+	// dependent) number of queries than another run; for them the suite
+	// asserts exact accounting (reported count == backend-served count)
+	// instead of count equality with the clean twin.
+	parallel bool
+}
+
+func exactConfigs() []exactConfig {
+	sq := capsAll(3, hidden.SQ)
+	rq := capsAll(3, hidden.RQ)
+	pq := capsAll(3, hidden.PQ)
+	mixed := []hidden.Capability{hidden.RQ, hidden.SQ, hidden.PQ}
+	// Every dataset is sized so its clean run issues comfortably more
+	// queries than the largest first-fault attempt across the profiles
+	// (flaky's error at attempt 11): a cell whose run finishes before
+	// the schedule's first fault would prove nothing.
+	return []exactConfig{
+		{name: "sq", mk: mkTwin(101, 150, 3, 30, 4, sq), req: core.Request{Algo: core.AlgoSQ}},
+		{name: "rq", mk: mkTwin(102, 300, 3, 40, 2, rq), req: core.Request{Algo: core.AlgoRQ}},
+		{name: "pq", mk: mkTwin(103, 200, 3, 16, 4, pq), req: core.Request{Algo: core.AlgoPQ}},
+		{name: "mq", mk: mkTwin(104, 150, 3, 25, 4, mixed), req: core.Request{Algo: core.AlgoMQ}},
+		{name: "band", mk: mkTwin(105, 150, 3, 30, 5, rq), req: core.Request{Band: 3}},
+		{name: "filter", mk: mkTwin(106, 300, 3, 40, 2, rq),
+			req: core.Request{Filter: query.Q{{Attr: 0, Op: query.LE, Value: 25}}}},
+		{name: "parallel", mk: mkTwin(107, 300, 3, 40, 2, rq),
+			req: core.Request{Algo: core.AlgoRQ}, opt: core.Options{Parallelism: 4}, parallel: true},
+	}
+}
+
+// recoverableProfiles is every preset a hardened consumer must fully
+// absorb (the down preset is the deliberate exception: it never lets a
+// query through), plus a quota-shaping profile with a fast refill.
+func recoverableProfiles() []Profile {
+	var out []Profile
+	for _, name := range []string{"bursty", "polite", "flaky", "hostile"} {
+		p := Presets()[name]
+		if !p.Active() {
+			panic("missing preset " + name)
+		}
+		// The hostile preset's millisecond latency jitter is the
+		// production smoke default; dial it down so the full matrix
+		// stays fast without changing the fault schedule.
+		p.Latency, p.LatencyJitter = 20*time.Microsecond, 20*time.Microsecond
+		out = append(out, p)
+	}
+	out = append(out, Profile{Name: "quota", QuotaBurst: 40, QuotaRefill: 50 * time.Microsecond})
+	return out
+}
+
+func skylineSet(ts [][]int) []string {
+	out := make([]string, len(ts))
+	for i, tu := range ts {
+		out[i] = fmt.Sprint(tu)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameSkyline(t *testing.T, got, want [][]int) {
+	t.Helper()
+	g, w := skylineSet(got), skylineSet(want)
+	if len(g) != len(w) {
+		t.Fatalf("skyline size diverged under faults: got %d tuples, want %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("skyline sets differ at %d: %s vs %s", i, g[i], w[i])
+		}
+	}
+}
+
+func TestExactnessUnderRecoverableProfiles(t *testing.T) {
+	for _, cfg := range exactConfigs() {
+		for _, p := range recoverableProfiles() {
+			t.Run(cfg.name+"/"+p.Name, func(t *testing.T) {
+				t.Parallel()
+				clean := cfg.mk()
+				want, err := core.Run(clean, cfg.req, cfg.opt)
+				if err != nil {
+					t.Fatalf("clean run: %v", err)
+				}
+				faulty := cfg.mk()
+				in := New(p)
+				hardened := Harden(in.Wrap(faulty), exactPolicy(), 1)
+				got, err := core.Run(hardened, cfg.req, cfg.opt)
+				if err != nil {
+					t.Fatalf("run under %s: %v", p.Name, err)
+				}
+				if got.Complete != want.Complete {
+					t.Fatalf("Complete = %v under faults, clean run %v", got.Complete, want.Complete)
+				}
+				sameSkyline(t, got.Skyline, want.Skyline)
+				if got.Band != want.Band {
+					t.Fatalf("band level = %d under faults, want %d", got.Band, want.Band)
+				}
+				if cfg.parallel {
+					// Exact accounting: every counted query reached the
+					// backend exactly once — no injected fault counted, no
+					// absorbed retry double-counted.
+					if got.Queries != faulty.QueriesIssued() {
+						t.Fatalf("accounting: reported %d queries, backend served %d",
+							got.Queries, faulty.QueriesIssued())
+					}
+				} else {
+					if got.Queries != want.Queries {
+						t.Fatalf("query count = %d under faults, clean run %d", got.Queries, want.Queries)
+					}
+					if faulty.QueriesIssued() != clean.QueriesIssued() {
+						t.Fatalf("backend served %d queries under faults, clean twin %d",
+							faulty.QueriesIssued(), clean.QueriesIssued())
+					}
+				}
+				// The injection schedule is exact even when retries and
+				// parallel workers interleave: per-kind counts are a pure
+				// function of the total attempt number.
+				counts := in.Counts()
+				var scheduled int64
+				for k, w := range p.ScheduledCounts(in.Attempts()) {
+					if counts[k] != w {
+						t.Fatalf("injected %s = %d, schedule says %d (attempts %d)",
+							k, counts[k], w, in.Attempts())
+					}
+					scheduled += w
+				}
+				if p.Name != "quota" && scheduled == 0 {
+					t.Fatal("profile injected no faults; the matrix cell proved nothing")
+				}
+			})
+		}
+	}
+}
+
+// TestExactnessUnderRankingDrift: mid-crawl ranking drift is the one
+// recoverable fault that changes answers (each reply is a valid top-k
+// under the ranking of the moment) without ever corrupting the result:
+// skyline membership is ranking-independent, so the discovered set must
+// match the clean twin exactly. Query counts may legitimately differ —
+// truncated answers surface different witnesses under different
+// rankings — so the suite asserts exact accounting instead.
+func TestExactnessUnderRankingDrift(t *testing.T) {
+	mk := mkTwin(108, 150, 3, 30, 4, capsAll(3, hidden.RQ))
+	want, err := core.Run(mk(), core.Request{Algo: core.AlgoRQ}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := mk()
+	in := New(Profile{DriftEvery: 20})
+	in.SetDrift(faulty,
+		hidden.AttrRank{Attr: 1},
+		hidden.WeightedRank{Weights: []float64{3, 1, 0.5}},
+		hidden.SumRank{})
+	got, err := core.Run(Harden(in.Wrap(faulty), exactPolicy(), 1), core.Request{Algo: core.AlgoRQ}, core.Options{})
+	if err != nil {
+		t.Fatalf("run under drift: %v", err)
+	}
+	if !got.Complete {
+		t.Fatal("drifted run not complete")
+	}
+	sameSkyline(t, got.Skyline, want.Skyline)
+	if got.Queries != faulty.QueriesIssued() {
+		t.Fatalf("accounting under drift: reported %d, backend served %d", got.Queries, faulty.QueriesIssued())
+	}
+	if in.Count(KindDrift) == 0 {
+		t.Fatal("ranking never drifted; the run proved nothing")
+	}
+}

@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"hiddensky/internal/core"
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/query"
+	"hiddensky/internal/retry"
+)
+
+// RateLimitedError is an injected 429. It unwraps to
+// hidden.ErrRateLimited — consumers treat it exactly like a real budget
+// rejection — and carries the profile's Retry-After hint for
+// retry.AfterHint.
+type RateLimitedError struct {
+	// After is the advertised Retry-After (0 = none).
+	After time.Duration
+}
+
+func (e *RateLimitedError) Error() string {
+	if e.After > 0 {
+		return fmt.Sprintf("chaos: injected rate limit (retry after %v)", e.After)
+	}
+	return "chaos: injected rate limit"
+}
+
+func (e *RateLimitedError) Unwrap() error                 { return hidden.ErrRateLimited }
+func (e *RateLimitedError) RetryAfterHint() time.Duration { return e.After }
+
+// FaultError is an injected transient failure (5xx, reset, truncation).
+// It unwraps to retry.ErrUnavailable, so hardened consumers retry it.
+type FaultError struct {
+	// Kind is the injected fault class.
+	Kind Kind
+}
+
+func (e *FaultError) Error() string {
+	switch e.Kind {
+	case KindServerError:
+		return "chaos: injected 503 service unavailable"
+	case KindReset:
+		return "chaos: injected connection reset"
+	case KindTruncate:
+		return "chaos: injected truncated answer"
+	}
+	return "chaos: injected " + string(e.Kind)
+}
+
+func (e *FaultError) Unwrap() error { return retry.ErrUnavailable }
+
+// DB wraps a core.Interface with the injector's fault schedule — the
+// in-process twin of the HTTP middleware. Metadata calls (NumAttrs, K,
+// Cap, Domain) pass through untouched; only Query is hostile.
+type DB struct {
+	inner core.Interface
+	in    *Injector
+}
+
+// Wrap places the injector in front of db.
+func (in *Injector) Wrap(db core.Interface) *DB {
+	return &DB{inner: db, in: in}
+}
+
+// Query implements core.Interface: it advances the global attempt
+// counter, injects the scheduled fault (as an error — never a wrong
+// answer), applies latency shaping, and otherwise delegates.
+func (d *DB) Query(q query.Q) (hidden.Result, error) {
+	in := d.in
+	if delay := in.delay(); delay > 0 {
+		time.Sleep(delay)
+	}
+	n := in.attempts.Add(1)
+	switch k := in.profile.FaultAt(n); k {
+	case KindRateLimit:
+		in.record(n, k, "")
+		return hidden.Result{}, &RateLimitedError{After: in.profile.RetryAfter}
+	case KindServerError, KindReset, KindTruncate:
+		in.record(n, k, "")
+		return hidden.Result{}, &FaultError{Kind: k}
+	case KindStall:
+		in.record(n, k, in.profile.Stall.String())
+		time.Sleep(in.profile.Stall)
+	}
+	if wait := in.quotaWait(time.Now()); wait > 0 {
+		in.record(n, KindQuota, wait.String())
+		return hidden.Result{}, &RateLimitedError{After: wait}
+	}
+	res, err := d.inner.Query(q)
+	if err == nil {
+		in.served.Add(1)
+		in.maybeDrift()
+	}
+	return res, err
+}
+
+// NumAttrs implements core.Interface.
+func (d *DB) NumAttrs() int { return d.inner.NumAttrs() }
+
+// K implements core.Interface.
+func (d *DB) K() int { return d.inner.K() }
+
+// Cap implements core.Interface.
+func (d *DB) Cap(i int) hidden.Capability { return d.inner.Cap(i) }
+
+// Domain implements core.Interface.
+func (d *DB) Domain(i int) query.Interval { return d.inner.Domain(i) }

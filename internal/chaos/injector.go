@@ -1,0 +1,243 @@
+package chaos
+
+import (
+	"log/slog"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hiddensky/internal/hidden"
+	"hiddensky/internal/obs"
+)
+
+// maxEvents bounds the in-memory injection log; tests asserting exact
+// schedules stay far below it, long chaos soaks just lose the oldest
+// entries (the per-kind counters never lose anything).
+const maxEvents = 8192
+
+// Event records one injected fault for schedule assertions and the
+// fault log artifact.
+type Event struct {
+	// Attempt is the 1-based global attempt number the fault hit (0 for
+	// drift events, which are keyed to served queries instead).
+	Attempt int64
+	// Kind is the injected fault class.
+	Kind Kind
+	// Detail carries kind-specific context (advertised Retry-After, the
+	// ranking drifted to, the quota wait).
+	Detail string
+}
+
+// Injector drives one Profile's fault schedule. It is safe for
+// concurrent use; a single Injector can sit behind both an in-process
+// wrapper and HTTP middleware, sharing one attempt counter.
+type Injector struct {
+	profile Profile
+
+	attempts atomic.Int64 // upstream attempts seen (1-based)
+	served   atomic.Int64 // attempts that passed through clean
+	counts   map[Kind]*atomic.Int64
+
+	mu     sync.Mutex
+	rng    *rand.Rand // latency jitter stream (seeded)
+	events []Event
+	// token bucket for quota shaping (guarded by mu)
+	quotaTokens float64
+	quotaLast   time.Time
+
+	// ranking drift target (nil = drift disabled even when scheduled)
+	drift     *hidden.DB
+	rotation  []hidden.Ranking
+	driftNext int
+
+	log *slog.Logger
+
+	metrics map[Kind]*obs.Counter // nil until Instrument
+}
+
+// New builds an injector for p.
+func New(p Profile) *Injector {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	in := &Injector{
+		profile: p,
+		rng:     rand.New(rand.NewSource(seed)),
+		counts:  make(map[Kind]*atomic.Int64, len(Kinds)),
+		log:     obs.Nop(),
+	}
+	for _, k := range Kinds {
+		in.counts[k] = new(atomic.Int64)
+	}
+	if p.QuotaBurst > 0 {
+		in.quotaTokens = float64(p.QuotaBurst)
+	}
+	return in
+}
+
+// Profile returns the injector's profile.
+func (in *Injector) Profile() Profile { return in.profile }
+
+// SetLogger routes the fault log (one line per injection) to l.
+func (in *Injector) SetLogger(l *slog.Logger) {
+	if l != nil {
+		in.log = l
+	}
+}
+
+// Instrument registers chaos_faults_injected_total{kind=...} on r, one
+// series per fault kind, fed by the injector's own counters.
+func (in *Injector) Instrument(r *obs.Registry) {
+	for _, k := range Kinds {
+		c := in.counts[k]
+		r.CounterFunc(`chaos_faults_injected_total{kind="`+obs.EscapeLabel(string(k))+`"}`,
+			"faults injected by the chaos layer", func() float64 { return float64(c.Load()) })
+	}
+}
+
+// SetDrift arms ranking drift: every Profile.DriftEvery served queries
+// the injector calls db.Rerank with the next ranking in rotation (round
+// robin). Rankings must be domination-consistent — drift is recoverable
+// precisely because skyline membership does not depend on the ranking.
+func (in *Injector) SetDrift(db *hidden.DB, rotation ...hidden.Ranking) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.drift = db
+	in.rotation = rotation
+}
+
+// Attempts returns the number of upstream attempts observed so far.
+func (in *Injector) Attempts() int64 { return in.attempts.Load() }
+
+// Served returns the number of attempts that passed through clean.
+func (in *Injector) Served() int64 { return in.served.Load() }
+
+// Count returns how many faults of kind k were injected.
+func (in *Injector) Count(k Kind) int64 { return in.counts[k].Load() }
+
+// Counts snapshots all non-zero per-kind injection counts.
+func (in *Injector) Counts() map[Kind]int64 {
+	out := make(map[Kind]int64)
+	for _, k := range Kinds {
+		if v := in.counts[k].Load(); v > 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Events returns a copy of the injection log (oldest first).
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// record counts, logs and journals one injected fault.
+func (in *Injector) record(n int64, k Kind, detail string) {
+	in.counts[k].Add(1)
+	in.mu.Lock()
+	if len(in.events) < maxEvents {
+		in.events = append(in.events, Event{Attempt: n, Kind: k, Detail: detail})
+	}
+	in.mu.Unlock()
+	if detail != "" {
+		in.log.Info("chaos: fault injected", "attempt", n, "kind", string(k), "detail", detail)
+	} else {
+		in.log.Info("chaos: fault injected", "attempt", n, "kind", string(k))
+	}
+}
+
+// delay returns the latency to add to the current attempt: the profile's
+// base latency plus a seeded uniform draw from [0, LatencyJitter).
+func (in *Injector) delay() time.Duration {
+	p := in.profile
+	d := p.Latency
+	if p.LatencyJitter > 0 {
+		in.mu.Lock()
+		d += time.Duration(in.rng.Int63n(int64(p.LatencyJitter)))
+		in.mu.Unlock()
+	}
+	return d
+}
+
+// quotaWait consumes one token when available (returning 0) or reports
+// how long until the next token refills. Called only for attempts the
+// pure schedule left clean, so scheduled counts stay exact.
+func (in *Injector) quotaWait(now time.Time) time.Duration {
+	p := in.profile
+	if p.QuotaBurst <= 0 || p.QuotaRefill <= 0 {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.quotaLast.IsZero() {
+		in.quotaLast = now
+	}
+	refilled := float64(now.Sub(in.quotaLast)) / float64(p.QuotaRefill)
+	if refilled > 0 {
+		in.quotaTokens += refilled
+		if in.quotaTokens > float64(p.QuotaBurst) {
+			in.quotaTokens = float64(p.QuotaBurst)
+		}
+		in.quotaLast = now
+	}
+	if in.quotaTokens >= 1 {
+		in.quotaTokens--
+		return 0
+	}
+	wait := time.Duration((1 - in.quotaTokens) * float64(p.QuotaRefill))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return wait
+}
+
+// maybeDrift rotates the target database's ranking when the served-query
+// schedule says so. Serving and drifting are decoupled on purpose: a
+// drifted ranking changes which tuples overflow future answers, never
+// the correctness of any single answer.
+func (in *Injector) maybeDrift() {
+	p := in.profile
+	if p.DriftEvery <= 0 {
+		return
+	}
+	n := in.served.Load()
+	if n == 0 || n%int64(p.DriftEvery) != 0 {
+		return
+	}
+	in.mu.Lock()
+	db, rot := in.drift, in.rotation
+	if db == nil || len(rot) == 0 {
+		in.mu.Unlock()
+		return
+	}
+	r := rot[in.driftNext%len(rot)]
+	in.driftNext++
+	in.mu.Unlock()
+	if err := db.Rerank(r); err != nil {
+		in.log.Warn("chaos: drift rerank failed", "err", err)
+		return
+	}
+	in.record(0, KindDrift, rankingName(r))
+}
+
+func rankingName(r hidden.Ranking) string {
+	type namer interface{ Name() string }
+	if n, ok := r.(namer); ok {
+		return n.Name()
+	}
+	switch r.(type) {
+	case hidden.SumRank:
+		return "sum"
+	case hidden.AttrRank:
+		return "attr"
+	case hidden.LexRank:
+		return "lex"
+	case hidden.WeightedRank:
+		return "weighted"
+	}
+	return "ranking"
+}

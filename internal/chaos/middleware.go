@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Middleware places the injector's fault schedule in front of an HTTP
+// hidden-database server. Only POST /v1/search attempts are shaped —
+// meta, metrics and health endpoints stay clean so operators can watch
+// the chaos they asked for. Injected faults never reach the inner
+// handler: an injected 429 is not a served query, exactly like a real
+// rate limiter rejecting at the edge.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/search" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if delay := in.delay(); delay > 0 {
+			time.Sleep(delay)
+		}
+		n := in.attempts.Add(1)
+		switch k := in.profile.FaultAt(n); k {
+		case KindRateLimit:
+			in.record(n, k, "")
+			writeFaultStatus(w, http.StatusTooManyRequests, in.profile.RetryAfter, "chaos: injected rate limit")
+			return
+		case KindServerError:
+			in.record(n, k, "")
+			writeFaultStatus(w, http.StatusServiceUnavailable, 0, "chaos: injected 503")
+			return
+		case KindReset:
+			in.record(n, k, "")
+			// net/http recovers ErrAbortHandler by closing the
+			// connection without a response — the client sees a reset.
+			panic(http.ErrAbortHandler)
+		case KindTruncate:
+			in.record(n, k, "")
+			in.truncate(next, w, r)
+			return
+		case KindStall:
+			in.record(n, k, in.profile.Stall.String())
+			time.Sleep(in.profile.Stall)
+		}
+		if wait := in.quotaWait(time.Now()); wait > 0 {
+			in.record(n, KindQuota, wait.String())
+			writeFaultStatus(w, http.StatusTooManyRequests, wait, "chaos: quota exhausted")
+			return
+		}
+		next.ServeHTTP(w, r)
+		in.served.Add(1)
+		in.maybeDrift()
+	})
+}
+
+// writeFaultStatus emits an injected JSON error answer. Retry-After is
+// advertised in whole seconds (rounded up), matching what HTTP allows.
+func writeFaultStatus(w http.ResponseWriter, status int, retryAfter time.Duration, msg string) {
+	if retryAfter > 0 {
+		secs := int(math.Ceil(retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}
+
+// truncate serves the inner handler into a buffer, then replays the
+// status and headers with the full Content-Length but writes only half
+// the body before dropping the connection — the client reads a partial
+// payload and hits an unexpected EOF mid-decode.
+func (in *Injector) truncate(next http.Handler, w http.ResponseWriter, r *http.Request) {
+	rec := &bufferingWriter{header: make(http.Header), status: http.StatusOK}
+	next.ServeHTTP(rec, r)
+	for k, vs := range rec.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	body := rec.body.Bytes()
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(rec.status)
+	if len(body) > 1 {
+		_, _ = w.Write(body[:len(body)/2])
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// bufferingWriter captures a handler's full response for truncation.
+type bufferingWriter struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferingWriter) Header() http.Header         { return b.header }
+func (b *bufferingWriter) WriteHeader(status int)      { b.status = status }
+func (b *bufferingWriter) Write(p []byte) (int, error) { return b.body.Write(p) }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hiddensky/internal/query"
 )
@@ -116,20 +117,34 @@ type Config struct {
 	Domains []query.Interval
 }
 
+// rankState bundles the two views of one ranking — pos[i] is tuple i's
+// position (smaller = ranked higher), byRank lists tuple indices
+// best-ranked first. They must always swap together, so evaluate reads
+// them through a single atomic pointer: Rerank publishes a complete
+// replacement state and in-flight queries keep the one they loaded.
+type rankState struct {
+	pos    []int
+	byRank []int32
+}
+
 // DB is the hidden database simulator.
 type DB struct {
 	data    [][]int
 	filters [][]string
 	caps    []Capability
 	k       int
-	rank    []int // rank[i] = position of tuple i; smaller = ranked higher
 	domains []query.Interval
 
-	// Query-evaluation indexes (behavioural no-ops; they only speed up the
-	// simulator): byRank lists tuple indices best-ranked first, so broad
-	// queries stop after k+1 matches; colIdx[a] lists tuple indices sorted
-	// by attribute a's value, so narrow queries scan only one value range.
-	byRank []int32
+	// ranking is the current rankState; queries load it once and never
+	// see a torn mix of old positions with a new by-rank order, which is
+	// what lets Rerank drift the proprietary ranking mid-crawl without a
+	// lock on the query path.
+	ranking atomic.Pointer[rankState]
+
+	// Query-evaluation indexes (behavioural no-ops; they only speed up
+	// the simulator): colIdx[a] lists tuple indices sorted by attribute
+	// a's value, so narrow queries scan only one value range. The
+	// ranking-order index lives in rankState so it drifts atomically.
 	colIdx [][]int32
 
 	// mu guards the mutable counters so one DB can serve concurrent
@@ -167,29 +182,15 @@ func New(cfg Config) (*DB, error) {
 	if rank == nil {
 		rank = SumRank{}
 	}
-	order, err := rank.Order(cfg.Data)
-	if err != nil {
-		return nil, err
-	}
-	if len(order) != len(cfg.Data) {
-		return nil, fmt.Errorf("hidden: ranking returned %d positions for %d tuples", len(order), len(cfg.Data))
-	}
-	pos := make([]int, len(order))
-	seen := make([]bool, len(order))
-	for p, i := range order {
-		if i < 0 || i >= len(order) || seen[i] {
-			return nil, fmt.Errorf("hidden: ranking order is not a permutation")
-		}
-		seen[i] = true
-		pos[i] = p
-	}
 	db := &DB{
 		data:       cfg.Data,
 		filters:    cfg.Filters,
 		caps:       append([]Capability(nil), cfg.Caps...),
 		k:          cfg.K,
-		rank:       pos,
 		queryLimit: cfg.QueryLimit,
+	}
+	if err := db.Rerank(rank); err != nil {
+		return nil, err
 	}
 	db.domains = make([]query.Interval, m)
 	for j := 0; j < m; j++ {
@@ -220,15 +221,43 @@ func New(cfg Config) (*DB, error) {
 	return db, nil
 }
 
+// Rerank swaps the database's ranking function mid-flight — the paper's
+// "proprietary ranking may change under the crawler" scenario, injected
+// by the chaos layer as a recoverable fault. r must be
+// domination-consistent like any Ranking (nil means SumRank); discovery
+// stays exact because skyline membership never depends on the ranking,
+// only query counts drift. Concurrent queries are safe: each loads one
+// complete rank state.
+func (db *DB) Rerank(r Ranking) error {
+	if r == nil {
+		r = SumRank{}
+	}
+	order, err := r.Order(db.data)
+	if err != nil {
+		return err
+	}
+	if len(order) != len(db.data) {
+		return fmt.Errorf("hidden: ranking returned %d positions for %d tuples", len(order), len(db.data))
+	}
+	pos := make([]int, len(order))
+	seen := make([]bool, len(order))
+	for p, i := range order {
+		if i < 0 || i >= len(order) || seen[i] {
+			return fmt.Errorf("hidden: ranking order is not a permutation")
+		}
+		seen[i] = true
+		pos[i] = p
+	}
+	byRank := make([]int32, len(order))
+	for p, i := range order {
+		byRank[p] = int32(i)
+	}
+	db.ranking.Store(&rankState{pos: pos, byRank: byRank})
+	return nil
+}
+
 func (db *DB) buildIndexes() {
 	n, m := len(db.data), len(db.caps)
-	db.byRank = make([]int32, n)
-	for i := range db.byRank {
-		db.byRank[i] = int32(i)
-	}
-	sort.Slice(db.byRank, func(a, b int) bool {
-		return db.rank[db.byRank[a]] < db.rank[db.byRank[b]]
-	})
 	db.colIdx = make([][]int32, m)
 	for a := 0; a < m; a++ {
 		idx := make([]int32, n)
@@ -351,6 +380,7 @@ func (db *DB) queryInternal(q query.Q) (Result, [][]string, error) {
 // a narrow query scans only its most selective attribute's value range; a
 // broad query scans tuples best-rank-first and stops at the k+1-st match.
 func (db *DB) evaluate(q query.Q) ([]int32, bool) {
+	rs := db.ranking.Load()
 	box := q.Canonicalize(db.domains)
 	if box.Empty() {
 		return nil, false
@@ -377,14 +407,14 @@ func (db *DB) evaluate(q query.Q) ([]int32, bool) {
 			}
 		}
 		overflow := len(matched) > db.k
-		sort.Slice(matched, func(a, b int) bool { return db.rank[matched[a]] < db.rank[matched[b]] })
+		sort.Slice(matched, func(a, b int) bool { return rs.pos[matched[a]] < rs.pos[matched[b]] })
 		if overflow {
 			matched = matched[:db.k]
 		}
 		return matched, overflow
 	}
 	var matched []int32
-	for _, i := range db.byRank {
+	for _, i := range rs.byRank {
 		if box.Contains(db.data[i]) {
 			matched = append(matched, i)
 			if len(matched) > db.k {

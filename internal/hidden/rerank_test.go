@@ -1,0 +1,116 @@
+package hidden
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hiddensky/internal/query"
+)
+
+// TestRerankChangesOrder verifies a mid-flight ranking swap takes effect:
+// the same broad query returns its tuples in the new proprietary order.
+func TestRerankChangesOrder(t *testing.T) {
+	db := MustNew(Config{
+		Data: [][]int{{1, 9}, {9, 1}, {5, 5}},
+		Caps: capsOf("RR"),
+		K:    1,
+	})
+	top := func() []int {
+		res, err := db.Query(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Top()
+	}
+	// SumRank ties all three at 10; it breaks ties by index → tuple 0.
+	if got := top(); got[0] != 1 || got[1] != 9 {
+		t.Fatalf("SumRank top = %v", got)
+	}
+	if err := db.Rerank(AttrRank{Attr: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := top(); got[0] != 9 || got[1] != 1 {
+		t.Fatalf("AttrRank{1} top = %v, want [9 1]", got)
+	}
+	if err := db.Rerank(nil); err != nil { // nil falls back to SumRank
+		t.Fatal(err)
+	}
+	if got := top(); got[0] != 1 || got[1] != 9 {
+		t.Fatalf("top after Rerank(nil) = %v", got)
+	}
+}
+
+// TestRerankRejectsBadRanking ensures a broken ranking cannot corrupt the
+// installed state: the error surfaces and queries keep the old order.
+func TestRerankRejectsBadRanking(t *testing.T) {
+	db := MustNew(Config{
+		Data: [][]int{{1, 2}, {3, 4}},
+		Caps: capsOf("RR"),
+		K:    2,
+	})
+	if err := db.Rerank(badRank{}); err == nil {
+		t.Fatal("Rerank accepted a non-permutation order")
+	}
+	res, err := db.Query(nil)
+	if err != nil || len(res.Tuples) != 2 {
+		t.Fatalf("query after rejected Rerank: %v, %v", res, err)
+	}
+}
+
+type badRank struct{}
+
+func (badRank) Order(data [][]int) ([]int, error) {
+	out := make([]int, len(data))
+	return out, nil // all zeros: not a permutation for n > 1
+}
+
+// TestRerankConcurrentWithQueries hammers Query from many goroutines
+// while the ranking drifts underneath — the race detector proves the
+// atomic state swap, and every answer must be internally consistent
+// (top-1 of the loaded ranking, never a torn mix).
+func TestRerankConcurrentWithQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := MustNew(Config{
+		Data: randData(rng, 300, 3, 50),
+		Caps: capsOf("RRR"),
+		K:    5,
+	})
+	rankings := []Ranking{SumRank{}, AttrRank{Attr: 0}, AttrRank{Attr: 2},
+		LexRank{Priority: []int{1, 0, 2}}, WeightedRank{Weights: []float64{1, 2, 3}}}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := query.Q{{Attr: r.Intn(3), Op: query.LE, Value: r.Intn(50)}}
+				res, err := db.Query(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, tup := range res.Tuples {
+					if len(tup) != 3 {
+						t.Errorf("torn tuple %v", tup)
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	for i := 0; i < 200; i++ {
+		if err := db.Rerank(rankings[i%len(rankings)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,113 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNormalizeFillsDefaults(t *testing.T) {
+	p := Policy{}.Normalize()
+	if p.Attempts != DefaultAttempts {
+		t.Fatalf("Attempts = %d, want %d", p.Attempts, DefaultAttempts)
+	}
+	if p.BaseBackoff != DefaultBaseBackoff || p.MaxBackoff != DefaultMaxBackoff {
+		t.Fatalf("backoff defaults wrong: %v / %v", p.BaseBackoff, p.MaxBackoff)
+	}
+	if p.Multiplier != DefaultMultiplier || p.Jitter != DefaultJitter {
+		t.Fatalf("growth defaults wrong: %v / %v", p.Multiplier, p.Jitter)
+	}
+	if p.RetryAfterCap != DefaultRetryAfterCap {
+		t.Fatalf("RetryAfterCap = %v", p.RetryAfterCap)
+	}
+}
+
+func TestNormalizeKeepsExplicitValues(t *testing.T) {
+	p := Policy{Attempts: 1, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+		Multiplier: 3, Jitter: 0.5, PerAttemptTimeout: time.Second, RetryAfterCap: time.Minute}.Normalize()
+	if p.Attempts != 1 || p.BaseBackoff != time.Millisecond || p.MaxBackoff != 2*time.Millisecond ||
+		p.Multiplier != 3 || p.Jitter != 0.5 || p.PerAttemptTimeout != time.Second || p.RetryAfterCap != time.Minute {
+		t.Fatalf("explicit fields clobbered: %+v", p)
+	}
+}
+
+func TestNormalizeNoJitter(t *testing.T) {
+	p := Policy{NoJitter: true}.Normalize()
+	if p.Jitter != 0 {
+		t.Fatalf("NoJitter left Jitter = %v", p.Jitter)
+	}
+}
+
+func TestBackoffExponentialSchedule(t *testing.T) {
+	p := Policy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond,
+		Multiplier: 2, NoJitter: true}.Normalize()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		50 * time.Millisecond, 50 * time.Millisecond}
+	for i, w := range want {
+		if got := p.Backoff(i+1, 0, nil); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	p := Policy{BaseBackoff: time.Millisecond, RetryAfterCap: 2 * time.Second, NoJitter: true}.Normalize()
+	if got := p.Backoff(1, 700*time.Millisecond, nil); got != 700*time.Millisecond {
+		t.Fatalf("hint not honored: %v", got)
+	}
+	// A hint beyond the cap is clamped, not obeyed verbatim.
+	if got := p.Backoff(3, time.Hour, nil); got != 2*time.Second {
+		t.Fatalf("hint not capped: %v", got)
+	}
+}
+
+func TestBackoffJitterOnlyShortens(t *testing.T) {
+	p := Policy{BaseBackoff: 100 * time.Millisecond, Jitter: 0.5}.Normalize()
+	rnd := func() float64 { return 1 } // worst-case shave
+	if got := p.Backoff(1, 0, rnd); got != 50*time.Millisecond {
+		t.Fatalf("full shave = %v, want 50ms", got)
+	}
+	rnd = func() float64 { return 0 }
+	if got := p.Backoff(1, 0, rnd); got != 100*time.Millisecond {
+		t.Fatalf("zero shave = %v, want 100ms", got)
+	}
+}
+
+type hintedErr struct{ after time.Duration }
+
+func (e *hintedErr) Error() string                 { return "hinted" }
+func (e *hintedErr) Unwrap() error                 { return ErrUnavailable }
+func (e *hintedErr) RetryAfterHint() time.Duration { return e.after }
+
+func TestAfterHintWalksChain(t *testing.T) {
+	base := &hintedErr{after: 3 * time.Second}
+	wrapped := fmt.Errorf("outer: %w", base)
+	if got := AfterHint(wrapped); got != 3*time.Second {
+		t.Fatalf("AfterHint = %v", got)
+	}
+	if got := AfterHint(errors.New("plain")); got != 0 {
+		t.Fatalf("AfterHint on plain error = %v", got)
+	}
+}
+
+func TestTransient(t *testing.T) {
+	if !Transient(fmt.Errorf("wrap: %w", ErrUnavailable)) {
+		t.Fatal("wrapped ErrUnavailable not transient")
+	}
+	if Transient(errors.New("fatal")) {
+		t.Fatal("plain error reported transient")
+	}
+}
+
+func TestSleepRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep under cancelled ctx = %v", err)
+	}
+	if err := Sleep(nil, 0); err != nil {
+		t.Fatalf("zero Sleep errored: %v", err)
+	}
+}

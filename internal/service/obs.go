@@ -32,6 +32,9 @@ type managerMetrics struct {
 	jobSeconds    *obs.Histogram
 	jobQueries    *obs.Counter
 
+	jobsParkedCircuit *obs.Counter
+	circuitOpens      *obs.Counter
+
 	indexSwaps   *obs.Counter
 	indexBuild   *obs.Histogram
 	answerShared *answer.Metrics
@@ -54,6 +57,9 @@ func newManagerMetrics(r *obs.Registry) *managerMetrics {
 		jobsRetried:   r.Counter("jobs_retried_total", "resumable jobs parked and requeued after an upstream rate limit"),
 		jobSeconds:    r.Histogram("job_seconds", "wall-clock duration of terminal jobs (start to finish)"),
 		jobQueries:    r.Counter("job_queries_total", "counted queries of terminal jobs (cache hits included)"),
+
+		jobsParkedCircuit: r.Counter("jobs_parked_circuit_total", "job runs parked without querying because the store circuit was open"),
+		circuitOpens:      r.Counter("circuit_opens_total", "store circuits opened after consecutive upstream failures"),
 
 		indexSwaps: r.Counter("answer_index_swaps_total", "answer index hot-swaps published"),
 		indexBuild: r.Histogram("answer_index_build_seconds", "answer.Build duration per published index"),
@@ -146,6 +152,24 @@ func (m *Manager) registerHealthChecks() {
 			return m.sampler.Rate("qcache_evictions_total", time.Minute)
 		})
 	}
+	// An open store circuit degrades the daemon (it is parked away from
+	// that upstream) without making it unready: the answer tier keeps
+	// serving the last published index, so /readyz stays 200. This
+	// check reads live breaker state, not the sampler; taking m.mu here
+	// is as safe as in the scrape-time gauge funcs (Evaluate never runs
+	// under it).
+	m.health.AddCheck("upstream_circuit_open", 0.5, func() float64 {
+		now := time.Now()
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		open := 0
+		for _, b := range m.breakers {
+			if b.stateAt(now) == circuitOpen {
+				open++
+			}
+		}
+		return float64(open)
+	})
 }
 
 // Sampler exposes the time-series layer (handlers, tests).

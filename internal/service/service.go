@@ -34,6 +34,7 @@ import (
 	"hiddensky/internal/obs"
 	"hiddensky/internal/qcache"
 	"hiddensky/internal/query"
+	"hiddensky/internal/retry"
 	"hiddensky/internal/web"
 )
 
@@ -66,10 +67,25 @@ type Config struct {
 	// writes for resumable jobs (<= 0: after every query).
 	CheckpointEvery int
 	// RetryDelay is how long a resumable job parks before re-running
-	// after an upstream rate limit (as opposed to its own Budget, which
-	// ends the job). <= 0 means the default of 15s. A job that makes no
-	// progress across several consecutive retries gives up.
+	// after an upstream rate limit or transient outage (as opposed to
+	// its own Budget, which ends the job). <= 0 means the default of
+	// 15s. Consecutive retries without progress double the delay up to
+	// MaxRetryDelay; a job that makes no progress across several
+	// consecutive retries gives up.
 	RetryDelay time.Duration
+	// MaxRetryDelay caps the escalating park-and-retry delay
+	// (<= 0: 8x RetryDelay).
+	MaxRetryDelay time.Duration
+	// BreakerThreshold is how many consecutive upstream-failure job
+	// endings (rate limited or transiently unavailable) a store absorbs
+	// before its circuit opens: further runs against the store park
+	// without spending a single upstream query until the cooldown
+	// elapses, then probe half-open. 0 means the default of 3; negative
+	// disables the per-store breakers.
+	BreakerThreshold int
+	// BreakerCooldown is the base open duration of a store circuit
+	// (<= 0: 30s). Consecutive opens double it, up to 32x.
+	BreakerCooldown time.Duration
 	// Logger receives the manager's structured job-lifecycle log
 	// (submit, start, park, terminal states, index publications), every
 	// line carrying the job id and trace id. nil: logging is off.
@@ -383,16 +399,17 @@ type Manager struct {
 	sampler *obs.Sampler      // time-series rings over reg
 	health  *obs.HealthRollup // ready/degraded/unready rollup
 
-	mu      sync.Mutex
-	stores  map[string]core.Interface
-	answers map[string]*answerEntry // per-store hot-swapped answer index
-	jobs    map[string]*job
-	order   []string // listing order (ids, ascending)
-	queue   []string // FIFO of queued job ids
-	running int
-	seq     int
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	stores   map[string]core.Interface
+	breakers map[string]*breaker     // per-store circuit (nil entries: disabled)
+	answers  map[string]*answerEntry // per-store hot-swapped answer index
+	jobs     map[string]*job
+	order    []string // listing order (ids, ascending)
+	queue    []string // FIFO of queued job ids
+	running  int
+	seq      int
+	closed   bool
+	wg       sync.WaitGroup
 }
 
 // NewManager builds a manager (creating the snapshot directory when
@@ -400,11 +417,12 @@ type Manager struct {
 // re-enqueue what a previous process left behind.
 func NewManager(cfg Config) (*Manager, error) {
 	m := &Manager{
-		cfg:     cfg,
-		stores:  map[string]core.Interface{},
-		answers: map[string]*answerEntry{},
-		jobs:    map[string]*job{},
-		log:     cfg.Logger,
+		cfg:      cfg,
+		stores:   map[string]core.Interface{},
+		breakers: map[string]*breaker{},
+		answers:  map[string]*answerEntry{},
+		jobs:     map[string]*job{},
+		log:      cfg.Logger,
 	}
 	if m.log == nil {
 		m.log = obs.Nop()
@@ -468,6 +486,13 @@ func (m *Manager) AddStore(name string, db core.Interface) error {
 		return fmt.Errorf("service: store %q already registered", name)
 	}
 	m.stores[name] = db
+	if th := m.breakerThreshold(); th > 0 {
+		b := newBreaker(th, m.breakerCooldown())
+		m.breakers[name] = b
+		m.reg.GaugeFunc(`circuit_state{store="`+name+`"}`,
+			"store circuit state (0 closed, 1 half-open, 2 open)",
+			func() float64 { return float64(b.stateAt(time.Now())) })
+	}
 	e := &answerEntry{}
 	if m.cfg.BatchWindow > 0 {
 		e.co = newTopkCoalescer(m)
@@ -475,6 +500,34 @@ func (m *Manager) AddStore(name string, db core.Interface) error {
 	m.answers[name] = e
 	m.instrumentStore(name, db)
 	return nil
+}
+
+func (m *Manager) breakerThreshold() int {
+	switch {
+	case m.cfg.BreakerThreshold > 0:
+		return m.cfg.BreakerThreshold
+	case m.cfg.BreakerThreshold < 0:
+		return 0 // disabled
+	}
+	return 3
+}
+
+func (m *Manager) breakerCooldown() time.Duration {
+	if m.cfg.BreakerCooldown > 0 {
+		return m.cfg.BreakerCooldown
+	}
+	return 30 * time.Second
+}
+
+// storeBreaker returns the store's circuit (nil when breakers are
+// disabled or the job is a fleet job, which aggregates many stores).
+func (m *Manager) storeBreaker(store string) *breaker {
+	if store == "" {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.breakers[store]
 }
 
 // StoreNames lists the registered stores, sorted.
@@ -712,6 +765,9 @@ func (m *Manager) schedule() {
 // the manager shuts down mid-run).
 func (m *Manager) run(j *job) {
 	defer m.wg.Done()
+	if m.gateCircuit(j) {
+		return
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
@@ -757,6 +813,32 @@ func (m *Manager) run(j *job) {
 	root.SetInt("skyline", int64(final.Skyline))
 	root.End()
 	m.release()
+}
+
+// gateCircuit parks a queued job while its store's circuit is open:
+// the job stays queued without spending a single upstream query and is
+// re-queued for when the cooldown ends. Returns true when the job was
+// parked (the concurrency slot has been released).
+func (m *Manager) gateCircuit(j *job) bool {
+	st := j.snapshotStatus()
+	if st.State != StateQueued {
+		return false
+	}
+	b := m.storeBreaker(st.Spec.Store)
+	if b == nil {
+		return false
+	}
+	ok, wait := b.allow(time.Now())
+	if ok {
+		return false
+	}
+	j.set(func(s *JobStatus) { s.Error = "upstream circuit open; parked" })
+	m.met.jobsParkedCircuit.Inc()
+	m.log.Warn("job parked (store circuit open)",
+		"job_id", st.ID, "trace_id", st.TraceID, "store", st.Spec.Store, "wait", wait)
+	m.requeueAfter(st.ID, wait)
+	m.release()
+	return true
 }
 
 // setPhase publishes a lifecycle phase: new spans get stamped with it,
@@ -1006,7 +1088,8 @@ func (m *Manager) finish(j *job, oc outcome, tr *obs.Tracer, root uint64) {
 	st.Skyline = len(oc.tuples)
 	st.Complete = oc.err == nil && oc.complete
 	st.FinishedAt = time.Now().UTC()
-	retry := false
+	requeue := false
+	var requeueDelay time.Duration
 	switch {
 	case oc.err == nil && oc.complete:
 		st.State = StateDone
@@ -1023,14 +1106,20 @@ func (m *Manager) finish(j *job, oc outcome, tr *obs.Tracer, root uint64) {
 		st.FinishedAt = time.Time{}
 		st.Error = ""
 	case m.shouldRetry(j, oc):
-		// Upstream quota (not the job's own budget) interrupted a
-		// resumable run: the checkpoint must not be orphaned. Park the
-		// job and retry once the quota has had time to replenish — the
-		// multi-day-quota story, daemon edition.
-		retry = true
+		// Upstream quota or outage (not the job's own budget)
+		// interrupted a resumable run: the checkpoint must not be
+		// orphaned. Park the job and retry once the upstream has had
+		// time to recover — the multi-day-quota story, daemon edition.
+		// Consecutive no-progress retries back off exponentially.
+		requeue = true
+		requeueDelay = m.retryDelayFor(j.noProgress)
 		st.State = StateQueued
 		st.FinishedAt = time.Time{}
-		st.Error = "upstream rate limited; retrying"
+		if errors.Is(oc.err, hidden.ErrRateLimited) {
+			st.Error = "upstream rate limited; retrying"
+		} else {
+			st.Error = "upstream unavailable; retrying"
+		}
 	case oc.err == nil || errors.Is(oc.err, core.ErrBudget):
 		// The run ended cleanly but incompletely (a store or the job
 		// itself exhausted its budget, or rate-limit retries stopped
@@ -1068,13 +1157,36 @@ func (m *Manager) finish(j *job, oc outcome, tr *obs.Tracer, root uint64) {
 	out := j.status.clone()
 	j.mu.Unlock()
 	j.notify(out)
+	m.recordCircuit(out, oc)
 	m.persist(j)
 	if published {
 		m.persistAnswer(out, built)
 	}
-	m.observeFinish(out, retry, published, buildDur)
-	if retry {
-		m.requeueAfter(out.ID, m.retryDelay())
+	m.observeFinish(out, requeue, published, buildDur)
+	if requeue {
+		m.requeueAfter(out.ID, requeueDelay)
+	}
+}
+
+// recordCircuit folds a single-store job's ending into the store's
+// circuit breaker: upstream failures (rate limited, transiently
+// unavailable) count against it, clean endings close it. Jobs the
+// client cancelled or the shutdown parked say nothing about the store.
+func (m *Manager) recordCircuit(st JobStatus, oc outcome) {
+	b := m.storeBreaker(st.Spec.Store)
+	if b == nil {
+		return
+	}
+	switch {
+	case errors.Is(oc.err, hidden.ErrRateLimited) || errors.Is(oc.err, retry.ErrUnavailable):
+		if d := b.onFailure(time.Now()); d > 0 {
+			m.met.circuitOpens.Inc()
+			m.log.Warn("store circuit opened",
+				"job_id", st.ID, "trace_id", st.TraceID, "store", st.Spec.Store,
+				"cooldown", d)
+		}
+	case oc.err == nil || errors.Is(oc.err, core.ErrBudget):
+		b.onSuccess()
 	}
 }
 
@@ -1103,7 +1215,7 @@ func (m *Manager) persistAnswer(st JobStatus, built *answer.Store) {
 // accounting, and one lifecycle line per ending (errors carry the job
 // id, store and plan summary so a failure is diagnosable from the log
 // alone).
-func (m *Manager) observeFinish(st JobStatus, retry, published bool, buildDur time.Duration) {
+func (m *Manager) observeFinish(st JobStatus, requeued, published bool, buildDur time.Duration) {
 	attrs := []any{
 		"job_id", st.ID, "trace_id", st.TraceID,
 		"store", st.Spec.storeLabel(), "plan", st.Spec.planSummary(),
@@ -1115,9 +1227,9 @@ func (m *Manager) observeFinish(st JobStatus, retry, published bool, buildDur ti
 		attrs = append(attrs, "duration", st.FinishedAt.Sub(st.StartedAt))
 	}
 	switch {
-	case retry:
+	case requeued:
 		m.met.jobsRetried.Inc()
-		m.log.Warn("job parked for retry (upstream rate limited)", attrs...)
+		m.log.Warn("job parked for retry (upstream interrupted)", append(attrs, "note", st.Error)...)
 		return
 	case st.State == StateDone:
 		m.met.jobsDone.Inc()
@@ -1143,11 +1255,15 @@ func (m *Manager) observeFinish(st JobStatus, retry, published bool, buildDur ti
 	}
 }
 
-// shouldRetry reports whether the outcome is an upstream rate limit a
-// resumable job should park-and-retry for. Caller holds j.mu.
+// shouldRetry reports whether the outcome is a recoverable upstream
+// interruption (rate limit or transient outage) a resumable job should
+// park-and-retry for. Caller holds j.mu.
 func (m *Manager) shouldRetry(j *job, oc outcome) bool {
 	st := &j.status
-	if !st.Spec.Resumable || !errors.Is(oc.err, hidden.ErrRateLimited) {
+	if !st.Spec.Resumable {
+		return false
+	}
+	if !errors.Is(oc.err, hidden.ErrRateLimited) && !errors.Is(oc.err, retry.ErrUnavailable) {
 		return false
 	}
 	if st.Spec.Budget > 0 && oc.queries >= st.Spec.Budget {
@@ -1167,6 +1283,27 @@ func (m *Manager) retryDelay() time.Duration {
 		return m.cfg.RetryDelay
 	}
 	return 15 * time.Second
+}
+
+func (m *Manager) maxRetryDelay() time.Duration {
+	if m.cfg.MaxRetryDelay > 0 {
+		return m.cfg.MaxRetryDelay
+	}
+	return 8 * m.retryDelay()
+}
+
+// retryDelayFor escalates the park-and-retry delay with consecutive
+// no-progress retries: base << n, capped at MaxRetryDelay.
+func (m *Manager) retryDelayFor(noProgress int) time.Duration {
+	d, lim := m.retryDelay(), m.maxRetryDelay()
+	if noProgress > 16 {
+		noProgress = 16
+	}
+	d <<= noProgress
+	if d > lim || d <= 0 {
+		d = lim
+	}
+	return d
 }
 
 // requeueAfter puts the job back on the FIFO queue once the retry delay

@@ -6,41 +6,73 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"hiddensky/internal/hidden"
 	"hiddensky/internal/obs"
 	"hiddensky/internal/query"
+	"hiddensky/internal/retry"
 )
 
-// DefaultRetryBackoff is how long Query waits before its single retry of a
-// 429 answer when the server sends no Retry-After header.
+// DefaultRetryBackoff is the first backoff of the default retry policy
+// when the server sends no Retry-After header (kept for compatibility
+// with SetRetryBackoff; see SetRetryPolicy for full control).
 const DefaultRetryBackoff = 250 * time.Millisecond
 
 // maxRetryAfter caps how long Query honors a server-provided Retry-After.
 const maxRetryAfter = 5 * time.Second
 
-// RateLimitError reports that the remote endpoint rate-limited the client
-// even after the single backoff-and-retry. It unwraps to
+// RateLimitError reports that the remote endpoint kept rate-limiting the
+// client until its retry policy gave up. It unwraps to
 // hidden.ErrRateLimited, so errors.Is(err, hiddensky.ErrRateLimited) holds
 // and the discovery algorithms treat it as their anytime budget stop.
 type RateLimitError struct {
 	// RetryAfter is the server-suggested wait (zero when not advertised).
 	RetryAfter time.Duration
+	// Attempts is how many round trips answered 429 before giving up.
+	Attempts int
 }
 
 func (e *RateLimitError) Error() string {
-	if e.RetryAfter > 0 {
-		return fmt.Sprintf("web: remote answered 429 twice (retry after %v)", e.RetryAfter)
+	n := e.Attempts
+	if n < 1 {
+		n = 2
 	}
-	return "web: remote answered 429 twice"
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("web: remote answered 429 %d times (retry after %v)", n, e.RetryAfter)
+	}
+	return fmt.Sprintf("web: remote answered 429 %d times", n)
 }
 
 func (e *RateLimitError) Unwrap() error { return hidden.ErrRateLimited }
+
+// RetryAfterHint implements retry.AfterHinter.
+func (e *RateLimitError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// TransientError reports that the upstream stayed transiently broken —
+// 5xx answers, connection resets, truncated bodies, per-attempt timeouts
+// — for every attempt the retry policy allowed. It wraps the last
+// attempt's error, whose chain includes retry.ErrUnavailable, so callers
+// distinguish "upstream on fire" (park, trip the breaker) from a rate
+// limit (anytime budget stop) and from fatal protocol errors.
+type TransientError struct {
+	// Attempts is how many round trips were tried.
+	Attempts int
+	// Err is the last attempt's failure.
+	Err error
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("web: upstream unavailable after %d attempts: %v", e.Attempts, e.Err)
+}
+
+func (e *TransientError) Unwrap() error { return e.Err }
 
 // Client implements core.Interface against a remote hidden-database
 // endpoint served by Server. The discovery algorithms run against it
@@ -58,8 +90,10 @@ type Client struct {
 	domains []query.Interval
 	names   []string
 	queries *atomic.Int64
-	backoff *atomic.Int64  // nanoseconds; 0 = DefaultRetryBackoff
-	metrics *ClientMetrics // nil: uninstrumented; shared by WithContext views
+	policy  *atomic.Pointer[retry.Policy] // nil entry = default policy
+	jmu     *sync.Mutex                   // guards jrng (shared by views)
+	jrng    *rand.Rand                    // backoff jitter stream
+	metrics *ClientMetrics                // nil: uninstrumented; shared by WithContext views
 
 	name       string      // store label for span annotations ("" ok)
 	tracer     *obs.Tracer // nil: untraced (see WithTrace)
@@ -74,11 +108,19 @@ type ClientMetrics struct {
 	// Queries counts search round trips answered 200 (the queries the
 	// upstream actually served — cache hits never reach here).
 	Queries *obs.Counter
-	// RateLimited counts 429 answers (each backoff-and-retry cycle can
-	// contribute up to two).
+	// RateLimited counts 429 answers (each retried attempt contributes
+	// one).
 	RateLimited *obs.Counter
-	// Retries counts backoff-and-retry cycles entered after a first 429.
+	// Retries counts backoff-and-retry cycles (after a 429 or a
+	// transient failure).
 	Retries *obs.Counter
+	// Unavailable counts transient upstream failures: 5xx answers,
+	// connection resets, truncated bodies, per-attempt timeouts.
+	Unavailable *obs.Counter
+	// RetryAttempts observes how many retries each upstream query needed
+	// before success or give-up (0 on the happy path; recorded as "1ns
+	// == 1 retry").
+	RetryAttempts *obs.Histogram
 	// QuerySeconds observes the latency of successful search round trips.
 	QuerySeconds *obs.Histogram
 }
@@ -88,10 +130,12 @@ type ClientMetrics struct {
 func NewClientMetrics(r *obs.Registry, store string) *ClientMetrics {
 	l := `{store="` + obs.EscapeLabel(store) + `"}`
 	return &ClientMetrics{
-		Queries:      r.Counter("upstream_queries_total"+l, "search queries answered by the upstream (HTTP 200)"),
-		RateLimited:  r.Counter("upstream_rate_limited_total"+l, "HTTP 429 answers from the upstream"),
-		Retries:      r.Counter("upstream_retries_total"+l, "backoff-and-retry cycles after a 429"),
-		QuerySeconds: r.Histogram("upstream_query_seconds"+l, "latency of successful upstream search round trips"),
+		Queries:       r.Counter("upstream_queries_total"+l, "search queries answered by the upstream (HTTP 200)"),
+		RateLimited:   r.Counter("upstream_rate_limited_total"+l, "HTTP 429 answers from the upstream"),
+		Retries:       r.Counter("upstream_retries_total"+l, "backoff-and-retry cycles after a 429 or transient failure"),
+		Unavailable:   r.Counter("upstream_unavailable_total"+l, "transient upstream failures (5xx, resets, truncated bodies, timeouts)"),
+		RetryAttempts: r.Histogram("upstream_retry_attempts"+l, "retries needed per upstream query (1ns == 1 retry)"),
+		QuerySeconds:  r.Histogram("upstream_query_seconds"+l, "latency of successful upstream search round trips"),
 	}
 }
 
@@ -116,7 +160,9 @@ func Dial(baseURL string, httpClient *http.Client) (*Client, error) {
 		base:    strings.TrimRight(baseURL, "/"),
 		http:    httpClient,
 		queries: new(atomic.Int64),
-		backoff: new(atomic.Int64),
+		policy:  new(atomic.Pointer[retry.Policy]),
+		jmu:     new(sync.Mutex),
+		jrng:    rand.New(rand.NewSource(rand.Int63())),
 	}
 	resp, err := c.http.Get(c.base + "/v1/meta")
 	if err != nil {
@@ -146,9 +192,41 @@ func Dial(baseURL string, httpClient *http.Client) (*Client, error) {
 	return c, nil
 }
 
-// SetRetryBackoff overrides the wait before the single 429 retry
-// (DefaultRetryBackoff when unset; a server Retry-After still wins).
-func (c *Client) SetRetryBackoff(d time.Duration) { c.backoff.Store(int64(d)) }
+// SetRetryPolicy installs a full retry policy (attempts, exponential
+// backoff, jitter, per-attempt timeout, Retry-After cap). Call it before
+// the client is shared; WithContext/WithTrace views read the same
+// policy. The zero Policy means all defaults.
+func (c *Client) SetRetryPolicy(p retry.Policy) {
+	p = p.Normalize()
+	c.policy.Store(&p)
+}
+
+// SetRetryBackoff overrides the first backoff between attempts
+// (DefaultRetryBackoff when unset; a server Retry-After still wins) and
+// pins jitter off, preserving the pre-policy fixed-wait behaviour. Use
+// SetRetryPolicy for full control.
+func (c *Client) SetRetryBackoff(d time.Duration) {
+	p := c.retryPolicy()
+	p.BaseBackoff = d
+	p.NoJitter = true
+	p.Jitter = 0
+	c.policy.Store(&p)
+}
+
+// retryPolicy returns the active normalized policy.
+func (c *Client) retryPolicy() retry.Policy {
+	if p := c.policy.Load(); p != nil {
+		return *p
+	}
+	return retry.Policy{BaseBackoff: DefaultRetryBackoff, RetryAfterCap: maxRetryAfter}.Normalize()
+}
+
+// jitter draws from the shared backoff-jitter stream.
+func (c *Client) jitter() float64 {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	return c.jrng.Float64()
+}
 
 // WithContext returns a view of the client whose requests (and 429
 // backoff waits) are aborted when ctx is cancelled. The view shares the
@@ -185,13 +263,20 @@ func (c *Client) reqCtx() context.Context {
 	return context.Background()
 }
 
-// Query implements core.Interface with one HTTP search request. A 429
-// answer is retried once after a backoff (the server's Retry-After when
-// advertised, SetRetryBackoff/DefaultRetryBackoff otherwise) — transient
-// rate limits are the norm mid-discovery and a raw error would abort an
-// otherwise healthy run. A second 429 returns a *RateLimitError, which
-// errors.Is-matches hiddensky.ErrRateLimited so discovery degrades to its
-// anytime partial result.
+// Query implements core.Interface with one HTTP search request, retried
+// under the client's retry policy (SetRetryPolicy; defaults otherwise).
+// Recoverable failures — 429s, 5xx answers, connection resets, truncated
+// bodies, per-attempt timeouts — back off exponentially with jitter, a
+// server Retry-After always winning over the computed wait; transient
+// trouble is the norm mid-discovery and a raw error would abort an
+// otherwise healthy run. Once the policy's attempts are spent, a
+// persistent 429 returns a *RateLimitError (errors.Is-matches
+// hiddensky.ErrRateLimited, discovery's anytime budget stop) and a
+// persistent transient failure returns a *TransientError (errors.Is-
+// matches retry.ErrUnavailable, the service layer's park-and-break
+// signal). Retrying never double-counts: a failed attempt returned no
+// data, so the eventual answer is the one a clean upstream would have
+// given.
 func (c *Client) Query(q query.Q) (hidden.Result, error) {
 	req := SearchRequest{}
 	for _, p := range q {
@@ -201,12 +286,13 @@ func (c *Client) Query(q query.Q) (hidden.Result, error) {
 	if err != nil {
 		return hidden.Result{}, err
 	}
+	pol := c.retryPolicy()
 	// One span per counted upstream query: it opens before the first
-	// attempt so its latency covers any 429 backoff, Ends as
-	// "web.query" only when the upstream answered 200 (keeping the
-	// span count exactly equal to the counted queries), is renamed
-	// "web.rate_limited" for a terminal double-429, and is abandoned
-	// (never recorded) on transport or predicate errors.
+	// attempt so its latency covers every backoff, Ends as "web.query"
+	// only when the upstream answered 200 (keeping the span count
+	// exactly equal to the counted queries), is renamed
+	// "web.rate_limited" / "web.unavailable" for terminal give-ups, and
+	// is abandoned (never recorded) on fatal protocol errors.
 	sp := c.tracer.Start("web.query", c.spanParent)
 	if c.tracer != nil {
 		if c.name != "" {
@@ -214,40 +300,48 @@ func (c *Client) Query(q query.Q) (hidden.Result, error) {
 		}
 		sp.SetInt("key", int64(c.queryKey(q)))
 	}
-	res, retryAfter, err := c.search(body)
-	if err == nil {
-		c.endQuerySpan(&sp, &res, 0)
-		return res, nil
+	var retries int64
+	for attempt := 1; ; attempt++ {
+		res, retryAfter, err := c.search(body, pol.PerAttemptTimeout)
+		if err == nil {
+			c.observeRetries(retries)
+			c.endQuerySpan(&sp, &res, retries)
+			return res, nil
+		}
+		rateLimited := isRateLimited(err)
+		if !rateLimited && !retry.Transient(err) {
+			return res, err
+		}
+		if attempt >= pol.Attempts {
+			c.observeRetries(retries)
+			if rateLimited {
+				sp.Rename("web.rate_limited")
+				sp.SetInt("status", http.StatusTooManyRequests)
+				sp.SetInt("retries", retries)
+				sp.End()
+				return hidden.Result{}, &RateLimitError{RetryAfter: retryAfter, Attempts: attempt}
+			}
+			sp.Rename("web.unavailable")
+			sp.SetInt("retries", retries)
+			sp.End()
+			return hidden.Result{}, &TransientError{Attempts: attempt, Err: err}
+		}
+		if m := c.metrics; m != nil && m.Retries != nil {
+			m.Retries.Inc()
+		}
+		wait := pol.Backoff(attempt, retryAfter, c.jitter)
+		if serr := sleepCtx(c.ctx, wait); serr != nil {
+			return hidden.Result{}, fmt.Errorf("web: aborted while backing off: %w", serr)
+		}
+		retries++
 	}
-	if !isRateLimited(err) {
-		return res, err
+}
+
+// observeRetries feeds the upstream_retry_attempts histogram.
+func (c *Client) observeRetries(retries int64) {
+	if m := c.metrics; m != nil && m.RetryAttempts != nil {
+		m.RetryAttempts.Observe(time.Duration(retries))
 	}
-	if m := c.metrics; m != nil && m.Retries != nil {
-		m.Retries.Inc()
-	}
-	wait := retryAfter
-	if wait <= 0 {
-		wait = time.Duration(c.backoff.Load())
-	}
-	if wait <= 0 {
-		wait = DefaultRetryBackoff
-	}
-	if err := sleepCtx(c.ctx, wait); err != nil {
-		return hidden.Result{}, fmt.Errorf("web: aborted while backing off: %w", err)
-	}
-	res, retryAfter, err = c.search(body)
-	if err != nil && isRateLimited(err) {
-		sp.Rename("web.rate_limited")
-		sp.SetInt("status", http.StatusTooManyRequests)
-		sp.SetInt("retries", 1)
-		sp.End()
-		return hidden.Result{}, &RateLimitError{RetryAfter: retryAfter}
-	}
-	if err != nil {
-		return res, err
-	}
-	c.endQuerySpan(&sp, &res, 1)
-	return res, nil
 }
 
 // endQuerySpan finishes a successful query's span.
@@ -291,11 +385,31 @@ func isRateLimited(err error) bool {
 	return err == errRemoteRateLimited
 }
 
-// search performs one POST /v1/search round trip. The response body is
-// always drained so the keep-alive connection can be reused by the next
-// (possibly concurrent) query.
-func (c *Client) search(body []byte) (hidden.Result, time.Duration, error) {
-	req, err := http.NewRequestWithContext(c.reqCtx(), http.MethodPost, c.base+"/v1/search", bytes.NewReader(body))
+// transientf builds a retryable error (wrapping retry.ErrUnavailable)
+// and counts it on the Unavailable series.
+func (c *Client) transientf(format string, args ...any) error {
+	if m := c.metrics; m != nil && m.Unavailable != nil {
+		m.Unavailable.Inc()
+	}
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), retry.ErrUnavailable)
+}
+
+// search performs one POST /v1/search round trip, bounded by timeout
+// when positive. The response body is always drained so the keep-alive
+// connection can be reused by the next (possibly concurrent) query.
+// Failures the retry loop may take another attempt at — transport errors
+// and timeouts with the parent context still live, 5xx answers, bodies
+// that fail to decode (truncated mid-payload) — wrap
+// retry.ErrUnavailable; protocol errors (bad predicate, implausible
+// status) stay fatal.
+func (c *Client) search(body []byte, timeout time.Duration) (hidden.Result, time.Duration, error) {
+	ctx := c.reqCtx()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/search", bytes.NewReader(body))
 	if err != nil {
 		return hidden.Result{}, 0, fmt.Errorf("web: building search request: %w", err)
 	}
@@ -306,28 +420,38 @@ func (c *Client) search(body []byte) (hidden.Result, time.Duration, error) {
 	t0 := time.Now()
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return hidden.Result{}, 0, fmt.Errorf("web: search request: %w", err)
+		if c.ctx != nil && c.ctx.Err() != nil {
+			// The job itself was cancelled — not the upstream's fault,
+			// and not worth another attempt.
+			return hidden.Result{}, 0, fmt.Errorf("web: search request: %w", err)
+		}
+		return hidden.Result{}, 0, c.transientf("web: search request: %v", err)
 	}
 	defer func() {
 		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusTooManyRequests:
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusTooManyRequests:
 		if m := c.metrics; m != nil && m.RateLimited != nil {
 			m.RateLimited.Inc()
 		}
 		return hidden.Result{}, parseRetryAfter(resp.Header.Get("Retry-After")), errRemoteRateLimited
-	case http.StatusBadRequest:
+	case resp.StatusCode == http.StatusBadRequest:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return hidden.Result{}, 0, fmt.Errorf("%w: %s", hidden.ErrUnsupportedPredicate, strings.TrimSpace(string(msg)))
+	case resp.StatusCode >= 500:
+		return hidden.Result{}, 0, c.transientf("web: search answered %s", resp.Status)
 	default:
 		return hidden.Result{}, 0, fmt.Errorf("web: search answered %s", resp.Status)
 	}
 	var sr SearchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return hidden.Result{}, 0, fmt.Errorf("web: decoding search response: %w", err)
+		// A decode failure on a 200 means the body was cut mid-payload
+		// (or the connection dropped); the answer was never counted, so
+		// another attempt is safe.
+		return hidden.Result{}, 0, c.transientf("web: decoding search response: %v", err)
 	}
 	c.queries.Add(1)
 	if m := c.metrics; m != nil {

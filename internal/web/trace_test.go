@@ -10,6 +10,7 @@ import (
 	"hiddensky/internal/hidden"
 	"hiddensky/internal/obs"
 	"hiddensky/internal/query"
+	"hiddensky/internal/retry"
 )
 
 func traceTestDB(t *testing.T, limit int) *hidden.DB {
@@ -129,7 +130,7 @@ func TestTerminalRateLimitSpanRenamed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.SetRetryBackoff(1)
+	c.SetRetryPolicy(retry.Policy{Attempts: 2, BaseBackoff: 1, NoJitter: true})
 	st := obs.NewSpanStore(64)
 	tc := c.WithTrace(st.Tracer("t"), 0)
 
